@@ -1,0 +1,25 @@
+# Developer entry points for the privacy-aware LBS reproduction.
+
+.PHONY: install test bench examples experiments report clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/ -q
+
+bench:
+	pytest benchmarks/ --benchmark-only -q
+
+examples:
+	for f in examples/*.py; do python $$f; done
+
+experiments:
+	python -m repro experiments all
+
+report:
+	python -m repro report -o experiment_tables.md
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

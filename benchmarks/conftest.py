@@ -1,0 +1,33 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module regenerates its experiment's table(s) and persists
+them under ``benchmarks/results/`` (stdout is captured by pytest, so the
+files are the canonical record; EXPERIMENTS.md is assembled from them).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_table(results_dir):
+    """Write experiment tables to ``benchmarks/results/<name>.txt``."""
+
+    def _record(name: str, *tables) -> None:
+        text = "\n\n".join(t.to_text() for t in tables)
+        (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _record

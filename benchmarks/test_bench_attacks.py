@@ -1,0 +1,41 @@
+"""E10: attack resistance of every cloaking algorithm.
+
+Times the expensive omniscient-adversary replay (posterior anonymity) and
+regenerates the attack + linkage tables.
+"""
+
+import pytest
+
+from repro.attacks.posterior import posterior_anonymity
+from repro.cloaking.hilbert import HilbertCloaker
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.experiments import run_e10_attacks, run_e10_density, run_e10_linkage
+from repro.evalx.workloads import build_workload, loaded_cloaker
+
+REQ = PrivacyRequirement(k=10)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(n_users=800, seed=7)
+
+
+def test_e10_posterior_replay_pyramid(benchmark, workload):
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    result = benchmark(posterior_anonymity, cloaker, 0, REQ)
+    assert result.posterior_anonymity >= 1
+
+
+def test_e10_posterior_replay_hilbert(benchmark, workload):
+    cloaker = loaded_cloaker(HilbertCloaker, workload, order=8)
+    result = benchmark(posterior_anonymity, cloaker, 0, REQ)
+    assert result.is_reciprocal
+
+
+def test_e10_tables(benchmark, record_table):
+    def all_three():
+        return run_e10_attacks(), run_e10_density(), run_e10_linkage()
+
+    attacks, density, linkage = benchmark.pedantic(all_three, rounds=1, iterations=1)
+    record_table("E10_attacks", attacks, density, linkage)

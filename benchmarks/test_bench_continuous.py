@@ -1,0 +1,56 @@
+"""E12: continuous query maintenance — incremental vs full re-evaluation.
+
+Times one incremental monitor adjustment against one full recompute and
+regenerates both E12 tables (maintenance throughput, delta transmission).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.evalx.experiments import run_e12_continuous, run_e12_delta_transmission
+from repro.evalx.workloads import (
+    build_workload,
+    cloaked_private_store,
+    loaded_cloaker,
+    query_windows,
+)
+from repro.geometry.rect import Rect
+from repro.queries.continuous import ContinuousCountMonitor
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = build_workload(n_users=2000, seed=7)
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    private = cloaked_private_store(cloaker, k=20)
+    window = query_windows(workload.bounds, 1, 0.25, np.random.default_rng(1))[0]
+    monitor = ContinuousCountMonitor(window)
+    monitor.seed_from_store(private)
+    return private, monitor
+
+
+def test_e12_incremental_update(benchmark, setup):
+    private, monitor = setup
+    uid = next(iter(private))
+    region = private.region_of(uid)
+
+    def one_update():
+        monitor.on_region_update(uid, region.translated(0.5, 0.0))
+        monitor.on_region_update(uid, region)
+
+    benchmark(one_update)
+
+
+def test_e12_full_recompute(benchmark, setup):
+    private, monitor = setup
+    answer = benchmark(monitor.recompute, private)
+    assert answer.expected == pytest.approx(monitor.expected_count)
+
+
+def test_e12_tables(benchmark, record_table):
+    def both():
+        return run_e12_continuous(), run_e12_delta_transmission()
+
+    maintenance, delta = benchmark.pedantic(both, rounds=1, iterations=1)
+    record_table("E12_continuous", maintenance, delta)

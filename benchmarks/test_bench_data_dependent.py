@@ -1,0 +1,40 @@
+"""E2 (Figure 3): data-dependent cloaking — naive vs MBR.
+
+Times one cloak request per algorithm on a 2000-user city and regenerates
+the E2 comparison table (areas, latency, leakage context comes from E10).
+"""
+
+import pytest
+
+from repro.cloaking.mbr import MBRCloaker
+from repro.cloaking.naive import NaiveCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.experiments import run_e2_clique, run_e2_data_dependent
+from repro.evalx.workloads import build_workload, loaded_cloaker
+
+REQ = PrivacyRequirement(k=20)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(n_users=2000, seed=7)
+
+
+def test_e2_naive_cloak(benchmark, workload):
+    cloaker = loaded_cloaker(NaiveCloaker, workload)
+    result = benchmark(cloaker.cloak, 0, REQ)
+    assert result.user_count >= REQ.k
+
+
+def test_e2_mbr_cloak(benchmark, workload):
+    cloaker = loaded_cloaker(MBRCloaker, workload)
+    result = benchmark(cloaker.cloak, 0, REQ)
+    assert result.user_count >= REQ.k
+
+
+def test_e2_table(benchmark, record_table):
+    def both():
+        return run_e2_data_dependent(), run_e2_clique()
+
+    snapshot, clique = benchmark.pedantic(both, rounds=1, iterations=1)
+    record_table("E2_data_dependent", snapshot, clique)

@@ -1,0 +1,39 @@
+"""E13/E14: extension experiments — temporal cloaking and false dummies.
+
+Times the private k-NN extension's candidate generation and regenerates
+both extension tables.
+"""
+
+import pytest
+
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.experiments import run_e13_temporal, run_e14_dummies
+from repro.evalx.workloads import build_workload, loaded_cloaker, poi_store
+from repro.queries.private_knn import private_knn_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = build_workload(n_users=2000, n_pois=400, seed=7)
+    store = poi_store(workload)
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    region = cloaker.cloak(0, PrivacyRequirement(k=20)).region
+    return store, region
+
+
+@pytest.mark.parametrize("k", [1, 5, 10])
+def test_private_knn_filter(benchmark, setup, k):
+    store, region = setup
+    result = benchmark(private_knn_query, store, region, k, "filter")
+    assert len(result.candidates) >= k
+
+
+def test_e13_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e13_temporal, rounds=1, iterations=1)
+    record_table("E13_temporal", table)
+
+
+def test_e14_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e14_dummies, rounds=1, iterations=1)
+    record_table("E14_dummies", table)

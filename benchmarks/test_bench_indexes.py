@@ -1,0 +1,110 @@
+"""Substrate microbenchmarks: the spatial indexes everything runs on.
+
+Not tied to a specific paper figure; they justify the structure choices the
+experiment tables depend on (e.g. pyramid counter updates being cheap
+enough to pay for O(height) cloaks).
+"""
+
+import numpy as np
+import pytest
+
+from repro.evalx.workloads import build_workload
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.pyramid import PyramidGrid
+from repro.index.quadtree import QuadTree
+from repro.index.rtree import RTree
+
+N = 5000
+WINDOW = Rect(40, 40, 60, 60)
+QUERY_POINT = Point(50, 50)
+
+
+@pytest.fixture(scope="module")
+def points():
+    workload = build_workload(n_users=N, seed=7)
+    return list(enumerate(workload.users))
+
+
+def _filled(index, points):
+    for i, p in points:
+        index.insert_point(i, p)
+    return index
+
+
+def test_bench_rtree_build(benchmark, points):
+    def build():
+        return _filled(RTree(max_entries=16), points)
+
+    assert len(benchmark(build)) == N
+
+
+def test_bench_rtree_range(benchmark, points):
+    index = _filled(RTree(max_entries=16), points)
+    result = benchmark(index.range_query, WINDOW)
+    assert result
+
+
+def test_bench_rtree_knn(benchmark, points):
+    index = _filled(RTree(max_entries=16), points)
+    result = benchmark(index.nearest, QUERY_POINT, 10)
+    assert len(result) == 10
+
+
+def test_bench_rtree_bulk_load(benchmark, points):
+    items = {i: Rect.from_point(p) for i, p in points}
+
+    def build():
+        return RTree.bulk_load(items, max_entries=16)
+
+    assert len(benchmark(build)) == N
+
+
+def test_bench_kdtree_build(benchmark, points):
+    def build():
+        return KDTree.build(dict(points))
+
+    assert len(benchmark(build)) == N
+
+
+def test_bench_kdtree_range(benchmark, points):
+    index = KDTree.build(dict(points))
+    assert benchmark(index.range_query, WINDOW)
+
+
+def test_bench_kdtree_knn(benchmark, points):
+    index = KDTree.build(dict(points))
+    assert len(benchmark(index.nearest, QUERY_POINT, 10)) == 10
+
+
+def test_bench_quadtree_range(benchmark, points):
+    index = _filled(QuadTree(Rect(0, 0, 100, 100), capacity=8), points)
+    assert benchmark(index.range_query, WINDOW)
+
+
+def test_bench_grid_range(benchmark, points):
+    index = _filled(GridIndex(Rect(0, 0, 100, 100), cols=64), points)
+    assert benchmark(index.range_query, WINDOW)
+
+
+def test_bench_pyramid_update(benchmark, points):
+    index = _filled(PyramidGrid(Rect(0, 0, 100, 100), height=8), points)
+    a = points[0][1]
+    b = points[1][1]
+
+    def move():
+        index.delete(0)
+        index.insert_point(0, b)
+        index.delete(0)
+        index.insert_point(0, a)
+
+    benchmark(move)
+
+
+def test_bench_pyramid_cell_count(benchmark, points):
+    index = _filled(PyramidGrid(Rect(0, 0, 100, 100), height=8), points)
+    cell = index.cell_rect(4, 7, 7)
+    count = benchmark(index.count_in_window, cell)
+    assert count == len(index.range_query(cell))

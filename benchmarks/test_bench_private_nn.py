@@ -1,0 +1,34 @@
+"""E6 (Figure 5b): private NN queries + ablation A2 (filter vs Voronoi).
+
+Times all three candidate generators and regenerates the E6 tightness
+table.
+"""
+
+import pytest
+
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.experiments import run_e6_private_nn
+from repro.evalx.workloads import build_workload, loaded_cloaker, poi_store
+from repro.queries.private_nn import private_nn_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = build_workload(n_users=2000, n_pois=400, seed=7)
+    store = poi_store(workload)
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    region = cloaker.cloak(0, PrivacyRequirement(k=20)).region
+    return store, region
+
+
+@pytest.mark.parametrize("method", ["range", "filter", "exact"])
+def test_e6_candidates(benchmark, setup, method):
+    store, region = setup
+    result = benchmark(private_nn_query, store, region, method)
+    assert result.candidates
+
+
+def test_e6_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e6_private_nn, rounds=1, iterations=1)
+    record_table("E6_private_nn", table)

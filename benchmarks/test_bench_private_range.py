@@ -1,0 +1,41 @@
+"""E5 (Figure 5a): private range queries + ablation A1 (exact vs MBR).
+
+Times the server-side candidate generation for both candidate-region
+variants and regenerates the E5 cost table.
+"""
+
+import pytest
+
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.experiments import run_e5_private_range
+from repro.evalx.workloads import build_workload, loaded_cloaker, poi_store
+from repro.queries.private_range import private_range_query
+
+RADIUS = 5.0
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = build_workload(n_users=2000, n_pois=400, seed=7)
+    store = poi_store(workload)
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    region = cloaker.cloak(0, PrivacyRequirement(k=20)).region
+    return store, region
+
+
+def test_e5_candidates_exact(benchmark, setup):
+    store, region = setup
+    result = benchmark(private_range_query, store, region, RADIUS, "exact")
+    assert result.candidates
+
+
+def test_e5_candidates_mbr(benchmark, setup):
+    store, region = setup
+    result = benchmark(private_range_query, store, region, RADIUS, "mbr")
+    assert result.candidates
+
+
+def test_e5_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e5_private_range, rounds=1, iterations=1)
+    record_table("E5_private_range", table)

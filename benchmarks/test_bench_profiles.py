@@ -1,0 +1,28 @@
+"""E1 (Figure 2): privacy profile lookups.
+
+Regenerates the Figure 2 behaviour table and times the operation the
+anonymizer performs on *every* location update: resolving the requirement
+in force at the current time.
+"""
+
+from repro.core.profiles import example_profile, hhmm
+from repro.evalx.experiments import run_e1_profile
+
+PROFILE = example_profile()
+EVENING = hhmm("18:30")
+
+
+def test_e1_profile_lookup(benchmark, record_table):
+    requirement = benchmark(PROFILE.requirement_at, EVENING)
+    assert requirement.k == 100
+
+
+def test_e1_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e1_profile, rounds=1, iterations=1)
+    record_table("E1_profile", table)
+
+
+def test_e1_profile_lookup_wrapped_interval(benchmark):
+    """Lookups before the first entry (the wrap-around path)."""
+    requirement = benchmark(PROFILE.requirement_at, hhmm("03:00"))
+    assert requirement.k == 1000

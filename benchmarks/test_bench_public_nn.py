@@ -1,0 +1,52 @@
+"""E8 (Figure 6b): public NN over private data + ablation A5 (sample count).
+
+Times the probabilistic NN at several Monte-Carlo sample counts (the
+accuracy/cost dial of ablation A5) and regenerates the E8 table plus the
+Figure 6b layout example.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.evalx.experiments import figure_6b_example, run_e8_public_nn
+from repro.evalx.tables import Table
+from repro.evalx.workloads import build_workload, cloaked_private_store, loaded_cloaker
+from repro.geometry.point import Point
+from repro.queries.public_nn import public_nn_query
+
+QUERY = Point(50, 50)
+
+
+@pytest.fixture(scope="module")
+def private_store():
+    workload = build_workload(n_users=400, seed=7)
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    return cloaked_private_store(cloaker, k=20)
+
+
+@pytest.mark.parametrize("samples", [256, 1024, 4096])
+def test_e8_public_nn(benchmark, private_store, samples):
+    rng = np.random.default_rng(3)
+    result = benchmark(public_nn_query, private_store, QUERY, samples, rng)
+    assert abs(result.answer.total_probability - 1.0) < 1e-9
+
+
+def test_e8_tables(benchmark, record_table, private_store):
+    # Ablation A5: Monte-Carlo convergence of the top-1 probability.
+    reference = public_nn_query(
+        private_store, QUERY, samples=65536, rng=np.random.default_rng(0)
+    )
+    top = reference.answer.top
+    ablation = Table(
+        "E8 ablation (A5): Monte-Carlo convergence of P(top candidate)",
+        ["samples", "P_top_estimate", "abs_error_vs_65536"],
+    )
+    for samples in (128, 512, 2048, 8192):
+        estimate = public_nn_query(
+            private_store, QUERY, samples=samples, rng=np.random.default_rng(1)
+        )
+        p = estimate.answer.probabilities.get(top, 0.0)
+        ablation.add_row(samples, p, abs(p - reference.answer.probabilities[top]))
+    main = benchmark.pedantic(run_e8_public_nn, rounds=1, iterations=1)
+    record_table("E8_public_nn", main, figure_6b_example(), ablation)

@@ -1,0 +1,56 @@
+"""E7 (Figure 6a): public count queries over private data.
+
+Times the probabilistic count (including the exact Poisson-binomial PDF)
+and regenerates the worked-example + accuracy-sweep tables.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.evalx.experiments import figure_6a_store, run_e7_public_count
+from repro.evalx.workloads import (
+    build_workload,
+    cloaked_private_store,
+    loaded_cloaker,
+    query_windows,
+)
+from repro.queries.probabilistic import poisson_binomial_pmf
+from repro.queries.public_range import public_range_count
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = build_workload(n_users=2000, seed=7)
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    private = cloaked_private_store(cloaker, k=20)
+    window = query_windows(workload.bounds, 1, 0.2, np.random.default_rng(1))[0]
+    return private, window
+
+
+def test_e7_probabilistic_count(benchmark, setup):
+    private, window = setup
+    answer = benchmark(public_range_count, private, window)
+    assert answer.expected > 0
+
+
+def test_e7_full_pdf(benchmark, setup):
+    private, window = setup
+    answer = public_range_count(private, window)
+    pmf = benchmark(answer.pmf)
+    assert abs(pmf.sum() - 1.0) < 1e-9
+
+
+def test_e7_poisson_binomial_500_trials(benchmark):
+    probs = list(np.random.default_rng(2).uniform(0, 1, 500))
+    pmf = benchmark(poisson_binomial_pmf, probs)
+    assert abs(pmf.sum() - 1.0) < 1e-9
+
+
+def test_e7_worked_example_exact(benchmark, record_table):
+    store, window = figure_6a_store()
+    answer = public_range_count(store, window)
+    assert abs(answer.expected - 2.7) < 1e-9
+    assert answer.interval == (1, 5)
+    example, sweep = benchmark.pedantic(run_e7_public_count, rounds=1, iterations=1)
+    record_table("E7_public_count", example, sweep)

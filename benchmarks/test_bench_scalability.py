@@ -1,0 +1,59 @@
+"""E4 (Section 5.3): scalability — incremental evaluation & shared execution.
+
+Times a full re-cloak round of 3000 users under each strategy and
+regenerates the E4 throughput table.
+"""
+
+import pytest
+
+from repro.cloaking.incremental import IncrementalCloaker
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.cloaking.shared import cloak_all
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.experiments import run_e4_scalability, run_e4_scale_sweep
+from repro.evalx.workloads import build_workload, loaded_cloaker
+
+REQ = PrivacyRequirement(k=20)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(n_users=3000, seed=7)
+
+
+def test_e4_recompute_round(benchmark, workload):
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+
+    def full_round():
+        return sum(1 for uid in cloaker.users() if cloaker.cloak(uid, REQ))
+
+    assert benchmark(full_round) == 3000
+
+
+def test_e4_incremental_round(benchmark, workload):
+    inner = loaded_cloaker(PyramidCloaker, workload, height=6)
+    incremental = IncrementalCloaker(inner)
+    for uid in inner.users():  # warm the cache
+        incremental.cloak(uid, REQ)
+
+    def warm_round():
+        return sum(1 for uid in inner.users() if incremental.cloak(uid, REQ))
+
+    assert benchmark(warm_round) == 3000
+
+
+def test_e4_shared_batch_round(benchmark, workload):
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+
+    def batch_round():
+        return len(cloak_all(cloaker, REQ).results)
+
+    assert benchmark(batch_round) == 3000
+
+
+def test_e4_table(benchmark, record_table):
+    def both():
+        return run_e4_scalability(), run_e4_scale_sweep()
+
+    strategies, sweep = benchmark.pedantic(both, rounds=1, iterations=1)
+    record_table("E4_scalability", strategies, sweep)

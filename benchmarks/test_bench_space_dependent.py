@@ -1,0 +1,69 @@
+"""E3 (Figure 4): space-dependent cloaking — quadtree, grid, pyramid.
+
+Times one cloak per algorithm and regenerates the E3 table plus the A3
+pyramid ablation (search direction / neighbour merging).
+"""
+
+import pytest
+
+from repro.cloaking.grid_cloak import GridCloaker
+from repro.cloaking.hilbert import HilbertCloaker
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.cloaking.quadtree_cloak import QuadtreeCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.experiments import run_e3_ablation_pyramid, run_e3_space_dependent
+from repro.evalx.workloads import build_workload, loaded_cloaker
+
+REQ = PrivacyRequirement(k=20)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_workload(n_users=2000, seed=7)
+
+
+def test_e3_quadtree_cloak(benchmark, workload):
+    cloaker = loaded_cloaker(QuadtreeCloaker, workload, capacity=4, max_depth=8)
+    assert benchmark(cloaker.cloak, 0, REQ).user_count >= REQ.k
+
+
+def test_e3_grid_cloak(benchmark, workload):
+    cloaker = loaded_cloaker(GridCloaker, workload, cols=64)
+    assert benchmark(cloaker.cloak, 0, REQ).user_count >= REQ.k
+
+
+def test_e3_pyramid_cloak(benchmark, workload):
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    assert benchmark(cloaker.cloak, 0, REQ).user_count >= REQ.k
+
+
+def test_e3_pyramid_cloak_with_merge(benchmark, workload):
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6, neighbor_merge=True)
+    assert benchmark(cloaker.cloak, 0, REQ).user_count >= REQ.k
+
+
+def test_e3_hilbert_cloak_warm(benchmark, workload):
+    cloaker = loaded_cloaker(HilbertCloaker, workload, order=8)
+    cloaker.cloak(0, REQ)  # build the sorted order once
+    assert benchmark(cloaker.cloak, 0, REQ).user_count >= REQ.k
+
+
+def test_e3_pyramid_location_update(benchmark, workload):
+    """The maintenance cost that pays for O(height) cloaks."""
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    a = workload.users[0]
+    b = workload.users[1]
+
+    def move_back_and_forth():
+        cloaker.move_user(0, b)
+        cloaker.move_user(0, a)
+
+    benchmark(move_back_and_forth)
+
+
+def test_e3_tables(benchmark, record_table):
+    def both():
+        return run_e3_space_dependent(), run_e3_ablation_pyramid()
+
+    main, ablation = benchmark.pedantic(both, rounds=1, iterations=1)
+    record_table("E3_space_dependent", main, ablation)

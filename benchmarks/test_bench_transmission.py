@@ -1,0 +1,40 @@
+"""E11: transmission cost vs the send-everything baseline (Section 6.2.1).
+
+Regenerates the saving-factor table; the timed operation is the candidate
+query at the largest POI scale.
+"""
+
+import pytest
+
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.experiments import run_e11_transmission
+from repro.evalx.workloads import build_workload, loaded_cloaker, poi_store
+from repro.queries.private_range import private_range_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    workload = build_workload(n_users=1500, n_pois=1600, seed=7)
+    store = poi_store(workload)
+    cloaker = loaded_cloaker(PyramidCloaker, workload, height=6)
+    requirement = PrivacyRequirement(k=20)
+    # A median-city user: the tightest cloak among a sample, i.e. someone
+    # in a dense area (sparse-area users legitimately get huge regions).
+    region = min(
+        (cloaker.cloak(victim, requirement).region for victim in range(50)),
+        key=lambda r: r.area,
+    )
+    return store, region
+
+
+def test_e11_candidate_query_at_scale(benchmark, setup):
+    store, region = setup
+    result = benchmark(private_range_query, store, region, 5.0, "exact")
+    # The whole point: the candidate set is a small fraction of the store.
+    assert len(result.candidates) < len(store) / 4
+
+
+def test_e11_table(benchmark, record_table):
+    table = benchmark.pedantic(run_e11_transmission, rounds=1, iterations=1)
+    record_table("E11_transmission", table)

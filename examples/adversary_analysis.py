@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Which cloaking algorithm actually protects you? (Section 5, req. 2)
+
+Loads the same city population into all six cloaking algorithms and runs
+the full adversary suite against each: the centre attack that breaks naive
+cloaking, the boundary statistics that expose MBR cloaking, and the
+omniscient posterior-anonymity replay that measures how many users could
+really have issued each region.
+
+Run with:  python examples/adversary_analysis.py [n_users] [k]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.attacks import evaluate_attacks
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx import build_workload, standard_cloakers
+from repro.evalx.tables import Table
+
+
+def main() -> None:
+    n_users = int(sys.argv[1]) if len(sys.argv) > 1 else 800
+    k = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    workload = build_workload(n_users=n_users, distribution="clustered", seed=5)
+    rng = np.random.default_rng(5)
+    victims = list(range(0, n_users, max(1, n_users // 40)))
+
+    table = Table(
+        f"Attack resistance, {n_users} users, k = {k} "
+        "(center/random errors: higher is safer; posterior: >= k is safe)",
+        ["algorithm", "center_err", "random_err", "boundary%", "posterior_k", "reciprocal%"],
+    )
+    for cloaker in standard_cloakers(workload):
+        report = evaluate_attacks(
+            cloaker,
+            PrivacyRequirement(k=k),
+            victims,
+            rng,
+            posterior_sample=15,
+        )
+        table.add_row(
+            report.algorithm,
+            report.center_norm_error,
+            report.random_norm_error,
+            100.0 * report.boundary_rate,
+            report.mean_posterior_anonymity,
+            100.0 * report.reciprocity_rate,
+        )
+    print(table.to_text())
+    print(
+        "\nReading the table:\n"
+        "  * naive    - centre error ~0: the adversary reads the location "
+        "off the region centre (the paper's Figure 3a warning).\n"
+        "  * mbr      - victims sit on the region boundary far more often "
+        "than chance (Figure 3b's information leak).\n"
+        "  * space-dependent algorithms score near the random baseline on "
+        "location attacks.\n"
+        "  * hilbert  - the only algorithm whose posterior anonymity always "
+        "reaches the promised k (reciprocity)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Cloaking under road-network movement.
+
+Real populations do not fill the plane — they pile up on streets.  This
+example moves 1000 users along a Manhattan street grid (via networkx
+shortest paths) and compares how the cloaking algorithms cope with the
+corridor-shaped density: data-dependent MBRs collapse onto street segments
+(tiny areas, heavy leakage) while space partitions stay honest.
+
+Run with:  python examples/road_network_city.py
+"""
+
+import numpy as np
+
+from repro.attacks import on_boundary_fraction
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.tables import Table
+from repro.cloaking import (
+    GridCloaker,
+    HilbertCloaker,
+    MBRCloaker,
+    NaiveCloaker,
+    PyramidCloaker,
+    QuadtreeCloaker,
+)
+from repro.geometry import Rect
+from repro.mobility import NetworkMobilityModel, manhattan_network
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    bounds = Rect(0, 0, 100, 100)
+    # 7 blocks: street spacing 100/7 deliberately does NOT align with the
+    # power-of-two cell boundaries of the space partitions, so boundary
+    # statistics measure leakage, not grid coincidence.
+    graph = manhattan_network(bounds, blocks=7)
+    model = NetworkMobilityModel(graph, rng, speed_range=(1.0, 4.0))
+
+    positions = {i: model.add_user(i) for i in range(1000)}
+    # Let traffic spread out along the streets.
+    for _ in range(30):
+        positions = model.step(1.0)
+
+    requirement = PrivacyRequirement(k=15)
+    table = Table(
+        "Cloaking 1000 street-bound users (k = 15)",
+        ["algorithm", "mean_area", "p95_area", "victim_on_boundary%"],
+    )
+    for cls, kwargs in [
+        (NaiveCloaker, {}),
+        (MBRCloaker, {}),
+        (QuadtreeCloaker, {"capacity": 4, "max_depth": 8}),
+        (GridCloaker, {"cols": 32}),
+        (PyramidCloaker, {"height": 6}),
+        (HilbertCloaker, {"order": 8}),
+    ]:
+        cloaker = cls(bounds, **kwargs)
+        for i, p in positions.items():
+            cloaker.add_user(i, p)
+        cloaks = []
+        for victim in range(0, 1000, 20):
+            region = cloaker.cloak(victim, requirement).region
+            cloaks.append((region, positions[victim]))
+        areas = [region.area for region, _ in cloaks]
+        table.add_row(
+            cloaker.name,
+            float(np.mean(areas)),
+            float(np.percentile(areas, 95)),
+            100.0 * on_boundary_fraction(cloaks),
+        )
+    print(table.to_text())
+    print(
+        "\nOn corridor-shaped populations the MBR regions degenerate toward "
+        "street segments: small areas look like good QoS, but the boundary "
+        "statistic shows the victim is frequently pinned to the region "
+        "edge - an easy target.  Space partitions trade a larger area for "
+        "boundary-independence."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Linkage (tracking) attacks across successive cloaks.
+
+Section 2.1's fourth category — avoiding location *tracking* — points at a
+temporal weakness the snapshot algorithms do not address: an adversary who
+watches the same pseudonym's successive cloaked regions can intersect them
+with a maximum-speed reachability constraint and shrink the victim's
+feasible area far below any single region.
+
+The attack maintains the feasible set F_t:
+
+    F_0 = R_0
+    F_t = R_t ∩ expand(F_(t-1), v_max * dt)
+
+where ``expand`` is the Minkowski expansion (rectangular over-approximation
+of the reachable set, sound because it only over-estimates what the victim
+could reach).  The shrinkage ratio area(F_t)/area(R_t) quantifies how much
+anonymity the update stream erodes (experiment E10's temporal column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class LinkageStep:
+    """One step of a tracking attack.
+
+    Attributes:
+        observed: the region published at this step.
+        feasible: the adversary's refined feasible region (subset of
+            ``observed``), or ``None`` when the constraint system became
+            inconsistent (victim cannot move that fast — model mismatch).
+    """
+
+    observed: Rect
+    feasible: Rect | None
+
+    @property
+    def shrinkage(self) -> float:
+        """area(feasible) / area(observed); 1.0 means nothing was learned.
+
+        Degenerate observed regions (area zero) count as fully leaked
+        (0.0) because the adversary knows the location exactly either way.
+        """
+        if self.feasible is None:
+            return 1.0
+        if self.observed.area == 0.0:
+            return 0.0
+        return self.feasible.area / self.observed.area
+
+
+class MaxSpeedLinkageAttack:
+    """Stateful tracker applying the reachability-intersection refinement.
+
+    Args:
+        max_speed: the adversary's bound on the victim's speed.  Sound
+            whenever it is >= the victim's true speed; tighter bounds leak
+            more.
+    """
+
+    def __init__(self, max_speed: float) -> None:
+        if max_speed < 0:
+            raise ValueError("max_speed must be non-negative")
+        self.max_speed = max_speed
+        self._feasible: Rect | None = None
+        self._last_t: float | None = None
+        self.steps: list[LinkageStep] = []
+
+    def observe(self, t: float, region: Rect) -> LinkageStep:
+        """Feed the next published region; returns the refined step."""
+        if self._last_t is not None and t < self._last_t:
+            raise ValueError("observations must be time-ordered")
+        if self._feasible is None or self._last_t is None:
+            feasible: Rect | None = region
+        else:
+            reach = self.max_speed * (t - self._last_t)
+            feasible = self._feasible.expanded(reach).intersection(region)
+        # An empty intersection means the speed bound was wrong; fall back
+        # to the sound answer (the observed region alone).
+        if feasible is None:
+            feasible = region
+            step = LinkageStep(observed=region, feasible=None)
+        else:
+            step = LinkageStep(observed=region, feasible=feasible)
+        self._feasible = feasible
+        self._last_t = t
+        self.steps.append(step)
+        return step
+
+    @property
+    def feasible_region(self) -> Rect | None:
+        """The adversary's current best estimate of where the victim is."""
+        return self._feasible
+
+    def mean_shrinkage(self) -> float:
+        """Average shrinkage over all observed steps (lower = worse leak)."""
+        if not self.steps:
+            raise ValueError("no observations yet")
+        return sum(step.shrinkage for step in self.steps) / len(self.steps)

@@ -1,0 +1,124 @@
+"""Posterior anonymity under an omniscient adversary.
+
+The strongest adversary in the paper's threat model knows (a) every user's
+exact location (say, via a contemporaneous data breach) and (b) the
+cloaking algorithm.  Seeing a cloaked region with requirement k, she asks:
+*which users could have issued this?*  The answer — the inversion set — is
+every user whose own cloak under the same requirement equals the observed
+region.  Its size is the *actual* anonymity delivered, as opposed to the
+nominal k: an algorithm whose regions contain k users but whose inversion
+sets are singletons gives no anonymity at all against this adversary.
+
+This is the reciprocity notion later formalised by Kalnis et al. (TKDE
+2007); the paper's requirement 2 is its informal ancestor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.cloaking.base import Cloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.geometry.rect import Rect
+
+#: Geometric tolerance when comparing regions for equality.
+_REGION_EPS = 1e-9
+
+
+def regions_equal(a: Rect, b: Rect, eps: float = _REGION_EPS) -> bool:
+    """Coordinate-wise approximate equality of two regions."""
+    return (
+        abs(a.min_x - b.min_x) <= eps
+        and abs(a.min_y - b.min_y) <= eps
+        and abs(a.max_x - b.max_x) <= eps
+        and abs(a.max_y - b.max_y) <= eps
+    )
+
+
+@dataclass(frozen=True)
+class PosteriorResult:
+    """Outcome of an inversion-set computation.
+
+    Attributes:
+        victim: the user who actually issued the cloak.
+        plausible_issuers: users whose cloak reproduces the observed region.
+        nominal_k: the k the profile asked for.
+    """
+
+    victim: Hashable
+    plausible_issuers: frozenset[Hashable]
+    nominal_k: int
+
+    @property
+    def posterior_anonymity(self) -> int:
+        """|inversion set| — the anonymity actually delivered."""
+        return len(self.plausible_issuers)
+
+    @property
+    def anonymity_ratio(self) -> float:
+        """Delivered anonymity over requested anonymity (1.0 = as promised)."""
+        return self.posterior_anonymity / self.nominal_k
+
+    @property
+    def entropy_bits(self) -> float:
+        """Uncertainty (bits) of a uniform posterior over plausible issuers."""
+        return math.log2(self.posterior_anonymity) if self.plausible_issuers else 0.0
+
+    @property
+    def is_reciprocal(self) -> bool:
+        """Did the algorithm deliver at least the promised anonymity?"""
+        return self.posterior_anonymity >= self.nominal_k
+
+
+def posterior_anonymity(
+    cloaker: Cloaker,
+    victim: Hashable,
+    requirement: PrivacyRequirement,
+    observed_region: Rect | None = None,
+) -> PosteriorResult:
+    """Inversion set of one cloak under the omniscient adversary.
+
+    Replays the algorithm for every user inside the observed region (users
+    outside it cannot have issued it — every algorithm in this library
+    returns a region containing its requester) and keeps those whose region
+    matches.
+
+    Args:
+        cloaker: the algorithm under attack, loaded with the population.
+        victim: the user whose cloak is being attacked.
+        requirement: the requirement the victim used.
+        observed_region: the region the adversary saw; recomputed from the
+            victim when omitted.
+    """
+    if observed_region is None:
+        observed_region = cloaker.cloak(victim, requirement).region
+    plausible: set[Hashable] = set()
+    for user in cloaker.users_in(observed_region):
+        candidate_region = cloaker.cloak(user, requirement).region
+        if regions_equal(candidate_region, observed_region):
+            plausible.add(user)
+    if victim not in plausible:  # pragma: no cover - replay determinism
+        plausible.add(victim)
+    return PosteriorResult(
+        victim=victim,
+        plausible_issuers=frozenset(plausible),
+        nominal_k=requirement.k,
+    )
+
+
+def reciprocity_rate(
+    cloaker: Cloaker,
+    requirement: PrivacyRequirement,
+    victims: list[Hashable],
+) -> float:
+    """Fraction of victims for whom the delivered anonymity >= nominal k."""
+    if not victims:
+        raise ValueError("no victims to analyse")
+    reciprocal = sum(
+        1
+        for victim in victims
+        if posterior_anonymity(cloaker, victim, requirement).is_reciprocal
+    )
+    return reciprocal / len(victims)

@@ -1,0 +1,139 @@
+"""Command-line interface: run demos and regenerate experiment tables.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro demo                      # end-to-end pipeline demo
+    python -m repro experiments E5 E7         # print selected tables
+    python -m repro experiments all           # the full suite
+    python -m repro report -o tables.md       # all tables as markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.evalx import experiments as exp
+from repro.evalx.tables import Table
+
+#: Experiment id -> callable returning one Table or a tuple of Tables.
+EXPERIMENTS: dict[str, Callable[[], object]] = {
+    "E1": exp.run_e1_profile,
+    "E2": lambda: (exp.run_e2_data_dependent(), exp.run_e2_clique()),
+    "E3": lambda: (exp.run_e3_space_dependent(), exp.run_e3_ablation_pyramid()),
+    "E4": lambda: (exp.run_e4_scalability(), exp.run_e4_scale_sweep()),
+    "E5": exp.run_e5_private_range,
+    "E6": exp.run_e6_private_nn,
+    "E7": exp.run_e7_public_count,
+    "E8": lambda: (exp.run_e8_public_nn(), exp.figure_6b_example()),
+    "E9": lambda: (exp.run_e9_tradeoff(), exp.run_e9_by_algorithm()),
+    "E10": lambda: (exp.run_e10_attacks(), exp.run_e10_density(), exp.run_e10_linkage()),
+    "E11": exp.run_e11_transmission,
+    "E12": lambda: (exp.run_e12_continuous(), exp.run_e12_delta_transmission()),
+    "E13": exp.run_e13_temporal,
+    "E14": exp.run_e14_dummies,
+}
+
+
+def _as_tables(result: object) -> list[Table]:
+    if isinstance(result, Table):
+        return [result]
+    return list(result)  # type: ignore[arg-type]
+
+
+def _run_ids(ids: Sequence[str]) -> list[Table]:
+    wanted = list(EXPERIMENTS) if list(ids) in (["all"], []) else list(ids)
+    tables: list[Table] = []
+    for experiment_id in wanted:
+        runner = EXPERIMENTS.get(experiment_id.upper())
+        if runner is None:
+            raise SystemExit(
+                f"unknown experiment {experiment_id!r}; "
+                f"choose from {', '.join(EXPERIMENTS)} or 'all'"
+            )
+        tables.extend(_as_tables(runner()))
+    return tables
+
+
+def cmd_demo(_: argparse.Namespace) -> int:
+    """A compact end-to-end pipeline demonstration."""
+    import numpy as np
+
+    from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker
+    from repro.geometry import Point, Rect
+
+    rng = np.random.default_rng(0)
+    bounds = Rect(0, 0, 100, 100)
+    system = PrivacySystem(bounds, PyramidCloaker(bounds, height=6))
+    for j in range(40):
+        x, y = rng.uniform(0, 100, 2)
+        system.add_poi(f"poi-{j}", Point(float(x), float(y)))
+    for i in range(400):
+        x, y = rng.uniform(0, 100, 2)
+        system.add_user(
+            MobileUser(i, Point(float(x), float(y)), PrivacyProfile.always(k=10))
+        )
+    system.publish_all()
+    outcome, _ = system.user_range_query(0, radius=12.0)
+    nn_outcome, nearest = system.user_nn_query(0)
+    answer = system.server.public_count(Rect(25, 25, 75, 75))
+    print("privacy-aware LBS demo (400 users, k = 10)")
+    print(f"  range query: {outcome.candidates} candidates shipped for "
+          f"{outcome.answer_size} true answers (correct: {outcome.correct})")
+    print(f"  NN query   : {nn_outcome.candidates} candidates, answer "
+          f"{nearest} (correct: {nn_outcome.correct})")
+    print(f"  count query: E = {answer.expected:.1f}, interval {answer.interval}")
+    return 0
+
+
+def cmd_experiments(args: argparse.Namespace) -> int:
+    for table in _run_ids(args.ids):
+        print(table.to_text())
+        print()
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    tables = _run_ids(["all"])
+    markdown = "\n\n".join(t.to_markdown() for t in tables)
+    if args.output == "-":
+        print(markdown)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(markdown + "\n")
+        print(f"wrote {len(tables)} tables to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy-aware location-based database server (Mokbel, ICDE 2006)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a compact end-to-end demo")
+    demo.set_defaults(func=cmd_demo)
+
+    experiments = sub.add_parser(
+        "experiments", help="run experiments and print their tables"
+    )
+    experiments.add_argument(
+        "ids", nargs="*", default=["all"], help="experiment ids (E1..E14) or 'all'"
+    )
+    experiments.set_defaults(func=cmd_experiments)
+
+    report = sub.add_parser("report", help="write every table as markdown")
+    report.add_argument("-o", "--output", default="-", help="file or '-' for stdout")
+    report.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,184 @@
+"""CliqueCloak-style personalised k-anonymity (Gedik & Liu, ICDCS 2005).
+
+This is the algorithm behind the paper's Figure 3b citation [17] in its
+full form: requests are *deferred and matched* rather than answered from a
+snapshot.  Each request carries its own ``k`` and a tolerance box (how far
+from her true position the user accepts the region to stretch).  Two
+requests are *compatible* when each user lies inside the other's box; a
+group is served when it forms a clique of compatible requests whose size
+covers every member's personal ``k``.  All members then receive the *same*
+region — the group MBR — which makes the scheme reciprocal by
+construction, unlike snapshot kNN-MBR cloaking.
+
+The clique search is the standard greedy heuristic (exact maximum clique
+is NP-hard): grow from the triggering request through distance-ordered
+compatible neighbours.
+
+The price of the stronger guarantee is the same currency as temporal
+cloaking: requests wait until enough compatible company shows up, and may
+expire (``max_delay``) unserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable
+
+from repro.core.errors import RegistrationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class CliqueRequest:
+    """One pending cloaking request.
+
+    Attributes:
+        user_id: requesting user.
+        point: her exact location at request time.
+        k: her personal anonymity requirement (group size floor).
+        tolerance: half-side of the box around ``point`` the served
+            region must stay inside (her personal A_max, expressed as a
+            reach).
+        requested_at: submission time.
+    """
+
+    user_id: Hashable
+    point: Point
+    k: int
+    tolerance: float
+    requested_at: float
+
+    @property
+    def box(self) -> Rect:
+        return Rect.from_center(self.point, 2 * self.tolerance, 2 * self.tolerance)
+
+
+@dataclass(frozen=True)
+class GroupCloakResult:
+    """One served clique: a shared region for all members.
+
+    Attributes:
+        members: user ids served together.
+        region: the common cloaked region (the members' MBR).
+        released_at: service time.
+        max_delay_experienced: longest wait among the members.
+    """
+
+    members: tuple[Hashable, ...]
+    region: Rect
+    released_at: float
+    max_delay_experienced: float
+
+    @property
+    def group_size(self) -> int:
+        return len(self.members)
+
+
+def _compatible(a: CliqueRequest, b: CliqueRequest) -> bool:
+    """Mutual containment: each user inside the other's tolerance box."""
+    return a.box.contains_point(b.point) and b.box.contains_point(a.point)
+
+
+class CliqueCloak:
+    """Deferred group cloaking with personalised k.
+
+    Args:
+        bounds: the universe rectangle.
+        max_delay: requests pending longer than this are dropped on the
+            next :meth:`tick` (``None`` waits forever).
+    """
+
+    def __init__(self, bounds: Rect, max_delay: float | None = None) -> None:
+        if max_delay is not None and max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.bounds = bounds
+        self.max_delay = max_delay
+        self._pending: dict[Hashable, CliqueRequest] = {}
+        self.served: list[GroupCloakResult] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Request lifecycle
+    # ------------------------------------------------------------------
+
+    def request(
+        self,
+        t: float,
+        user_id: Hashable,
+        point: Point,
+        k: int,
+        tolerance: float,
+    ) -> GroupCloakResult | None:
+        """Submit a request; served immediately if a clique already exists."""
+        if user_id in self._pending:
+            raise RegistrationError(f"user already has a pending request: {user_id!r}")
+        if not self.bounds.contains_point(point):
+            raise RegistrationError(f"{point} outside universe {self.bounds}")
+        if k < 1:
+            raise ValueError("k must be positive")
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        pending = CliqueRequest(user_id, point, k, tolerance, t)
+        self._pending[user_id] = pending
+        return self._try_serve(pending, t)
+
+    def cancel(self, user_id: Hashable) -> None:
+        """Withdraw a pending request (user moved on or went passive)."""
+        if self._pending.pop(user_id, None) is None:
+            raise RegistrationError(f"no pending request for {user_id!r}")
+
+    def tick(self, t: float) -> list[GroupCloakResult]:
+        """Retry pending requests and expire the hopeless ones."""
+        results: list[GroupCloakResult] = []
+        for user_id in list(self._pending):
+            pending = self._pending.get(user_id)
+            if pending is None:
+                continue  # served as part of an earlier clique this tick
+            served = self._try_serve(pending, t)
+            if served is not None:
+                results.append(served)
+        if self.max_delay is not None:
+            for user_id in list(self._pending):
+                if t - self._pending[user_id].requested_at > self.max_delay:
+                    del self._pending[user_id]
+                    self.dropped += 1
+        return results
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _try_serve(self, seed: CliqueRequest, t: float) -> GroupCloakResult | None:
+        """Greedy clique growth from ``seed``; serve when k-covered."""
+        neighbours = [
+            other
+            for other in self._pending.values()
+            if other.user_id != seed.user_id and _compatible(seed, other)
+        ]
+        neighbours.sort(key=lambda r: (seed.point.distance_to(r.point), str(r.user_id)))
+        clique = [seed]
+        needed = seed.k
+        for candidate in neighbours:
+            if len(clique) >= needed:
+                break
+            if all(_compatible(candidate, member) for member in clique):
+                clique.append(candidate)
+                needed = max(needed, candidate.k)
+        if len(clique) < needed:
+            return None
+        region = Rect.from_points(r.point for r in clique).clipped(self.bounds)
+        result = GroupCloakResult(
+            members=tuple(r.user_id for r in clique),
+            region=region,
+            released_at=t,
+            max_delay_experienced=max(t - r.requested_at for r in clique),
+        )
+        for member in clique:
+            del self._pending[member.user_id]
+        self.served.append(result)
+        return result

@@ -1,0 +1,149 @@
+"""The false-dummies baseline (related work, Section 2.1 category 1).
+
+Kido et al.'s technique: instead of blurring, the user sends ``n``
+locations per update — one true, ``n - 1`` dummies — so the server cannot
+tell which is real.  The paper classifies it as a per-user technique that
+does not scale and complicates query processing; this implementation
+exists so experiment E14 can measure those claims against the cloaking
+family on equal footing:
+
+* privacy: the adversary's posterior over the ``n`` points (how plausible
+  are the dummies really? naive uniform dummies are filtered by a simple
+  reachability test once the user moves);
+* cost: a private range query must now be answered around *every* dummy,
+  multiplying server work and transmission by ~n.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.errors import RegistrationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.sampling import uniform_point
+
+
+@dataclass(frozen=True)
+class DummyReport:
+    """One update: ``locations[true_index]`` is the real one.
+
+    ``true_index`` is of course never transmitted; it is carried here so
+    the evaluation harness can score adversaries.
+    """
+
+    user_id: Hashable
+    locations: tuple[Point, ...]
+    true_index: int
+
+    @property
+    def n(self) -> int:
+        return len(self.locations)
+
+    @property
+    def true_location(self) -> Point:
+        return self.locations[self.true_index]
+
+
+class DummyGenerator:
+    """Generates dummy sets, either independently or movement-consistent.
+
+    Args:
+        bounds: the universe rectangle.
+        n_dummies: dummies per update (total points = ``n_dummies + 1``).
+        rng: random generator.
+        consistent: move previous dummies by a step comparable to the
+            user's own movement (resists the reachability filter) instead
+            of drawing fresh uniform dummies each update (the naive
+            variant the filter destroys).
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        n_dummies: int,
+        rng: np.random.Generator,
+        consistent: bool = False,
+    ) -> None:
+        if n_dummies < 1:
+            raise ValueError("need at least one dummy")
+        self.bounds = bounds
+        self.n_dummies = n_dummies
+        self.consistent = consistent
+        self._rng = rng
+        self._previous: dict[Hashable, DummyReport] = {}
+
+    def report(self, user_id: Hashable, true_location: Point) -> DummyReport:
+        """Build the next update for ``user_id``."""
+        if not self.bounds.contains_point(true_location):
+            raise RegistrationError(f"{true_location} outside {self.bounds}")
+        previous = self._previous.get(user_id)
+        if self.consistent and previous is not None:
+            step = previous.true_location.distance_to(true_location)
+            dummies = [
+                self._step_point(p, step)
+                for i, p in enumerate(previous.locations)
+                if i != previous.true_index
+            ]
+        else:
+            dummies = [
+                uniform_point(self.bounds, self._rng) for _ in range(self.n_dummies)
+            ]
+        true_index = int(self._rng.integers(self.n_dummies + 1))
+        locations = dummies[:true_index] + [true_location] + dummies[true_index:]
+        report = DummyReport(
+            user_id=user_id, locations=tuple(locations), true_index=true_index
+        )
+        self._previous[user_id] = report
+        return report
+
+    def _step_point(self, point: Point, step: float) -> Point:
+        angle = float(self._rng.uniform(0.0, 2.0 * np.pi))
+        moved = point.translated(step * np.cos(angle), step * np.sin(angle))
+        return Point(
+            min(max(moved.x, self.bounds.min_x), self.bounds.max_x),
+            min(max(moved.y, self.bounds.min_y), self.bounds.max_y),
+        )
+
+
+def reachability_filter(
+    reports: Sequence[DummyReport], max_speed: float, dt: float
+) -> list[set[int]]:
+    """The adversary's movement-consistency attack on a report stream.
+
+    For each update, the plausible indices are those whose point is within
+    ``max_speed * dt`` of some plausible point of the previous update.
+    Fresh uniform dummies die quickly (a random pair of points is rarely
+    reachable); consistent dummies survive.
+
+    Returns one plausible-index set per report.  The attack is sound: the
+    true index is always plausible (asserted by tests).
+    """
+    if not reports:
+        return []
+    reach = max_speed * dt
+    plausible: list[set[int]] = [set(range(reports[0].n))]
+    for prev, current in zip(reports, reports[1:]):
+        prev_points = [prev.locations[i] for i in plausible[-1]]
+        survivors = {
+            i
+            for i, p in enumerate(current.locations)
+            if any(p.distance_to(q) <= reach + 1e-9 for q in prev_points)
+        }
+        if not survivors:  # model mismatch; reset soundly
+            survivors = set(range(current.n))
+        plausible.append(survivors)
+    return plausible
+
+
+def dummy_posterior_size(
+    reports: Sequence[DummyReport], max_speed: float, dt: float
+) -> float:
+    """Mean plausible-set size after the reachability attack (>= 1)."""
+    sets = reachability_filter(reports, max_speed, dt)
+    if not sets:
+        raise ValueError("no reports to analyse")
+    return float(np.mean([len(s) for s in sets]))

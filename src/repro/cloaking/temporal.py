@@ -1,0 +1,196 @@
+"""Spatio-*temporal* cloaking (the Gruteser & Grunwald dimension).
+
+The paper's related work (Section 2.1) credits spatio-temporal cloaking
+[17, 18] with blurring location in *time* as well as space: instead of
+growing the region until k users are inside *right now*, hold the report
+back until k distinct users have been seen in the (small) region within a
+recent time window.  The anonymity set becomes "everyone who passed
+through", so dense-but-bursty places (a road, a mall entrance) can keep
+tight regions at the price of report latency.
+
+:class:`TemporalCloaker` implements that policy on top of any spatial
+cloaker's population feed.  It is deliberately *not* a :class:`Cloaker`
+subclass — its output is a (region, delay) pair released asynchronously,
+a different contract — but it shares the population bookkeeping so the
+two approaches are comparable on identical movement streams
+(experiment E13).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Hashable
+
+from repro.core.errors import CloakingError, RegistrationError
+from repro.core.profiles import PrivacyRequirement
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@dataclass(frozen=True)
+class TemporalCloakResult:
+    """A released (possibly delayed) report.
+
+    Attributes:
+        region: the spatial region reported to the server.
+        requested_at: simulation time the user asked to report.
+        released_at: time the anonymizer released it.
+        visitor_count: distinct users seen in the region inside the window
+            at release time (the temporal anonymity set size).
+    """
+
+    region: Rect
+    requested_at: float
+    released_at: float
+    visitor_count: int
+
+    @property
+    def delay(self) -> float:
+        """Report latency paid for the tighter region."""
+        return self.released_at - self.requested_at
+
+
+@dataclass(frozen=True)
+class _PendingReport:
+    user_id: Hashable
+    region: Rect
+    requested_at: float
+    requirement: PrivacyRequirement
+
+
+class TemporalCloaker:
+    """Delay-based k-anonymity over fixed-size regions.
+
+    Args:
+        bounds: the universe rectangle.
+        region_side: side of the (square) report region centred on the
+            user at request time.  Small by design — the whole point is
+            trading time for space.
+        window: how far back a visit still counts toward the anonymity
+            set (seconds).
+        max_delay: reports unreleased after this long are *dropped*
+            (never sent), matching the original algorithm's abort rule;
+            ``None`` waits forever.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        region_side: float = 5.0,
+        window: float = 60.0,
+        max_delay: float | None = None,
+    ) -> None:
+        if region_side <= 0:
+            raise ValueError("region_side must be positive")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        if max_delay is not None and max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.bounds = bounds
+        self.region_side = region_side
+        self.window = window
+        self.max_delay = max_delay
+        self._visits: Deque[tuple[float, Hashable, Point]] = deque()
+        self._pending: list[_PendingReport] = []
+        self._locations: dict[Hashable, Point] = {}
+        self.released: list[TemporalCloakResult] = []
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Population feed
+    # ------------------------------------------------------------------
+
+    def observe(self, t: float, user_id: Hashable, point: Point) -> None:
+        """Record a user's presence at ``point`` at time ``t``."""
+        if not self.bounds.contains_point(point):
+            raise RegistrationError(f"{point} outside universe {self.bounds}")
+        if self._visits and t < self._visits[-1][0]:
+            raise ValueError("observations must be time-ordered")
+        self._visits.append((t, user_id, point))
+        self._locations[user_id] = point
+        self._expire(t)
+
+    def observe_step(self, t: float, positions: dict[Hashable, Point]) -> None:
+        """Record one mobility-model step."""
+        for user_id in sorted(positions, key=repr):
+            self.observe(t, user_id, positions[user_id])
+
+    # ------------------------------------------------------------------
+    # Cloaking
+    # ------------------------------------------------------------------
+
+    def request(
+        self, t: float, user_id: Hashable, requirement: PrivacyRequirement
+    ) -> TemporalCloakResult | None:
+        """A user asks to report; returns immediately if already k-covered.
+
+        Otherwise the request is queued and released by a later
+        :meth:`tick` once enough distinct users have crossed the region.
+        """
+        point = self._locations.get(user_id)
+        if point is None:
+            raise RegistrationError(f"unknown user: {user_id!r}")
+        region = Rect.from_center(point, self.region_side, self.region_side)
+        region = region.shifted_into(self.bounds)
+        pending = _PendingReport(user_id, region, t, requirement)
+        released = self._try_release(pending, t)
+        if released is not None:
+            self.released.append(released)
+            return released
+        self._pending.append(pending)
+        return None
+
+    def tick(self, t: float) -> list[TemporalCloakResult]:
+        """Advance time: release satisfied reports, drop expired ones."""
+        self._expire(t)
+        still_pending: list[_PendingReport] = []
+        newly_released: list[TemporalCloakResult] = []
+        for pending in self._pending:
+            released = self._try_release(pending, t)
+            if released is not None:
+                newly_released.append(released)
+            elif (
+                self.max_delay is not None
+                and t - pending.requested_at > self.max_delay
+            ):
+                self.dropped += 1
+            else:
+                still_pending.append(pending)
+        self._pending = still_pending
+        self.released.extend(newly_released)
+        return newly_released
+
+    @property
+    def pending_count(self) -> int:
+        return len(self._pending)
+
+    def visitors_in(self, region: Rect) -> set[Hashable]:
+        """Distinct users seen inside ``region`` within the window."""
+        return {
+            user_id
+            for _, user_id, point in self._visits
+            if region.contains_point(point)
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _try_release(
+        self, pending: _PendingReport, t: float
+    ) -> TemporalCloakResult | None:
+        visitors = self.visitors_in(pending.region)
+        if len(visitors) >= pending.requirement.k:
+            return TemporalCloakResult(
+                region=pending.region,
+                requested_at=pending.requested_at,
+                released_at=t,
+                visitor_count=len(visitors),
+            )
+        return None
+
+    def _expire(self, t: float) -> None:
+        cutoff = t - self.window
+        while self._visits and self._visits[0][0] < cutoff:
+            self._visits.popleft()

@@ -1,0 +1,287 @@
+"""The Location Anonymizer — the trusted third party (Sections 3 and 5).
+
+The anonymizer sits between mobile users and the location-based database
+server.  It:
+
+1. registers users with their privacy profiles;
+2. receives exact location updates (the only component besides the user
+   herself that ever sees them);
+3. cloaks locations per the profile in force at the current time and
+   pushes only the cloaked region — under a pseudonym — to the server;
+4. proxies user queries so the server sees a region and a pseudonym, never
+   an identity or a point.
+
+Pseudonym policy: by default each user keeps one stable pseudonym, which
+preserves continuous-query semantics but exposes the update *stream* to the
+linkage attack of :mod:`repro.attacks.linkage`.  With
+``rotate_pseudonyms=True`` every publish retires the previous pseudonym,
+trading server-side continuity for unlinkability — the trade-off the
+paper's "avoid location tracking" related-work category gestures at.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Hashable
+
+from repro.cloaking.base import CloakResult, Cloaker
+from repro.cloaking.incremental import IncrementalCloaker
+from repro.core.errors import RegistrationError
+from repro.core.profiles import PrivacyProfile, PrivacyRequirement
+from repro.core.server import LocationServer
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.private_nn import PrivateNNResult
+from repro.queries.private_range import PrivateRangeResult
+
+
+@dataclass
+class _Registration:
+    profile: PrivacyProfile
+    pseudonym: str
+    published: bool = False
+
+
+class LocationAnonymizer:
+    """Trusted third party between mobile users and the database server.
+
+    Args:
+        cloaker: the cloaking algorithm (optionally an
+            :class:`~repro.cloaking.incremental.IncrementalCloaker`).
+        server: the downstream database server; may be attached later via
+            :meth:`connect`.
+        rotate_pseudonyms: retire the previous pseudonym on every publish.
+    """
+
+    def __init__(
+        self,
+        cloaker: Cloaker | IncrementalCloaker,
+        server: LocationServer | None = None,
+        rotate_pseudonyms: bool = False,
+    ) -> None:
+        self.cloaker = cloaker
+        self.server = server
+        self.rotate_pseudonyms = rotate_pseudonyms
+        self._registrations: dict[Hashable, _Registration] = {}
+        self._pseudonym_counter = itertools.count(1)
+
+    def connect(self, server: LocationServer) -> None:
+        """Attach the downstream server."""
+        self.server = server
+
+    # ------------------------------------------------------------------
+    # Registration and location updates
+    # ------------------------------------------------------------------
+
+    def register(
+        self, user_id: Hashable, profile: PrivacyProfile, location: Point
+    ) -> str:
+        """Subscribe a user; returns her (initial) pseudonym."""
+        if user_id in self._registrations:
+            raise RegistrationError(f"user already registered: {user_id!r}")
+        self.cloaker.add_user(user_id, location)
+        registration = _Registration(profile=profile, pseudonym=self._fresh_pseudonym())
+        self._registrations[user_id] = registration
+        return registration.pseudonym
+
+    def unregister(self, user_id: Hashable) -> None:
+        """Unsubscribe a user and retire her server-side region."""
+        registration = self._registration_of(user_id)
+        self.cloaker.remove_user(user_id)
+        if self.server is not None and registration.published:
+            self.server.forget_region(registration.pseudonym)
+        del self._registrations[user_id]
+
+    def update_location(self, user_id: Hashable, location: Point) -> None:
+        """Receive an exact location report (kept inside the anonymizer)."""
+        self._registration_of(user_id)
+        self.cloaker.move_user(user_id, location)
+
+    def update_profile(self, user_id: Hashable, profile: PrivacyProfile) -> None:
+        """Users may change their privacy profiles at any time (Section 4)."""
+        self._registration_of(user_id).profile = profile
+
+    def registered_users(self) -> list[Hashable]:
+        return list(self._registrations)
+
+    def pseudonym_of(self, user_id: Hashable) -> str:
+        return self._registration_of(user_id).pseudonym
+
+    # ------------------------------------------------------------------
+    # Cloaking and publication
+    # ------------------------------------------------------------------
+
+    def requirement_for(self, user_id: Hashable, t: float) -> PrivacyRequirement:
+        """The requirement in force for ``user_id`` at time ``t``."""
+        return self._registration_of(user_id).profile.requirement_at(t)
+
+    def cloak_user(self, user_id: Hashable, t: float) -> CloakResult:
+        """Cloak one user under her current profile.
+
+        Users whose requirement asks for no privacy get a degenerate
+        (exact-point) region — they are effectively public data.
+
+        Best effort (Section 5): a k exceeding the subscribed population
+        is clamped to the population — the densest anonymity that exists —
+        and the returned result still carries the *original* requirement,
+        so ``k_satisfied`` correctly reads False.
+        """
+        requirement = self.requirement_for(user_id, t)
+        if not requirement.wants_privacy:
+            point = self.cloaker.location_of(user_id)
+            return CloakResult(
+                region=Rect.from_point(point), user_count=1, requirement=requirement
+            )
+        population = self.cloaker.user_count()
+        if requirement.k > population:
+            effective = replace(requirement, k=max(1, population))
+            result = self.cloaker.cloak(user_id, effective)
+            return CloakResult(
+                region=result.region,
+                user_count=result.user_count,
+                requirement=requirement,
+                reused=result.reused,
+            )
+        return self.cloaker.cloak(user_id, requirement)
+
+    def publish(self, user_id: Hashable, t: float) -> CloakResult:
+        """Cloak and push one user's region to the server."""
+        if self.server is None:
+            raise RegistrationError("anonymizer is not connected to a server")
+        result = self.cloak_user(user_id, t)
+        self._push(user_id, result)
+        return result
+
+    def publish_all(self, t: float, shared: bool = True) -> dict[Hashable, CloakResult]:
+        """Cloak and push every registered user (one reporting round).
+
+        With ``shared=True`` (default) the round runs through the
+        Section 5.3 shared-execution engine: users falling in the same
+        space partition with the same requirement are cloaked once.  Users
+        whose requirement asks for no privacy publish their exact point
+        directly (nothing to share).  ``shared=False`` falls back to
+        per-user execution (useful for apples-to-apples measurements).
+        """
+        if self.server is None:
+            raise RegistrationError("anonymizer is not connected to a server")
+        if not shared:
+            return {
+                user_id: self.publish(user_id, t) for user_id in self._registrations
+            }
+        from repro.cloaking.shared import CloakRequest, cloak_batch
+
+        results: dict[Hashable, CloakResult] = {}
+        requests: list[CloakRequest] = []
+        population = self.cloaker.user_count()
+        for user_id, registration in self._registrations.items():
+            requirement = registration.profile.requirement_at(t)
+            if not requirement.wants_privacy or requirement.k > population:
+                # Exact-point and clamped best-effort paths keep their
+                # specialised handling in cloak_user.
+                results[user_id] = self.cloak_user(user_id, t)
+                continue
+            requests.append(CloakRequest(user_id, requirement))
+        outcome = cloak_batch(self.cloaker, requests)
+        results.update(outcome.results)
+        for user_id, result in results.items():
+            self._push(user_id, result)
+        return results
+
+    def _push(self, user_id: Hashable, result: CloakResult) -> None:
+        """Send one cloaked region to the server under the pseudonym policy."""
+        registration = self._registration_of(user_id)
+        if self.rotate_pseudonyms and registration.published:
+            self.server.forget_region(registration.pseudonym)
+            registration.pseudonym = self._fresh_pseudonym()
+        self.server.receive_region(registration.pseudonym, result.region)
+        registration.published = True
+
+    # ------------------------------------------------------------------
+    # Trade-off previews (Section 1: "users would have the ability to
+    # tune a set of parameters to achieve a personal trade-off")
+    # ------------------------------------------------------------------
+
+    def preview(
+        self, user_id: Hashable, ks: "list[int]", min_area: float = 0.0
+    ) -> list[tuple[int, float, int]]:
+        """What-if cloaks at several anonymity levels, without publishing.
+
+        Returns ``(k, region_area, users_inside)`` per requested ``k`` so a
+        client UI can show the user what each privacy level would cost her
+        in region size right now, right here.  Nothing reaches the server.
+        """
+        self._registration_of(user_id)
+        rows = []
+        for k in ks:
+            result = self.cloaker.cloak(
+                user_id, PrivacyRequirement(k=k, min_area=min_area)
+            )
+            rows.append((k, result.area, result.user_count))
+        return rows
+
+    def suggest_k_for_area(
+        self, user_id: Hashable, max_area: float, k_ceiling: int | None = None
+    ) -> int:
+        """The largest k whose cloaked region stays within ``max_area``.
+
+        Cloaked area is non-decreasing in k for every algorithm in this
+        library, so a binary search over k is sound.  Returns at least 1
+        (an exact point always "fits").
+        """
+        self._registration_of(user_id)
+        if max_area < 0:
+            raise RegistrationError("max_area must be non-negative")
+        population = self.cloaker.user_count()
+        hi = min(k_ceiling, population) if k_ceiling is not None else population
+        lo = 1
+        if hi < 1:
+            return 1
+
+        def area_at(k: int) -> float:
+            return self.cloaker.cloak(user_id, PrivacyRequirement(k=k)).area
+
+        if area_at(hi) <= max_area:
+            return hi
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if area_at(mid) <= max_area:
+                lo = mid
+            else:
+                hi = mid
+        return lo
+
+    # ------------------------------------------------------------------
+    # Query proxying (identity and location hiding)
+    # ------------------------------------------------------------------
+
+    def private_range_query(
+        self, user_id: Hashable, radius: float, t: float, method: str = "exact"
+    ) -> tuple[CloakResult, PrivateRangeResult]:
+        """Proxy a range query: the server sees only the cloaked region."""
+        if self.server is None:
+            raise RegistrationError("anonymizer is not connected to a server")
+        cloak = self.cloak_user(user_id, t)
+        return cloak, self.server.private_range(cloak.region, radius, method)
+
+    def private_nn_query(
+        self, user_id: Hashable, t: float, method: str = "filter"
+    ) -> tuple[CloakResult, PrivateNNResult]:
+        """Proxy a nearest-neighbour query through the cloaked region."""
+        if self.server is None:
+            raise RegistrationError("anonymizer is not connected to a server")
+        cloak = self.cloak_user(user_id, t)
+        return cloak, self.server.private_nn(cloak.region, method)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _registration_of(self, user_id: Hashable) -> _Registration:
+        try:
+            return self._registrations[user_id]
+        except KeyError:
+            raise RegistrationError(f"unknown user: {user_id!r}") from None
+
+    def _fresh_pseudonym(self) -> str:
+        return f"anon-{next(self._pseudonym_counter):06d}"

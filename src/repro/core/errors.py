@@ -1,0 +1,21 @@
+"""Exception hierarchy for the privacy-aware location system."""
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ProfileError(ReproError):
+    """An invalid privacy profile or privacy requirement."""
+
+
+class CloakingError(ReproError):
+    """The anonymizer could not produce any region for a request."""
+
+
+class RegistrationError(ReproError):
+    """Invalid user registration or lookup at the anonymizer/server."""
+
+
+class QueryError(ReproError):
+    """An ill-formed query submitted to the location server."""

@@ -1,0 +1,120 @@
+"""Persistence: save and restore server-side state.
+
+A database server must survive restarts.  The formats are deliberately
+plain tab-separated text — greppable, diffable, and stable — mirroring the
+trace format of :mod:`repro.mobility.trace`:
+
+* public store:  ``object_id  x  y``
+* private store: ``pseudonym  min_x  min_y  max_x  max_y``
+* profiles:      ``user_id  start_seconds  k  min_area  max_area`` (one
+  line per schedule row; ``-`` for an unbounded max).
+
+Ids are serialised with ``str`` and restored as strings (documented
+canonicalisation, same as traces).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping
+
+from repro.core.profiles import PrivacyProfile, PrivacyRequirement, ProfileEntry
+from repro.core.stores import PrivateStore, PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def save_public_store(store: PublicStore, path: str | Path) -> int:
+    """Write every public object; returns the row count."""
+    rows = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for object_id, point in sorted(store.items(), key=lambda kv: str(kv[0])):
+            handle.write(f"{object_id}\t{point.x!r}\t{point.y!r}\n")
+            rows += 1
+    return rows
+
+
+def load_public_store(path: str | Path) -> PublicStore:
+    """Read a store written by :func:`save_public_store`."""
+    store = PublicStore()
+    for line_no, parts in _read_rows(path, expected_fields=3):
+        object_id, x_text, y_text = parts
+        store.add(object_id, Point(float(x_text), float(y_text)))
+    return store
+
+
+def save_private_store(store: PrivateStore, path: str | Path) -> int:
+    """Write every cloaked region; returns the row count."""
+    rows = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for object_id, region in sorted(store.items(), key=lambda kv: str(kv[0])):
+            handle.write(
+                f"{object_id}\t{region.min_x!r}\t{region.min_y!r}\t"
+                f"{region.max_x!r}\t{region.max_y!r}\n"
+            )
+            rows += 1
+    return rows
+
+
+def load_private_store(path: str | Path) -> PrivateStore:
+    """Read a store written by :func:`save_private_store`."""
+    store = PrivateStore()
+    for line_no, parts in _read_rows(path, expected_fields=5):
+        object_id, *coords = parts
+        store.set_region(object_id, Rect(*(float(c) for c in coords)))
+    return store
+
+
+def save_profiles(profiles: Mapping[object, PrivacyProfile], path: str | Path) -> int:
+    """Write one line per (user, schedule row); returns the row count.
+
+    Users with empty profiles are written as a single row with k = 1 at
+    start 0 so they round-trip (an empty profile means "no privacy").
+    """
+    rows = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for user_id in sorted(profiles, key=str):
+            entries = profiles[user_id].entries or (
+                ProfileEntry(0.0, PrivacyRequirement()),
+            )
+            for entry in entries:
+                requirement = entry.requirement
+                max_text = "-" if requirement.max_area is None else repr(requirement.max_area)
+                handle.write(
+                    f"{user_id}\t{entry.start!r}\t{requirement.k}\t"
+                    f"{requirement.min_area!r}\t{max_text}\n"
+                )
+                rows += 1
+    return rows
+
+
+def load_profiles(path: str | Path) -> dict[str, PrivacyProfile]:
+    """Read profiles written by :func:`save_profiles`."""
+    schedule: dict[str, list[ProfileEntry]] = {}
+    for line_no, parts in _read_rows(path, expected_fields=5):
+        user_id, start_text, k_text, min_text, max_text = parts
+        requirement = PrivacyRequirement(
+            k=int(k_text),
+            min_area=float(min_text),
+            max_area=None if max_text == "-" else float(max_text),
+        )
+        schedule.setdefault(user_id, []).append(
+            ProfileEntry(float(start_text), requirement)
+        )
+    return {user_id: PrivacyProfile(entries) for user_id, entries in schedule.items()}
+
+
+def _read_rows(path: str | Path, expected_fields: int):
+    """Yield ``(line_no, fields)`` for each non-empty line, validating arity."""
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("\t")
+            if len(parts) != expected_fields:
+                raise ValueError(
+                    f"{path}:{line_no}: expected {expected_fields} fields, "
+                    f"got {len(parts)}"
+                )
+            yield line_no, parts

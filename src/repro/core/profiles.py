@@ -1,0 +1,255 @@
+"""User privacy profiles (Section 4, Figure 2 of the paper).
+
+A profile fixes, per time-of-day interval, the three tunables the paper
+defines:
+
+* ``k`` — the anonymity level: the cloaked region must contain at least
+  ``k`` users (the requesting user included), so the user is
+  indistinguishable among ``k``.
+* ``min_area`` (A_min) — lower bound on the cloaked region's area,
+  protecting users in dense areas (a stadium crowd makes ``k`` cheap).
+* ``max_area`` (A_max) — upper bound on the region's area, protecting
+  quality of service in sparse areas.
+
+Profiles are temporal (Figure 2): the same user can run ``k = 1`` during
+work hours and ``k = 1000`` at night.  Times are seconds since midnight;
+intervals wrap around midnight, exactly like the figure's "10:00 PM -"
+row that extends to the next morning.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.core.errors import ProfileError
+
+SECONDS_PER_DAY = 86_400.0
+
+
+def hhmm(text: str) -> float:
+    """Parse ``"HH:MM"`` (24-hour) into seconds since midnight."""
+    try:
+        hours_text, minutes_text = text.split(":")
+        hours = int(hours_text)
+        minutes = int(minutes_text)
+    except ValueError as exc:
+        raise ProfileError(f"malformed time of day: {text!r}") from exc
+    if not (0 <= hours < 24 and 0 <= minutes < 60):
+        raise ProfileError(f"time of day out of range: {text!r}")
+    return hours * 3600.0 + minutes * 60.0
+
+
+def time_of_day(timestamp: float) -> float:
+    """Fold an absolute timestamp (seconds) onto ``[0, 86400)``."""
+    return timestamp % SECONDS_PER_DAY
+
+
+@dataclass(frozen=True, slots=True)
+class PrivacyRequirement:
+    """The (k, A_min, A_max) triple of Section 4.
+
+    ``max_area = None`` means unbounded.  A requirement may be
+    *contradictory* (``min_area > max_area``); the paper explicitly allows
+    this and makes the anonymizer best-effort, so validation flags rather
+    than forbids it — see :meth:`is_contradictory`.
+    """
+
+    k: int = 1
+    min_area: float = 0.0
+    max_area: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ProfileError(f"k must be >= 1, got {self.k}")
+        if self.min_area < 0:
+            raise ProfileError(f"min_area must be >= 0, got {self.min_area}")
+        if self.max_area is not None and self.max_area <= 0:
+            raise ProfileError(f"max_area must be > 0, got {self.max_area}")
+
+    @property
+    def is_contradictory(self) -> bool:
+        """True when no area can satisfy both A_min and A_max."""
+        return self.max_area is not None and self.min_area > self.max_area
+
+    @property
+    def wants_privacy(self) -> bool:
+        """True when the user asked for any protection at all.
+
+        The paper's "private data" is exactly the users with non-zero
+        ``k`` or A_min (Section 6.1); ``k = 1`` with no area floor means
+        the exact location may be published.
+        """
+        return self.k > 1 or self.min_area > 0
+
+    def area_satisfied(self, area: float) -> bool:
+        """Does ``area`` meet this requirement's area window?"""
+        if area < self.min_area:
+            return False
+        return self.max_area is None or area <= self.max_area
+
+    def restrictiveness(self) -> tuple[int, float, float]:
+        """Sort key: larger means more restrictive.
+
+        Larger ``k``, larger A_min, and smaller A_max are each more
+        restrictive (Section 4).
+        """
+        inv_max = 0.0 if self.max_area is None else 1.0 / self.max_area
+        return (self.k, self.min_area, inv_max)
+
+
+#: The requirement of a user who shares everything (public data).
+NO_PRIVACY = PrivacyRequirement(k=1, min_area=0.0, max_area=None)
+
+
+@dataclass(frozen=True, slots=True)
+class ProfileEntry:
+    """One schedule row: the requirement in force from ``start`` onwards.
+
+    ``start`` is seconds since midnight.  An entry stays in force until the
+    next entry's start, wrapping past midnight (Figure 2's last row runs
+    from 10 PM to 8 AM).
+    """
+
+    start: float
+    requirement: PrivacyRequirement
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.start < SECONDS_PER_DAY:
+            raise ProfileError(
+                f"entry start must be in [0, {SECONDS_PER_DAY}), got {self.start}"
+            )
+
+
+class PrivacyProfile:
+    """A temporal schedule of privacy requirements.
+
+    The schedule covers the full day cyclically: at any time the requirement
+    in force is the one with the latest start not after the current
+    time-of-day, wrapping to the last entry of the day for times before the
+    first start.
+
+    Args:
+        entries: schedule rows; starts must be distinct.  An empty schedule
+            yields :data:`NO_PRIVACY` at all times.
+    """
+
+    def __init__(self, entries: Iterable[ProfileEntry] = ()) -> None:
+        ordered = sorted(entries, key=lambda e: e.start)
+        starts = [e.start for e in ordered]
+        if len(set(starts)) != len(starts):
+            raise ProfileError("profile entries must have distinct start times")
+        self._entries: tuple[ProfileEntry, ...] = tuple(ordered)
+        self._starts: list[float] = starts
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def always(
+        cls, k: int = 1, min_area: float = 0.0, max_area: float | None = None
+    ) -> "PrivacyProfile":
+        """A time-invariant profile."""
+        return cls([ProfileEntry(0.0, PrivacyRequirement(k, min_area, max_area))])
+
+    @classmethod
+    def from_schedule(
+        cls, rows: Sequence[tuple[str, PrivacyRequirement]]
+    ) -> "PrivacyProfile":
+        """Build from ``("HH:MM", requirement)`` rows."""
+        return cls(ProfileEntry(hhmm(start), req) for start, req in rows)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    @property
+    def entries(self) -> tuple[ProfileEntry, ...]:
+        return self._entries
+
+    def requirement_at(self, timestamp: float) -> PrivacyRequirement:
+        """The requirement in force at the absolute ``timestamp`` (seconds)."""
+        if not self._entries:
+            return NO_PRIVACY
+        tod = time_of_day(timestamp)
+        idx = bisect.bisect_right(self._starts, tod) - 1
+        if idx < 0:
+            # Before the first start: the last entry wraps from yesterday.
+            idx = len(self._entries) - 1
+        return self._entries[idx].requirement
+
+    def wants_privacy_at(self, timestamp: float) -> bool:
+        """Does the user require any protection at ``timestamp``?"""
+        return self.requirement_at(timestamp).wants_privacy
+
+    def max_k(self) -> int:
+        """The largest k anywhere in the schedule (capacity planning)."""
+        if not self._entries:
+            return 1
+        return max(e.requirement.k for e in self._entries)
+
+    # ------------------------------------------------------------------
+    # Updates (Section 4: "users have the ability to change their privacy
+    # profiles at any time")
+    # ------------------------------------------------------------------
+
+    def with_entry(self, entry: ProfileEntry) -> "PrivacyProfile":
+        """A new profile with ``entry`` added or replacing a same-start row."""
+        kept = [e for e in self._entries if e.start != entry.start]
+        return PrivacyProfile(kept + [entry])
+
+    def without_entry(self, start: float) -> "PrivacyProfile":
+        """A new profile with the row starting at ``start`` removed."""
+        if start not in self._starts:
+            raise ProfileError(f"no profile entry starting at {start}")
+        return PrivacyProfile(e for e in self._entries if e.start != start)
+
+    def scaled_k(self, factor: float) -> "PrivacyProfile":
+        """A new profile with every k scaled by ``factor`` (min 1).
+
+        Convenience for trade-off sweeps (experiment E9).
+        """
+        if factor <= 0:
+            raise ProfileError("scale factor must be positive")
+        return PrivacyProfile(
+            ProfileEntry(
+                e.start,
+                replace(e.requirement, k=max(1, round(e.requirement.k * factor))),
+            )
+            for e in self._entries
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrivacyProfile):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{e.start / 3600:.2f}h->k={e.requirement.k}" for e in self._entries
+        )
+        return f"PrivacyProfile({rows})"
+
+
+def example_profile() -> PrivacyProfile:
+    """The exact profile of the paper's Figure 2.
+
+    ======== ===== ========= =========
+    Time     k     Min. area Max. area
+    ======== ===== ========= =========
+    8:00 AM  1     —         —
+    5:00 PM  100   1 mile    3 miles
+    10:00 PM 1000  5 miles   —
+    ======== ===== ========= =========
+
+    Areas are interpreted as square miles.
+    """
+    return PrivacyProfile.from_schedule(
+        [
+            ("08:00", PrivacyRequirement(k=1)),
+            ("17:00", PrivacyRequirement(k=100, min_area=1.0, max_area=3.0)),
+            ("22:00", PrivacyRequirement(k=1000, min_area=5.0)),
+        ]
+    )

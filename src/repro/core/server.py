@@ -1,0 +1,180 @@
+"""The privacy-aware location-based database server (Section 6).
+
+The server supports all four combinations of Section 6.1's data/query
+taxonomy:
+
+=================== ======================= ============================
+query \\ data        public data             private data
+=================== ======================= ============================
+public query        classic spatio-temporal  probabilistic range / NN
+                    range & NN               (Figure 6)
+private query       candidate-set range & NN reducible to the other two
+                    (Figure 5)               (see paper, end of §6.1)
+=================== ======================= ============================
+
+It never receives exact private locations: private data arrives only as
+cloaked regions pushed by the :class:`~repro.core.anonymizer.LocationAnonymizer`.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.core.stores import PrivateStore, PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.continuous import ContinuousCountMonitor
+from repro.queries.private_nn import PrivateNNResult, private_nn_query
+from repro.queries.private_range import PrivateRangeResult, private_range_query
+from repro.queries.probabilistic import CountAnswer
+from repro.queries.public_nn import PublicNNResult, public_nn_query
+from repro.queries.public_range import naive_range_count, public_range_count
+
+
+class LocationServer:
+    """Privacy-aware location-based database server."""
+
+    def __init__(self) -> None:
+        self.public = PublicStore()
+        self.private = PrivateStore()
+        self._monitors: dict[Hashable, ContinuousCountMonitor] = {}
+        self.queries_served = 0
+        self.queries_by_kind: dict[str, int] = {}
+        self.region_updates_received = 0
+
+    def stats(self) -> dict[str, float]:
+        """Operational snapshot: store sizes, update and query counters."""
+        out: dict[str, float] = {
+            "public_objects": float(len(self.public)),
+            "private_regions": float(len(self.private)),
+            "monitors": float(len(self._monitors)),
+            "region_updates": float(self.region_updates_received),
+            "queries_served": float(self.queries_served),
+        }
+        for kind, count in sorted(self.queries_by_kind.items()):
+            out[f"queries_{kind}"] = float(count)
+        return out
+
+    def _count_query(self, kind: str) -> None:
+        self.queries_served += 1
+        self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Public data maintenance (exact locations, no privacy)
+    # ------------------------------------------------------------------
+
+    def add_public_object(self, object_id: Hashable, point: Point) -> None:
+        """Register a stationary or moving public object."""
+        self.public.add(object_id, point)
+
+    def move_public_object(self, object_id: Hashable, point: Point) -> None:
+        self.public.move(object_id, point)
+
+    def remove_public_object(self, object_id: Hashable) -> None:
+        self.public.remove(object_id)
+
+    # ------------------------------------------------------------------
+    # Private data maintenance (cloaked regions from the anonymizer)
+    # ------------------------------------------------------------------
+
+    def receive_region(self, pseudonym: Hashable, region: Rect) -> None:
+        """Store/refresh a cloaked region and wake affected monitors."""
+        self.region_updates_received += 1
+        self.private.set_region(pseudonym, region)
+        for monitor in self._monitors.values():
+            monitor.on_region_update(pseudonym, region)
+
+    def forget_region(self, pseudonym: Hashable) -> None:
+        """Drop a pseudonym (user unsubscribed or pseudonym rotated)."""
+        self.private.remove(pseudonym)
+        for monitor in self._monitors.values():
+            monitor.on_object_removed(pseudonym)
+
+    # ------------------------------------------------------------------
+    # Private queries over public data (Figure 5)
+    # ------------------------------------------------------------------
+
+    def private_range(
+        self, region: Rect, radius: float, method: str = "exact"
+    ) -> PrivateRangeResult:
+        """Candidate set for "public objects within ``radius`` of me"."""
+        self._count_query("private_range")
+        return private_range_query(self.public, region, radius, method)
+
+    def private_nn(self, region: Rect, method: str = "filter") -> PrivateNNResult:
+        """Candidate set for "my nearest public object"."""
+        self._count_query("private_nn")
+        return private_nn_query(self.public, region, method)
+
+    # ------------------------------------------------------------------
+    # Public queries over private data (Figure 6)
+    # ------------------------------------------------------------------
+
+    def public_count(self, window: Rect) -> CountAnswer:
+        """Probabilistic count of private users inside ``window``."""
+        self._count_query("public_count")
+        return public_range_count(self.private, window)
+
+    def public_count_naive(self, window: Rect) -> int:
+        """The paper's criticised count-every-overlap baseline."""
+        self._count_query("public_count_naive")
+        return naive_range_count(self.private, window)
+
+    def public_nn(
+        self,
+        query: Point,
+        samples: int = 4096,
+        rng: np.random.Generator | None = None,
+    ) -> PublicNNResult:
+        """Probabilistic nearest private user to a public query point."""
+        self._count_query("public_nn")
+        return public_nn_query(self.private, query, samples, rng)
+
+    # ------------------------------------------------------------------
+    # Public queries over public data (the classic case, for completeness)
+    # ------------------------------------------------------------------
+
+    def public_range_over_public(self, window: Rect) -> list[Hashable]:
+        """Classic exact range query on public objects."""
+        self._count_query("public_over_public_range")
+        return self.public.range_query(window)
+
+    def public_nn_over_public(self, query: Point, k: int = 1) -> list[Hashable]:
+        """Classic exact k-NN query on public objects."""
+        if k < 1:
+            raise QueryError("k must be positive")
+        self._count_query("public_over_public_nn")
+        return self.public.nearest(query, k)
+
+    # ------------------------------------------------------------------
+    # Continuous queries
+    # ------------------------------------------------------------------
+
+    def register_count_monitor(
+        self, monitor_id: Hashable, window: Rect
+    ) -> ContinuousCountMonitor:
+        """Install a standing probabilistic count over ``window``.
+
+        The monitor is seeded with the current private data and then
+        maintained incrementally on every region update.
+        """
+        if monitor_id in self._monitors:
+            raise QueryError(f"duplicate monitor id: {monitor_id!r}")
+        monitor = ContinuousCountMonitor(window)
+        monitor.seed_from_store(self.private)
+        self._monitors[monitor_id] = monitor
+        return monitor
+
+    def drop_count_monitor(self, monitor_id: Hashable) -> None:
+        if monitor_id not in self._monitors:
+            raise QueryError(f"unknown monitor id: {monitor_id!r}")
+        del self._monitors[monitor_id]
+
+    def monitor(self, monitor_id: Hashable) -> ContinuousCountMonitor:
+        try:
+            return self._monitors[monitor_id]
+        except KeyError:
+            raise QueryError(f"unknown monitor id: {monitor_id!r}") from None

@@ -1,0 +1,148 @@
+"""Data stores of the privacy-aware location-based database server.
+
+Section 6.1 of the paper splits server-side data into:
+
+* **public data** — exact locations that need no protection: stationary
+  facilities (gas stations, hospitals) and moving public objects (police
+  cars, on-site workers).  Held in :class:`PublicStore`.
+* **private data** — mobile users represented *only* by their cloaked
+  spatial regions; the server never sees their exact points.  Held in
+  :class:`PrivateStore`.
+
+Both stores are thin R-tree wrappers: they add identity bookkeeping and the
+iteration hooks the query processors need.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.core.errors import RegistrationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.base import ItemId
+from repro.index.rtree import RTree
+
+
+class PublicStore:
+    """Exact point objects (the paper's "public data")."""
+
+    def __init__(self, max_entries: int = 16) -> None:
+        self._rtree = RTree(max_entries=max_entries)
+        self._points: dict[ItemId, Point] = {}
+
+    @classmethod
+    def from_points(
+        cls, points: dict[ItemId, Point], max_entries: int = 16
+    ) -> "PublicStore":
+        """Bulk-load a store from a full catalogue (STR-packed R-tree).
+
+        The right constructor for static POI datasets: a packed tree is
+        shallower and tighter than one grown by repeated inserts.
+        """
+        store = cls(max_entries=max_entries)
+        store._points = dict(points)
+        store._rtree = RTree.bulk_load(
+            {object_id: Rect.from_point(p) for object_id, p in points.items()},
+            max_entries=max_entries,
+        )
+        return store
+
+    def add(self, object_id: ItemId, point: Point) -> None:
+        """Register a public object at ``point``."""
+        if object_id in self._points:
+            raise RegistrationError(f"duplicate public object: {object_id!r}")
+        self._points[object_id] = point
+        self._rtree.insert(object_id, Rect.from_point(point))
+
+    def move(self, object_id: ItemId, point: Point) -> None:
+        """Update a moving public object (e.g. a police car)."""
+        if object_id not in self._points:
+            raise RegistrationError(f"unknown public object: {object_id!r}")
+        self._rtree.update(object_id, Rect.from_point(point))
+        self._points[object_id] = point
+
+    def remove(self, object_id: ItemId) -> None:
+        if object_id not in self._points:
+            raise RegistrationError(f"unknown public object: {object_id!r}")
+        self._rtree.delete(object_id)
+        del self._points[object_id]
+
+    def point_of(self, object_id: ItemId) -> Point:
+        try:
+            return self._points[object_id]
+        except KeyError:
+            raise RegistrationError(f"unknown public object: {object_id!r}") from None
+
+    def range_query(self, window: Rect) -> list[ItemId]:
+        """Objects whose exact point lies in ``window``."""
+        return self._rtree.range_query(window)
+
+    def nearest(self, point: Point, k: int = 1) -> list[ItemId]:
+        return self._rtree.nearest(point, k)
+
+    def nearest_iter(self, point: Point) -> Iterator[tuple[ItemId, float]]:
+        """Incremental nearest-first iteration of ``(id, distance)``."""
+        return self._rtree.nearest_iter(point)
+
+    def items(self) -> Iterator[tuple[ItemId, Point]]:
+        return iter(self._points.items())
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def __iter__(self) -> Iterator[ItemId]:
+        return iter(self._points)
+
+    def __contains__(self, object_id: ItemId) -> bool:
+        return object_id in self._points
+
+
+class PrivateStore:
+    """Cloaked-region objects (the paper's "private data").
+
+    The paper stresses that privacy is managed *before* storage: "we aim
+    not to store the data at all.  Instead, we store perturbed version of
+    the data."  Accordingly this store accepts only regions; there is no
+    API through which an exact private location could even enter.
+    """
+
+    def __init__(self, max_entries: int = 16) -> None:
+        self._rtree = RTree(max_entries=max_entries)
+        self._regions: dict[ItemId, Rect] = {}
+
+    def set_region(self, object_id: ItemId, region: Rect) -> None:
+        """Insert or replace the cloaked region of ``object_id``."""
+        if object_id in self._regions:
+            self._rtree.update(object_id, region)
+        else:
+            self._rtree.insert(object_id, region)
+        self._regions[object_id] = region
+
+    def remove(self, object_id: ItemId) -> None:
+        if object_id not in self._regions:
+            raise RegistrationError(f"unknown private object: {object_id!r}")
+        self._rtree.delete(object_id)
+        del self._regions[object_id]
+
+    def region_of(self, object_id: ItemId) -> Rect:
+        try:
+            return self._regions[object_id]
+        except KeyError:
+            raise RegistrationError(f"unknown private object: {object_id!r}") from None
+
+    def overlapping(self, window: Rect) -> list[ItemId]:
+        """Objects whose cloaked region intersects ``window``."""
+        return self._rtree.range_query(window)
+
+    def items(self) -> Iterator[tuple[ItemId, Rect]]:
+        return iter(self._regions.items())
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[ItemId]:
+        return iter(self._regions)
+
+    def __contains__(self, object_id: ItemId) -> bool:
+        return object_id in self._regions

@@ -1,0 +1,233 @@
+"""End-to-end privacy-aware LBS pipeline (Figure 1 of the paper).
+
+``PrivacySystem`` wires the three entities of the architecture — mobile
+users, the Location Anonymizer, and the location-based database server —
+plus a mobility model, and keeps the quality-of-service ledger that the
+privacy/QoS trade-off experiments (E9) read.
+
+The central tension the paper describes is made measurable here: a query's
+*answer quality* never degrades (candidate sets always contain the true
+answer and the client refines locally), what degrades with stronger privacy
+is the *cost* — candidate-set transmission sizes and probabilistic-answer
+uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import numpy as np
+
+from repro.cloaking.base import Cloaker
+from repro.cloaking.incremental import IncrementalCloaker
+from repro.core.anonymizer import LocationAnonymizer
+from repro.core.errors import RegistrationError
+from repro.core.server import LocationServer
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.mobility.users import MobileUser, UserMode
+from repro.queries.private_nn import refine_nn_candidates
+from repro.queries.private_range import exact_range_answer, refine_range_candidates
+
+
+@dataclass(frozen=True)
+class RangeQueryOutcome:
+    """Ledger entry for one end-to-end private range query.
+
+    Attributes:
+        user_id: who asked.
+        cloak_area: area of the cloaked region used.
+        candidates: server-to-client transmission size.
+        answer_size: size of the refined (true) answer.
+        correct: did refinement produce exactly the ground-truth answer?
+    """
+
+    user_id: Hashable
+    cloak_area: float
+    candidates: int
+    answer_size: int
+    correct: bool
+
+    @property
+    def overhead(self) -> float:
+        """Candidates shipped per true answer object (>= 1.0)."""
+        return self.candidates / max(1, self.answer_size)
+
+
+@dataclass(frozen=True)
+class NNQueryOutcome:
+    """Ledger entry for one end-to-end private NN query."""
+
+    user_id: Hashable
+    cloak_area: float
+    candidates: int
+    correct: bool
+
+
+@dataclass
+class QoSLedger:
+    """Accumulated quality-of-service statistics."""
+
+    range_outcomes: list[RangeQueryOutcome] = field(default_factory=list)
+    nn_outcomes: list[NNQueryOutcome] = field(default_factory=list)
+
+    def summary(self) -> dict[str, float]:
+        """Aggregate trade-off metrics for reports."""
+        out: dict[str, float] = {}
+        if self.range_outcomes:
+            out["range_queries"] = len(self.range_outcomes)
+            out["range_mean_candidates"] = float(
+                np.mean([o.candidates for o in self.range_outcomes])
+            )
+            out["range_mean_overhead"] = float(
+                np.mean([o.overhead for o in self.range_outcomes])
+            )
+            out["range_accuracy"] = float(
+                np.mean([o.correct for o in self.range_outcomes])
+            )
+            out["mean_cloak_area"] = float(
+                np.mean([o.cloak_area for o in self.range_outcomes])
+            )
+        if self.nn_outcomes:
+            out["nn_queries"] = len(self.nn_outcomes)
+            out["nn_mean_candidates"] = float(
+                np.mean([o.candidates for o in self.nn_outcomes])
+            )
+            out["nn_accuracy"] = float(np.mean([o.correct for o in self.nn_outcomes]))
+        return out
+
+
+class PrivacySystem:
+    """Users + anonymizer + server, stepped together.
+
+    Args:
+        bounds: the universe rectangle.
+        cloaker: the anonymizer's cloaking algorithm.
+        rotate_pseudonyms: pseudonym policy forwarded to the anonymizer.
+    """
+
+    def __init__(
+        self,
+        bounds: Rect,
+        cloaker: Cloaker | IncrementalCloaker,
+        rotate_pseudonyms: bool = False,
+    ) -> None:
+        self.bounds = bounds
+        self.server = LocationServer()
+        self.anonymizer = LocationAnonymizer(
+            cloaker, self.server, rotate_pseudonyms=rotate_pseudonyms
+        )
+        self.users: dict[Hashable, MobileUser] = {}
+        self.ledger = QoSLedger()
+        self.clock = 0.0
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def add_poi(self, object_id: Hashable, point: Point) -> None:
+        """Add a public point of interest (gas station, restaurant...)."""
+        self.server.add_public_object(object_id, point)
+
+    def add_user(self, user: MobileUser) -> None:
+        """Add a mobile user; visible modes register with the anonymizer."""
+        if user.user_id in self.users:
+            raise RegistrationError(f"duplicate user: {user.user_id!r}")
+        self.users[user.user_id] = user
+        if user.is_visible:
+            self.anonymizer.register(user.user_id, user.profile, user.location)
+
+    def set_mode(self, user_id: Hashable, mode: UserMode) -> None:
+        """Switch a user's participation mode, (un)registering as needed."""
+        user = self._user(user_id)
+        was_visible = user.is_visible
+        user.mode = mode
+        if user.is_visible and not was_visible:
+            self.anonymizer.register(user.user_id, user.profile, user.location)
+        elif was_visible and not user.is_visible:
+            self.anonymizer.unregister(user.user_id)
+
+    # ------------------------------------------------------------------
+    # Simulation stepping
+    # ------------------------------------------------------------------
+
+    def apply_movement(self, positions: dict[Hashable, Point], dt: float = 1.0) -> None:
+        """Apply one mobility-model step's positions and publish regions."""
+        self.clock += dt
+        for user_id, point in positions.items():
+            user = self._user(user_id)
+            user.location = point
+            if user.is_visible:
+                self.anonymizer.update_location(user_id, point)
+        for user_id in positions:
+            if self._user(user_id).is_visible:
+                self.anonymizer.publish(user_id, self.clock)
+
+    def publish_all(self) -> None:
+        """Push fresh cloaked regions for every visible user."""
+        self.anonymizer.publish_all(self.clock)
+
+    # ------------------------------------------------------------------
+    # End-to-end queries with QoS accounting
+    # ------------------------------------------------------------------
+
+    def user_range_query(
+        self, user_id: Hashable, radius: float, method: str = "exact"
+    ) -> tuple[RangeQueryOutcome, list[Hashable]]:
+        """Full pipeline: cloak -> server candidates -> client refinement.
+
+        Returns the ledger entry and the refined (true) answer.
+        """
+        user = self._visible_user(user_id)
+        cloak, result = self.anonymizer.private_range_query(
+            user_id, radius, self.clock, method
+        )
+        refined = refine_range_candidates(self.server.public, result, user.location)
+        truth = exact_range_answer(self.server.public, user.location, radius)
+        outcome = RangeQueryOutcome(
+            user_id=user_id,
+            cloak_area=cloak.region.area,
+            candidates=len(result.candidates),
+            answer_size=len(refined),
+            correct=sorted(refined, key=repr) == sorted(truth, key=repr),
+        )
+        self.ledger.range_outcomes.append(outcome)
+        return outcome, refined
+
+    def user_nn_query(
+        self, user_id: Hashable, method: str = "filter"
+    ) -> tuple[NNQueryOutcome, Hashable]:
+        """Full pipeline for a private nearest-neighbour query."""
+        user = self._visible_user(user_id)
+        cloak, result = self.anonymizer.private_nn_query(user_id, self.clock, method)
+        refined = refine_nn_candidates(self.server.public, result, user.location)
+        truth = self.server.public.nearest(user.location, k=1)[0]
+        outcome = NNQueryOutcome(
+            user_id=user_id,
+            cloak_area=cloak.region.area,
+            candidates=len(result.candidates),
+            correct=refined == truth,
+        )
+        self.ledger.nn_outcomes.append(outcome)
+        return outcome, refined
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _user(self, user_id: Hashable) -> MobileUser:
+        try:
+            return self.users[user_id]
+        except KeyError:
+            raise RegistrationError(f"unknown user: {user_id!r}") from None
+
+    def _visible_user(self, user_id: Hashable) -> MobileUser:
+        user = self._user(user_id)
+        if not user.is_visible:
+            raise RegistrationError(
+                f"user {user_id!r} is passive and cannot issue queries"
+            )
+        if user.mode is not UserMode.QUERY:
+            user.mode = UserMode.QUERY
+        return user

@@ -1,0 +1,109 @@
+"""ASCII rendering of populations and cloaked regions.
+
+No plotting stack is assumed offline, so the examples render the spatial
+story as character grids: density maps of user populations, region
+outlines over them, and side-by-side algorithm comparisons.  Good enough
+to *see* that a naive square is centred on its victim while a pyramid
+cell is not.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Density ramp from empty to crowded.
+_RAMP = " .:-=+*#%@"
+
+
+def density_map(
+    points: Iterable[Point],
+    bounds: Rect,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """Character density map of a point population."""
+    if width < 1 or height < 1:
+        raise ValueError("width and height must be positive")
+    counts = [[0] * width for _ in range(height)]
+    for p in points:
+        if not bounds.contains_point(p):
+            continue
+        col = min(int((p.x - bounds.min_x) / bounds.width * width), width - 1)
+        row = min(int((p.y - bounds.min_y) / bounds.height * height), height - 1)
+        counts[row][col] += 1
+    peak = max((c for row in counts for c in row), default=0)
+    if peak == 0:
+        return "\n".join(" " * width for _ in range(height))
+    lines = []
+    # Render north-up: the last grid row is the top of the map.
+    for row in reversed(counts):
+        line = "".join(
+            _RAMP[min(int(c / peak * (len(_RAMP) - 1) + (c > 0)), len(_RAMP) - 1)]
+            for c in row
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def overlay_regions(
+    base: str,
+    regions: Sequence[tuple[Rect, str]],
+    bounds: Rect,
+    markers: Sequence[tuple[Point, str]] = (),
+) -> str:
+    """Draw rectangle outlines (and point markers) over a density map.
+
+    Args:
+        base: output of :func:`density_map` (defines the canvas size).
+        regions: ``(rect, outline_char)`` pairs.
+        bounds: the universe the canvas spans.
+        markers: ``(point, char)`` pairs drawn last (e.g. the victim).
+    """
+    lines = [list(line) for line in base.split("\n")]
+    height = len(lines)
+    width = len(lines[0]) if lines else 0
+
+    def to_cell(p: Point) -> tuple[int, int]:
+        col = min(int((p.x - bounds.min_x) / bounds.width * width), width - 1)
+        row = min(int((p.y - bounds.min_y) / bounds.height * height), height - 1)
+        return height - 1 - row, col  # north-up flip
+
+    for region, char in regions:
+        clipped = region.intersection(bounds)
+        if clipped is None:
+            continue
+        top, left = to_cell(Point(clipped.min_x, clipped.max_y))
+        bottom, right = to_cell(Point(clipped.max_x, clipped.min_y))
+        for col in range(left, right + 1):
+            lines[top][col] = char
+            lines[bottom][col] = char
+        for row in range(top, bottom + 1):
+            lines[row][left] = char
+            lines[row][right] = char
+    for point, char in markers:
+        if bounds.contains_point(point):
+            row, col = to_cell(point)
+            lines[row][col] = char
+    return "\n".join("".join(line) for line in lines)
+
+
+def render_cloak_comparison(
+    points: Sequence[Point],
+    victim: Point,
+    labelled_regions: Sequence[tuple[str, Rect]],
+    bounds: Rect,
+    width: int = 60,
+    height: int = 24,
+) -> str:
+    """One panel per algorithm: population + its region + the victim."""
+    panels = []
+    base = density_map(points, bounds, width, height)
+    for label, region in labelled_regions:
+        panel = overlay_regions(
+            base, [(region, "█")], bounds, markers=[(victim, "X")]
+        )
+        panels.append(f"{label}\n{panel}")
+    return "\n\n".join(panels)

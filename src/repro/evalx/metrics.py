@@ -1,0 +1,78 @@
+"""Quality-of-service and privacy metrics.
+
+The paper frames the system as a dial between *information revealed* and
+*quality of service obtained*.  These helpers standardise how each side of
+the dial is scored across all experiments:
+
+* privacy side — cloaked area, relative area (vs. the smallest region that
+  could have satisfied k), k-satisfaction, posterior anonymity (in
+  :mod:`repro.attacks`);
+* QoS side — candidate-set size, transmission overhead, probabilistic
+  answer error and uncertainty.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.cloaking.base import CloakResult, Cloaker
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def smallest_k_area(cloaker: Cloaker, point: Point, k: int) -> float:
+    """Area of the kNN MBR at ``point`` — a lower bound reference.
+
+    The MBR of the user's k nearest users is (close to) the smallest
+    axis-aligned region any algorithm could return while containing k
+    users; the ratio of an algorithm's area to this is its *relative
+    area* (1.0 = as tight as data-dependent cloaking can be).
+    """
+    xs, ys = cloaker._arrays()
+    d2 = (xs - point.x) ** 2 + (ys - point.y) ** 2
+    if k >= len(d2):
+        idx = np.arange(len(d2))
+    else:
+        idx = np.argpartition(d2, k - 1)[:k]
+    min_x, max_x = float(xs[idx].min()), float(xs[idx].max())
+    min_y, max_y = float(ys[idx].min()), float(ys[idx].max())
+    return Rect(min_x, min_y, max_x, max_y).area
+
+
+def relative_area(result: CloakResult, reference_area: float) -> float:
+    """Cloaked area over the reference (kNN MBR) area.
+
+    Degenerate references (co-located users) are floored at a tiny area so
+    the ratio stays finite.
+    """
+    return result.area / max(reference_area, 1e-12)
+
+
+def mean_and_p95(values: Sequence[float]) -> tuple[float, float]:
+    """Mean and 95th percentile, the two numbers every table reports."""
+    if not values:
+        raise ValueError("no values to aggregate")
+    arr = np.asarray(values, dtype=float)
+    return float(arr.mean()), float(np.percentile(arr, 95))
+
+
+def count_answer_error(expected: float, truth: int) -> float:
+    """Absolute error of a probabilistic count's expected value."""
+    return abs(expected - truth)
+
+
+def normalized_count_error(expected: float, truth: int) -> float:
+    """Count error normalised by ``max(1, truth)`` (comparable across windows)."""
+    return abs(expected - truth) / max(1, truth)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean (the right average for ratio metrics)."""
+    if not values:
+        raise ValueError("no values to aggregate")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return float(math.exp(np.mean(np.log(np.asarray(values, dtype=float)))))

@@ -1,0 +1,137 @@
+"""Shared workload construction for experiments and benchmarks.
+
+All experiments draw their populations, POI sets and query mixes from
+here so that every algorithm is evaluated on *identical* inputs and every
+benchmark is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence, Type
+
+import numpy as np
+
+from repro.cloaking.base import Cloaker
+from repro.cloaking.grid_cloak import GridCloaker
+from repro.cloaking.hilbert import HilbertCloaker
+from repro.cloaking.mbr import MBRCloaker
+from repro.cloaking.naive import NaiveCloaker
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.cloaking.quadtree_cloak import QuadtreeCloaker
+from repro.core.stores import PrivateStore, PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.mobility.population import (
+    clustered_population,
+    hotspot_population,
+    uniform_population,
+)
+
+Distribution = Literal["uniform", "clustered", "hotspot"]
+
+#: The universe every experiment runs in (a 100x100 "city").
+DEFAULT_BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A fully materialised experiment input."""
+
+    bounds: Rect
+    users: list[Point]
+    pois: list[Point]
+    seed: int
+    distribution: Distribution
+
+
+def build_workload(
+    n_users: int = 2000,
+    n_pois: int = 300,
+    distribution: Distribution = "clustered",
+    seed: int = 7,
+    bounds: Rect = DEFAULT_BOUNDS,
+) -> Workload:
+    """Deterministic population + POI set for one experiment run."""
+    rng = np.random.default_rng(seed)
+    if distribution == "uniform":
+        users = uniform_population(bounds, n_users, rng)
+    elif distribution == "clustered":
+        users = clustered_population(bounds, n_users, rng)
+    elif distribution == "hotspot":
+        users = hotspot_population(bounds, n_users, rng)
+    else:
+        raise ValueError(f"unknown distribution: {distribution!r}")
+    pois = uniform_population(bounds, n_pois, rng)
+    return Workload(
+        bounds=bounds, users=users, pois=pois, seed=seed, distribution=distribution
+    )
+
+
+def loaded_cloaker(
+    cloaker_cls: Type[Cloaker], workload: Workload, **kwargs
+) -> Cloaker:
+    """Instantiate a cloaker and register the whole workload population."""
+    cloaker = cloaker_cls(workload.bounds, **kwargs)
+    for i, point in enumerate(workload.users):
+        cloaker.add_user(i, point)
+    return cloaker
+
+
+def standard_cloakers(workload: Workload) -> list[Cloaker]:
+    """All six algorithms loaded with the same population.
+
+    Structure parameters are matched for comparability: the grid, pyramid
+    and quadtree all bottom out at roughly the same cell size.
+    """
+    return [
+        loaded_cloaker(NaiveCloaker, workload),
+        loaded_cloaker(MBRCloaker, workload),
+        loaded_cloaker(QuadtreeCloaker, workload, capacity=4, max_depth=8),
+        loaded_cloaker(GridCloaker, workload, cols=64),
+        loaded_cloaker(PyramidCloaker, workload, height=6),
+        loaded_cloaker(HilbertCloaker, workload, order=8),
+    ]
+
+
+def poi_store(workload: Workload) -> PublicStore:
+    """The workload's POIs bulk-loaded into a public store."""
+    return PublicStore.from_points(
+        {("poi", i): point for i, point in enumerate(workload.pois)}
+    )
+
+
+def cloaked_private_store(
+    cloaker: Cloaker, k: int, min_area: float = 0.0, max_area: float | None = None
+) -> PrivateStore:
+    """Every registered user cloaked once and loaded into a private store."""
+    from repro.core.profiles import PrivacyRequirement
+
+    requirement = PrivacyRequirement(k=k, min_area=min_area, max_area=max_area)
+    store = PrivateStore()
+    for user_id in cloaker.users():
+        store.set_region(user_id, cloaker.cloak(user_id, requirement).region)
+    return store
+
+
+def sample_victims(
+    workload: Workload, count: int, rng: np.random.Generator
+) -> list[int]:
+    """A deterministic sample of user ids to attack/query."""
+    n = len(workload.users)
+    if count >= n:
+        return list(range(n))
+    return [int(i) for i in rng.choice(n, size=count, replace=False)]
+
+
+def query_windows(
+    bounds: Rect, count: int, side_fraction: float, rng: np.random.Generator
+) -> list[Rect]:
+    """Random square query windows of the given relative size."""
+    side = side_fraction * bounds.width
+    windows = []
+    for _ in range(count):
+        cx = float(rng.uniform(bounds.min_x + side / 2, bounds.max_x - side / 2))
+        cy = float(rng.uniform(bounds.min_y + side / 2, bounds.max_y - side / 2))
+        windows.append(Rect.from_center(Point(cx, cy), side, side))
+    return windows

@@ -1,0 +1,43 @@
+"""Planar geometry substrate: points, rectangles, distances, sampling."""
+
+from repro.geometry.distances import (
+    max_dist,
+    max_dist_rects,
+    min_dist,
+    min_dist_rects,
+    min_max_dist_rect,
+    rounded_rect_area,
+    within_distance_of_rect,
+)
+from repro.geometry.point import Point, centroid
+from repro.geometry.rect import Rect, total_covered_area
+from repro.geometry.sampling import (
+    boundary_point,
+    gaussian_cluster,
+    uniform_arrays,
+    uniform_point,
+    uniform_points,
+    weighted_choice,
+    zipf_weights,
+)
+
+__all__ = [
+    "Point",
+    "Rect",
+    "centroid",
+    "total_covered_area",
+    "min_dist",
+    "max_dist",
+    "min_dist_rects",
+    "max_dist_rects",
+    "min_max_dist_rect",
+    "within_distance_of_rect",
+    "rounded_rect_area",
+    "uniform_point",
+    "uniform_points",
+    "uniform_arrays",
+    "gaussian_cluster",
+    "boundary_point",
+    "weighted_choice",
+    "zipf_weights",
+]

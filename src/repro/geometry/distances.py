@@ -1,0 +1,112 @@
+"""Distance primitives between points and rectangles.
+
+These are the building blocks of the privacy-aware query processor
+(Section 6 of the paper):
+
+* ``min_dist`` / ``max_dist`` between a point and a rectangle drive the
+  dominance pruning of public-NN-over-private-data queries (Figure 6b).
+* ``min_dist_rects`` / ``max_dist_rects`` drive private-NN-over-public-data
+  candidate filtering (Figure 5b) where the query itself is a cloaked
+  rectangle.
+* ``within_distance_of_rect`` is the *exact* membership test for the
+  "rounded rectangle" candidate region of a private range query
+  (Figure 5a); ``Rect.expanded`` is its MBR approximation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def _axis_gap(value: float, lo: float, hi: float) -> float:
+    """Distance from ``value`` to the interval ``[lo, hi]`` (0 if inside)."""
+    if value < lo:
+        return lo - value
+    if value > hi:
+        return value - hi
+    return 0.0
+
+
+def min_dist(p: Point, r: Rect) -> float:
+    """Smallest distance from ``p`` to any point of ``r`` (0 if inside)."""
+    dx = _axis_gap(p.x, r.min_x, r.max_x)
+    dy = _axis_gap(p.y, r.min_y, r.max_y)
+    return math.hypot(dx, dy)
+
+
+def max_dist(p: Point, r: Rect) -> float:
+    """Largest distance from ``p`` to any point of ``r``.
+
+    Attained at the corner of ``r`` farthest from ``p``.
+    """
+    dx = max(abs(p.x - r.min_x), abs(p.x - r.max_x))
+    dy = max(abs(p.y - r.min_y), abs(p.y - r.max_y))
+    return math.hypot(dx, dy)
+
+
+def min_dist_rects(a: Rect, b: Rect) -> float:
+    """Smallest distance between any point of ``a`` and any point of ``b``."""
+    dx = _axis_gap_intervals(a.min_x, a.max_x, b.min_x, b.max_x)
+    dy = _axis_gap_intervals(a.min_y, a.max_y, b.min_y, b.max_y)
+    return math.hypot(dx, dy)
+
+
+def max_dist_rects(a: Rect, b: Rect) -> float:
+    """Largest distance between any point of ``a`` and any point of ``b``.
+
+    Attained at a pair of opposite corners.
+    """
+    dx = max(abs(a.min_x - b.max_x), abs(a.max_x - b.min_x))
+    dy = max(abs(a.min_y - b.max_y), abs(a.max_y - b.min_y))
+    return math.hypot(dx, dy)
+
+
+def min_max_dist_rect(a: Rect, b: Rect) -> float:
+    """Upper bound on the NN distance from the worst-case point of ``a``.
+
+    ``min_max_dist_rect(a, b)`` = max over points p in ``a`` of
+    min over points q in ``b`` of dist(p, q), i.e. the distance from the
+    point of ``a`` that is *farthest from the region* ``b`` to its closest
+    point of ``b``.  For any point of ``a``, *some* point of ``b`` is within
+    this distance.  It is the directed Hausdorff distance from ``a`` to
+    ``b`` and gives a sound pruning radius for private NN queries: an
+    object farther than ``min_max_dist_rect(query, object_region)`` from
+    every point of the query region can never be required.
+
+    For axis-aligned rectangles the maximising point of ``a`` is a corner.
+    """
+    return max(min_dist(corner, b) for corner in a.corners)
+
+
+def _axis_gap_intervals(a_lo: float, a_hi: float, b_lo: float, b_hi: float) -> float:
+    """Distance between the intervals ``[a_lo, a_hi]`` and ``[b_lo, b_hi]``."""
+    if a_hi < b_lo:
+        return b_lo - a_hi
+    if b_hi < a_lo:
+        return a_lo - b_hi
+    return 0.0
+
+
+def within_distance_of_rect(p: Point, r: Rect, distance: float) -> bool:
+    """Exact test: is ``p`` within ``distance`` of some point of ``r``?
+
+    The set of such points is the Minkowski sum of ``r`` with a disc — the
+    paper's "rounded rectangle" of Figure 5a.  The MBR approximation
+    (``r.expanded(distance)``) admits extra points near the four rounded
+    corners; this predicate does not.
+    """
+    return min_dist(p, r) <= distance
+
+
+def rounded_rect_area(r: Rect, distance: float) -> float:
+    """Area of the Minkowski sum of ``r`` with a disc of radius ``distance``.
+
+    area(r) + perimeter(r) * d + pi * d^2.  Used to quantify how much the
+    MBR approximation over-covers the exact candidate region (ablation A1).
+    """
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    return r.area + r.perimeter * distance + math.pi * distance * distance

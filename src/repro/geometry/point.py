@@ -1,0 +1,72 @@
+"""Planar points.
+
+The whole library works in a flat Euclidean plane.  The paper's examples are
+phrased in miles; nothing in the algorithms depends on the unit, so the
+library treats coordinates as unit-less floats.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An exact planar location ``(x, y)``.
+
+    Instances are immutable and hashable so they can be used as dictionary
+    keys (e.g. memoising corner nearest-neighbour lookups).
+    """
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance between this point and ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def squared_distance_to(self, other: "Point") -> float:
+        """Squared Euclidean distance; avoids the sqrt for comparisons."""
+        dx = self.x - other.x
+        dy = self.y - other.y
+        return dx * dx + dy * dy
+
+    def manhattan_distance_to(self, other: "Point") -> float:
+        """L1 distance, used by the road-network mobility model."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """A new point shifted by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """The point as a plain ``(x, y)`` tuple."""
+        return (self.x, self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+
+def centroid(points: Iterable[Point]) -> Point:
+    """Arithmetic mean of a non-empty collection of points.
+
+    Raises:
+        ValueError: if ``points`` is empty.
+    """
+    xs = 0.0
+    ys = 0.0
+    n = 0
+    for p in points:
+        xs += p.x
+        ys += p.y
+        n += 1
+    if n == 0:
+        raise ValueError("centroid of an empty point collection is undefined")
+    return Point(xs / n, ys / n)

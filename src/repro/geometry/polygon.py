@@ -1,0 +1,120 @@
+"""Convex polygon clipping.
+
+The exact candidate test of a private nearest-neighbour query (Figure 5b)
+asks: *is there a point of the cloaked region R where object ``o`` beats
+every other object?*  Equivalently, does ``o``'s Voronoi cell intersect R?
+The cell restricted to R is the convex polygon obtained by clipping R with
+the perpendicular-bisector half-planes of ``o`` against each competitor, so
+the test reduces to Sutherland–Hodgman half-plane clipping.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Relative tolerance for the "empty polygon" decision.
+_EPS = 1e-12
+
+
+def clip_by_halfplane(
+    vertices: Sequence[Point], a: float, b: float, c: float
+) -> list[Point]:
+    """Clip a convex polygon by the half-plane ``a*x + b*y <= c``.
+
+    Args:
+        vertices: polygon vertices in order (either orientation).
+        a, b, c: half-plane coefficients.
+
+    Returns:
+        Vertices of the clipped polygon (possibly empty).
+    """
+    if not vertices:
+        return []
+    result: list[Point] = []
+    n = len(vertices)
+    for i in range(n):
+        current = vertices[i]
+        nxt = vertices[(i + 1) % n]
+        cur_val = a * current.x + b * current.y - c
+        nxt_val = a * nxt.x + b * nxt.y - c
+        if cur_val <= _EPS:
+            result.append(current)
+        if (cur_val < -_EPS and nxt_val > _EPS) or (cur_val > _EPS and nxt_val < -_EPS):
+            t = cur_val / (cur_val - nxt_val)
+            result.append(
+                Point(
+                    current.x + t * (nxt.x - current.x),
+                    current.y + t * (nxt.y - current.y),
+                )
+            )
+    return result
+
+
+def bisector_halfplane(o: Point, other: Point) -> tuple[float, float, float]:
+    """Half-plane of points at least as close to ``o`` as to ``other``.
+
+    Returns ``(a, b, c)`` with the half-plane ``a*x + b*y <= c``:
+    ``dist(p, o) <= dist(p, other)`` expands to
+    ``2*(other - o) . p <= |other|^2 - |o|^2``.
+    """
+    a = 2.0 * (other.x - o.x)
+    b = 2.0 * (other.y - o.y)
+    c = (other.x**2 + other.y**2) - (o.x**2 + o.y**2)
+    return a, b, c
+
+
+def voronoi_cell_intersects(
+    o: Point, competitors: Sequence[Point], region: Rect
+) -> bool:
+    """Does ``o``'s Voronoi cell (w.r.t. ``competitors``) intersect ``region``?
+
+    Exact up to floating-point tolerance.  Degenerate (zero-area) clip
+    results still count as intersecting: a cell touching the region only
+    along an edge means some region point is *tied* for nearest, which
+    keeps ``o`` a legitimate candidate answer.
+    """
+    polygon: list[Point] = list(region.corners)
+    for other in competitors:
+        if other == o:
+            continue
+        a, b, c = bisector_halfplane(o, other)
+        polygon = clip_by_halfplane(polygon, a, b, c)
+        if not polygon:
+            return False
+    return True
+
+
+def polygon_area(vertices: Sequence[Point]) -> float:
+    """Unsigned area via the shoelace formula."""
+    n = len(vertices)
+    if n < 3:
+        return 0.0
+    twice = 0.0
+    for i in range(n):
+        j = (i + 1) % n
+        twice += vertices[i].x * vertices[j].y - vertices[j].x * vertices[i].y
+    return abs(twice) / 2.0
+
+
+def voronoi_cell_clip(
+    o: Point, competitors: Sequence[Point], region: Rect
+) -> list[Point]:
+    """The polygon ``VoronoiCell(o) ∩ region`` (empty list when disjoint).
+
+    The polygon's area over ``region.area`` is the probability that ``o``
+    is the true NN of a user uniformly distributed in ``region`` — the
+    analytic counterpart of the Monte-Carlo estimate in
+    :mod:`repro.queries.private_nn`.
+    """
+    polygon: list[Point] = list(region.corners)
+    for other in competitors:
+        if other == o:
+            continue
+        a, b, c = bisector_halfplane(o, other)
+        polygon = clip_by_halfplane(polygon, a, b, c)
+        if not polygon:
+            return []
+    return polygon

@@ -1,0 +1,341 @@
+"""Axis-aligned rectangles (minimum bounding rectangles).
+
+Rectangles are the universal currency of the reproduction: cloaked spatial
+regions, index node extents, query windows, and candidate regions are all
+``Rect`` instances.  The paper approximates every non-rectangular region
+(e.g. the rounded candidate region of Figure 5a) by its MBR; the exact
+variants live in :mod:`repro.geometry.distances`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]``.
+
+    Degenerate rectangles (zero width and/or height) are legal: a point
+    location is the degenerate rectangle of zero area, which is exactly how
+    the server stores users whose profile requests no privacy (k = 1).
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"inverted rectangle: ({self.min_x}, {self.min_y}, "
+                f"{self.max_x}, {self.max_y})"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_center(cls, center: Point, width: float, height: float) -> "Rect":
+        """Rectangle of the given dimensions centred on ``center``."""
+        if width < 0 or height < 0:
+            raise ValueError("width and height must be non-negative")
+        return cls(
+            center.x - width / 2.0,
+            center.y - height / 2.0,
+            center.x + width / 2.0,
+            center.y + height / 2.0,
+        )
+
+    @classmethod
+    def from_points(cls, points: Iterable[Point]) -> "Rect":
+        """Minimum bounding rectangle of a non-empty point collection."""
+        it = iter(points)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("MBR of an empty point collection is undefined")
+        min_x = max_x = first.x
+        min_y = max_y = first.y
+        for p in it:
+            min_x = min(min_x, p.x)
+            max_x = max(max_x, p.x)
+            min_y = min(min_y, p.y)
+            max_y = max(max_y, p.y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    @classmethod
+    def from_point(cls, point: Point) -> "Rect":
+        """The degenerate (zero-area) rectangle at ``point``."""
+        return cls(point.x, point.y, point.x, point.y)
+
+    @classmethod
+    def bounding(cls, rects: Iterable["Rect"]) -> "Rect":
+        """Minimum bounding rectangle of a non-empty rectangle collection."""
+        it = iter(rects)
+        try:
+            first = next(it)
+        except StopIteration:
+            raise ValueError("MBR of an empty rectangle collection is undefined")
+        min_x, min_y = first.min_x, first.min_y
+        max_x, max_y = first.max_x, first.max_y
+        for r in it:
+            min_x = min(min_x, r.min_x)
+            min_y = min(min_y, r.min_y)
+            max_x = max(max_x, r.max_x)
+            max_y = max(max_y, r.max_y)
+        return cls(min_x, min_y, max_x, max_y)
+
+    # ------------------------------------------------------------------
+    # Basic measures
+    # ------------------------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def corners(self) -> tuple[Point, Point, Point, Point]:
+        """The four corners, counter-clockwise from the lower-left."""
+        return (
+            Point(self.min_x, self.min_y),
+            Point(self.max_x, self.min_y),
+            Point(self.max_x, self.max_y),
+            Point(self.min_x, self.max_y),
+        )
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when the rectangle has zero area."""
+        return self.width == 0.0 or self.height == 0.0
+
+    # ------------------------------------------------------------------
+    # Predicates
+    # ------------------------------------------------------------------
+
+    def contains_point(self, p: Point) -> bool:
+        """True when ``p`` lies inside or on the boundary."""
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True when ``other`` lies entirely inside this rectangle."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and other.max_x <= self.max_x
+            and other.max_y <= self.max_y
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True when the two closed rectangles share at least one point."""
+        return (
+            self.min_x <= other.max_x
+            and other.min_x <= self.max_x
+            and self.min_y <= other.max_y
+            and other.min_y <= self.max_y
+        )
+
+    def on_boundary(self, p: Point, tolerance: float = 0.0) -> bool:
+        """True when ``p`` lies on (or within ``tolerance`` of) the boundary."""
+        if not self.expanded(tolerance).contains_point(p):
+            return False
+        near_x = (
+            abs(p.x - self.min_x) <= tolerance or abs(p.x - self.max_x) <= tolerance
+        )
+        near_y = (
+            abs(p.y - self.min_y) <= tolerance or abs(p.y - self.max_y) <= tolerance
+        )
+        return near_x or near_y
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or ``None`` when disjoint."""
+        min_x = max(self.min_x, other.min_x)
+        min_y = max(self.min_y, other.min_y)
+        max_x = min(self.max_x, other.max_x)
+        max_y = min(self.max_y, other.max_y)
+        if min_x > max_x or min_y > max_y:
+            return None
+        return Rect(min_x, min_y, max_x, max_y)
+
+    def intersection_area(self, other: "Rect") -> float:
+        """Area of the overlap (0.0 when disjoint)."""
+        w = min(self.max_x, other.max_x) - max(self.min_x, other.min_x)
+        h = min(self.max_y, other.max_y) - max(self.min_y, other.min_y)
+        if w <= 0.0 or h <= 0.0:
+            return 0.0
+        return w * h
+
+    def union_mbr(self, other: "Rect") -> "Rect":
+        """MBR of the two rectangles."""
+        return Rect(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Minkowski expansion by ``margin`` on every side.
+
+        This is the MBR approximation of the paper's "rounded rectangle"
+        candidate region (Figure 5a).  Negative margins shrink the
+        rectangle; shrinking past the centre collapses to the centre point
+        rather than producing an inverted rectangle.
+        """
+        if margin >= 0:
+            return Rect(
+                self.min_x - margin,
+                self.min_y - margin,
+                self.max_x + margin,
+                self.max_y + margin,
+            )
+        shrink_x = min(-margin, self.width / 2.0)
+        shrink_y = min(-margin, self.height / 2.0)
+        return Rect(
+            self.min_x + shrink_x,
+            self.min_y + shrink_y,
+            self.max_x - shrink_x,
+            self.max_y - shrink_y,
+        )
+
+    def clipped(self, bounds: "Rect") -> "Rect":
+        """This rectangle clipped to ``bounds``.
+
+        Raises:
+            ValueError: when the rectangle lies entirely outside ``bounds``.
+        """
+        clipped = self.intersection(bounds)
+        if clipped is None:
+            raise ValueError(f"{self} lies entirely outside {bounds}")
+        return clipped
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """A new rectangle shifted by ``(dx, dy)``."""
+        return Rect(self.min_x + dx, self.min_y + dy, self.max_x + dx, self.max_y + dy)
+
+    def scaled_to_area(self, target_area: float, bounds: "Rect | None" = None) -> "Rect":
+        """Grow or shrink symmetrically about the centre to ``target_area``.
+
+        The aspect ratio is preserved for non-degenerate rectangles;
+        degenerate rectangles grow into squares.  When ``bounds`` is given
+        the result is shifted (not shrunk) to fit inside it if possible.
+        Used by the anonymizer's best-effort A_min enforcement.
+        """
+        if target_area < 0:
+            raise ValueError("target area must be non-negative")
+        w = h = float("inf")
+        if self.area > 0:
+            factor = math.sqrt(target_area / self.area)
+            w = self.width * factor
+            h = self.height * factor
+        if not (math.isfinite(w) and math.isfinite(h)):
+            # Degenerate or extreme-aspect rectangle (the scale factor
+            # overflows): grow into the most square shape that still spans
+            # the original's extent.
+            side = math.sqrt(target_area)
+            w = max(side, self.width)
+            h = target_area / w if w > 0 else 0.0
+        result = Rect.from_center(self.center, w, h)
+        if bounds is not None:
+            result = _shift_into(result, bounds)
+        return result
+
+    def shifted_into(self, bounds: "Rect") -> "Rect":
+        """Translate the minimum distance needed to fit inside ``bounds``.
+
+        Unlike :meth:`clipped`, the area is preserved whenever the
+        rectangle fits in ``bounds`` at all; oversized axes are clipped as
+        a last resort.  The shifted rectangle always covers the original's
+        intersection with ``bounds``, so point-count guarantees carried by
+        the original are preserved for in-bounds points.
+        """
+        return _shift_into(self, bounds)
+
+    def quadrants(self) -> tuple["Rect", "Rect", "Rect", "Rect"]:
+        """The four equal quadrants (SW, SE, NW, NE)."""
+        cx, cy = self.center.x, self.center.y
+        return (
+            Rect(self.min_x, self.min_y, cx, cy),
+            Rect(cx, self.min_y, self.max_x, cy),
+            Rect(self.min_x, cy, cx, self.max_y),
+            Rect(cx, cy, self.max_x, self.max_y),
+        )
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.min_x, self.min_y, self.max_x, self.max_y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.min_x
+        yield self.min_y
+        yield self.max_x
+        yield self.max_y
+
+
+def _shift_into(rect: Rect, bounds: Rect) -> Rect:
+    """Translate ``rect`` the minimum distance needed to fit in ``bounds``.
+
+    When ``rect`` is larger than ``bounds`` along an axis it is clipped on
+    that axis instead (best effort).
+    """
+    dx = 0.0
+    dy = 0.0
+    if rect.width <= bounds.width:
+        if rect.min_x < bounds.min_x:
+            dx = bounds.min_x - rect.min_x
+        elif rect.max_x > bounds.max_x:
+            dx = bounds.max_x - rect.max_x
+    if rect.height <= bounds.height:
+        if rect.min_y < bounds.min_y:
+            dy = bounds.min_y - rect.min_y
+        elif rect.max_y > bounds.max_y:
+            dy = bounds.max_y - rect.max_y
+    shifted = rect.translated(dx, dy)
+    if bounds.contains_rect(shifted):
+        return shifted
+    return shifted.clipped(bounds)
+
+
+def total_covered_area(rects: Sequence[Rect]) -> float:
+    """Area of the union of a set of rectangles (sweep-free O(n^2) method).
+
+    Uses coordinate compression over the rectangle edges; adequate for the
+    modest rectangle counts of the evaluation harness.
+    """
+    if not rects:
+        return 0.0
+    xs = sorted({r.min_x for r in rects} | {r.max_x for r in rects})
+    ys = sorted({r.min_y for r in rects} | {r.max_y for r in rects})
+    area = 0.0
+    for i in range(len(xs) - 1):
+        for j in range(len(ys) - 1):
+            cx = (xs[i] + xs[i + 1]) / 2.0
+            cy = (ys[j] + ys[j + 1]) / 2.0
+            if any(r.contains_point(Point(cx, cy)) for r in rects):
+                area += (xs[i + 1] - xs[i]) * (ys[j + 1] - ys[j])
+    return area

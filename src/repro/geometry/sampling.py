@@ -1,0 +1,127 @@
+"""Random sampling inside regions.
+
+The probabilistic query processor models each private user as uniformly
+distributed inside her cloaked region (the paper's stated assumption in
+Section 6.2.2).  Monte-Carlo probability estimation therefore needs uniform
+samples from rectangles; the mobility generators need a few richer
+distributions as well.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def uniform_point(rect: Rect, rng: np.random.Generator) -> Point:
+    """One point drawn uniformly from ``rect``."""
+    return Point(
+        float(rng.uniform(rect.min_x, rect.max_x)) if rect.width > 0 else rect.min_x,
+        float(rng.uniform(rect.min_y, rect.max_y)) if rect.height > 0 else rect.min_y,
+    )
+
+
+def uniform_points(rect: Rect, n: int, rng: np.random.Generator) -> list[Point]:
+    """``n`` i.i.d. uniform points from ``rect``."""
+    if n < 0:
+        raise ValueError("sample count must be non-negative")
+    xs = rng.uniform(rect.min_x, rect.max_x, size=n) if rect.width > 0 else np.full(n, rect.min_x)
+    ys = rng.uniform(rect.min_y, rect.max_y, size=n) if rect.height > 0 else np.full(n, rect.min_y)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def uniform_arrays(rect: Rect, n: int, rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray]:
+    """``n`` uniform samples from ``rect`` as ``(xs, ys)`` arrays.
+
+    Array form avoids Point-object overhead in tight Monte-Carlo loops.
+    """
+    if n < 0:
+        raise ValueError("sample count must be non-negative")
+    xs = rng.uniform(rect.min_x, rect.max_x, size=n) if rect.width > 0 else np.full(n, rect.min_x)
+    ys = rng.uniform(rect.min_y, rect.max_y, size=n) if rect.height > 0 else np.full(n, rect.min_y)
+    return xs, ys
+
+
+def gaussian_cluster(
+    center: Point,
+    sigma: float,
+    n: int,
+    rng: np.random.Generator,
+    bounds: Rect | None = None,
+) -> list[Point]:
+    """``n`` points from an isotropic Gaussian, folded back into ``bounds``.
+
+    Out-of-bounds draws are *reflected* at the edge rather than clamped:
+    reflection keeps the density mass near a boundary city edge (real
+    downtowns pile up against coastlines) without stacking samples exactly
+    *on* the edge, which would contaminate boundary-leakage statistics.
+    """
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    xs = rng.normal(center.x, sigma, size=n)
+    ys = rng.normal(center.y, sigma, size=n)
+    if bounds is not None:
+        xs = _reflect(xs, bounds.min_x, bounds.max_x)
+        ys = _reflect(ys, bounds.min_y, bounds.max_y)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def _reflect(values: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    """Fold values into ``[lo, hi]`` by reflecting at the interval edges."""
+    if hi <= lo:
+        return np.full_like(values, lo)
+    span = hi - lo
+    folded = np.mod(values - lo, 2.0 * span)
+    folded = np.where(folded > span, 2.0 * span - folded, folded)
+    return folded + lo
+
+
+def boundary_point(rect: Rect, rng: np.random.Generator) -> Point:
+    """A point uniform on the boundary of ``rect``.
+
+    Used by the MBR boundary attack: an adversary who knows the region is an
+    MBR of k user locations knows at least one user touches each edge.
+    """
+    w, h = rect.width, rect.height
+    perimeter = 2.0 * (w + h)
+    if perimeter == 0.0:
+        return rect.center
+    t = float(rng.uniform(0.0, perimeter))
+    if t < w:
+        return Point(rect.min_x + t, rect.min_y)
+    t -= w
+    if t < h:
+        return Point(rect.max_x, rect.min_y + t)
+    t -= h
+    if t < w:
+        return Point(rect.max_x - t, rect.max_y)
+    t -= w
+    return Point(rect.min_x, rect.max_y - t)
+
+
+def weighted_choice(weights: Sequence[float], rng: np.random.Generator) -> int:
+    """Index drawn proportionally to non-negative ``weights``."""
+    total = float(sum(weights))
+    if total <= 0 or any(w < 0 for w in weights):
+        raise ValueError("weights must be non-negative and sum to a positive value")
+    return int(rng.choice(len(weights), p=np.asarray(weights, dtype=float) / total))
+
+
+def zipf_weights(n: int, skew: float) -> list[float]:
+    """Normalised Zipf weights ``1/rank^skew`` for ``n`` ranks.
+
+    ``skew = 0`` is uniform; larger skew concentrates mass on early ranks.
+    Drives the skewed "hot-spot" population generator.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    raw = [1.0 / math.pow(rank, skew) for rank in range(1, n + 1)]
+    total = sum(raw)
+    return [w / total for w in raw]

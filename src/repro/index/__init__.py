@@ -1,0 +1,19 @@
+"""From-scratch spatial indexes: R-tree, PR quadtree, uniform grid, pyramid."""
+
+from repro.index.base import ItemId, SpatialIndex
+from repro.index.grid import GridIndex, square_grid_for_density
+from repro.index.kdtree import KDTree
+from repro.index.pyramid import PyramidGrid
+from repro.index.quadtree import QuadTree
+from repro.index.rtree import RTree
+
+__all__ = [
+    "ItemId",
+    "SpatialIndex",
+    "RTree",
+    "QuadTree",
+    "KDTree",
+    "GridIndex",
+    "PyramidGrid",
+    "square_grid_for_density",
+]

@@ -1,0 +1,70 @@
+"""Common interface for the spatial indexes.
+
+Every index stores ``(item_id, geometry)`` entries where the geometry is a
+:class:`~repro.geometry.rect.Rect` (points are stored as degenerate
+rectangles).  Storing rectangles uniformly lets the same index back both the
+public data store (exact POI points) and the private data store (cloaked
+regions) of the location-based database server.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Hashable, Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+ItemId = Hashable
+
+
+class SpatialIndex(ABC):
+    """Abstract dynamic spatial index over ``(item_id, Rect)`` entries."""
+
+    @abstractmethod
+    def insert(self, item_id: ItemId, geom: Rect) -> None:
+        """Add an entry.  ``item_id`` must not already be present."""
+
+    @abstractmethod
+    def delete(self, item_id: ItemId) -> None:
+        """Remove an entry.  Raises ``KeyError`` if absent."""
+
+    @abstractmethod
+    def range_query(self, window: Rect) -> list[ItemId]:
+        """Ids of all entries whose geometry intersects ``window``."""
+
+    @abstractmethod
+    def nearest(self, point: Point, k: int = 1) -> list[ItemId]:
+        """Ids of the ``k`` entries with smallest min-distance to ``point``.
+
+        Returned nearest-first.  Fewer than ``k`` ids are returned when the
+        index holds fewer entries.
+        """
+
+    @abstractmethod
+    def geometry_of(self, item_id: ItemId) -> Rect:
+        """The stored geometry for ``item_id``.  Raises ``KeyError`` if absent."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of entries."""
+
+    @abstractmethod
+    def __iter__(self) -> Iterator[ItemId]:
+        """Iterate over all stored ids (no particular order)."""
+
+    def update(self, item_id: ItemId, geom: Rect) -> None:
+        """Move an existing entry to a new geometry (delete + insert)."""
+        self.delete(item_id)
+        self.insert(item_id, geom)
+
+    def insert_point(self, item_id: ItemId, point: Point) -> None:
+        """Convenience: insert a point as a degenerate rectangle."""
+        self.insert(item_id, Rect.from_point(point))
+
+    def __contains__(self, item_id: ItemId) -> bool:
+        try:
+            self.geometry_of(item_id)
+        except KeyError:
+            return False
+        return True

@@ -1,0 +1,366 @@
+"""A from-scratch R-tree with quadratic split (Guttman, SIGMOD 1984).
+
+This is the workhorse index of the location-based database server: the
+public data store (POIs, moving public objects) and the private data store
+(cloaked rectangles) are both R-trees.  It supports dynamic insert/delete,
+window queries, and best-first k-nearest-neighbour search ordered by
+``min_dist`` (Roussopoulos et al., SIGMOD 1995 / Hjaltason & Samet's
+incremental variant).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+from repro.geometry.distances import min_dist
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.base import ItemId, SpatialIndex
+
+
+class _Node:
+    """An R-tree node; leaves hold ``(item_id, Rect)``, internals hold children."""
+
+    __slots__ = ("leaf", "entries", "mbr", "parent")
+
+    def __init__(self, leaf: bool) -> None:
+        self.leaf = leaf
+        # Leaf entries: list[tuple[ItemId, Rect]].
+        # Internal entries: list[_Node].
+        self.entries: list = []
+        self.mbr: Rect | None = None
+        self.parent: "_Node | None" = None
+
+    def recompute_mbr(self) -> None:
+        if not self.entries:
+            self.mbr = None
+        elif self.leaf:
+            self.mbr = Rect.bounding(rect for _, rect in self.entries)
+        else:
+            self.mbr = Rect.bounding(child.mbr for child in self.entries)
+
+
+def _entry_mbr(node: _Node, entry) -> Rect:
+    return entry[1] if node.leaf else entry.mbr
+
+
+def _str_tile(entries: list, capacity: int, mbr_of) -> list[list]:
+    """Group entries into runs of ``capacity`` by the STR tiling order."""
+    import math
+
+    n = len(entries)
+    n_groups = math.ceil(n / capacity)
+    slab_count = max(1, math.ceil(math.sqrt(n_groups)))
+    slab_size = math.ceil(n / slab_count)
+    by_x = sorted(entries, key=lambda e: mbr_of(e).center.x)
+    groups: list[list] = []
+    for s in range(0, n, slab_size):
+        slab = sorted(by_x[s : s + slab_size], key=lambda e: mbr_of(e).center.y)
+        for g in range(0, len(slab), capacity):
+            groups.append(slab[g : g + capacity])
+    return groups
+
+
+def _enlargement(mbr: Rect, rect: Rect) -> float:
+    return mbr.union_mbr(rect).area - mbr.area
+
+
+class RTree(SpatialIndex):
+    """Dynamic R-tree over ``(item_id, Rect)`` entries.
+
+    Args:
+        max_entries: node capacity M (split when exceeded).
+        min_entries: minimum fill m (condense when underfull); defaults to
+            ``max_entries // 2``.
+    """
+
+    def __init__(self, max_entries: int = 8, min_entries: int | None = None) -> None:
+        if max_entries < 4:
+            raise ValueError("max_entries must be at least 4")
+        self._max = max_entries
+        self._min = min_entries if min_entries is not None else max_entries // 2
+        if not 1 <= self._min <= self._max // 2:
+            raise ValueError("min_entries must be in [1, max_entries // 2]")
+        self._root = _Node(leaf=True)
+        self._geoms: dict[ItemId, Rect] = {}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def insert(self, item_id: ItemId, geom: Rect) -> None:
+        if item_id in self._geoms:
+            raise ValueError(f"duplicate item id: {item_id!r}")
+        self._geoms[item_id] = geom
+        leaf = self._choose_leaf(self._root, geom)
+        leaf.entries.append((item_id, geom))
+        self._adjust_upward(leaf, geom)
+
+    def delete(self, item_id: ItemId) -> None:
+        geom = self._geoms.pop(item_id, None)
+        if geom is None:
+            raise KeyError(item_id)
+        leaf = self._find_leaf(self._root, item_id, geom)
+        if leaf is None:  # pragma: no cover - structural invariant
+            raise KeyError(item_id)
+        leaf.entries = [(i, r) for i, r in leaf.entries if i != item_id]
+        self._condense(leaf)
+        # Shrink the tree when the root has a single internal child.
+        while not self._root.leaf and len(self._root.entries) == 1:
+            self._root = self._root.entries[0]
+            self._root.parent = None
+
+    def range_query(self, window: Rect) -> list[ItemId]:
+        result: list[ItemId] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(window):
+                continue
+            if node.leaf:
+                result.extend(i for i, r in node.entries if r.intersects(window))
+            else:
+                stack.extend(node.entries)
+        return result
+
+    def nearest(self, point: Point, k: int = 1) -> list[ItemId]:
+        if k < 1:
+            raise ValueError("k must be positive")
+        return [item_id for item_id, _ in itertools.islice(self.nearest_iter(point), k)]
+
+    def nearest_iter(self, point: Point) -> Iterator[tuple[ItemId, float]]:
+        """Incremental best-first NN: yields ``(item_id, min_dist)`` in order.
+
+        The incremental form lets the private-NN query processor consume
+        neighbours until its region-dependent stopping radius is reached
+        without committing to a k up front.
+        """
+        counter = itertools.count()  # tie-breaker: heap never compares nodes
+        heap: list[tuple[float, int, object]] = []
+        if self._root.mbr is not None:
+            heapq.heappush(heap, (min_dist(point, self._root.mbr), next(counter), self._root))
+        while heap:
+            dist, _, element = heapq.heappop(heap)
+            if isinstance(element, _Node):
+                if element.leaf:
+                    for item_id, rect in element.entries:
+                        heapq.heappush(
+                            heap, (min_dist(point, rect), next(counter), (item_id,))
+                        )
+                else:
+                    for child in element.entries:
+                        if child.mbr is not None:
+                            heapq.heappush(
+                                heap, (min_dist(point, child.mbr), next(counter), child)
+                            )
+            else:
+                yield element[0], dist
+
+    def geometry_of(self, item_id: ItemId) -> Rect:
+        return self._geoms[item_id]
+
+    def __len__(self) -> int:
+        return len(self._geoms)
+
+    def __iter__(self) -> Iterator[ItemId]:
+        return iter(self._geoms)
+
+    @property
+    def height(self) -> int:
+        """Tree height (1 for a lone leaf root); exposed for tests."""
+        h = 1
+        node = self._root
+        while not node.leaf:
+            h += 1
+            node = node.entries[0]
+        return h
+
+    # ------------------------------------------------------------------
+    # Bulk loading (Sort-Tile-Recursive)
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls,
+        items: dict[ItemId, Rect],
+        max_entries: int = 8,
+        min_entries: int | None = None,
+    ) -> "RTree":
+        """Build a packed R-tree with the STR algorithm.
+
+        Sort-Tile-Recursive (Leutenegger et al., ICDE 1997): sort by
+        centre x, cut into vertical slabs of ~sqrt(n/M) leaves each, sort
+        every slab by centre y, pack runs of M entries into leaves, then
+        recurse on the leaf MBRs.  Produces near-100 % fill and tight
+        node MBRs, the right trade for static POI catalogues; the tree
+        remains fully dynamic afterwards.
+        """
+        tree = cls(max_entries=max_entries, min_entries=min_entries)
+        if not items:
+            return tree
+        tree._geoms = dict(items)
+        leaf_entries = list(items.items())
+        leaves = []
+        for group in _str_tile(leaf_entries, max_entries, lambda kv: kv[1]):
+            leaf = _Node(leaf=True)
+            leaf.entries = group
+            leaf.recompute_mbr()
+            leaves.append(leaf)
+        level = leaves
+        while len(level) > 1:
+            parents = []
+            for group in _str_tile(level, max_entries, lambda child: child.mbr):
+                parent = _Node(leaf=False)
+                parent.entries = group
+                for child in group:
+                    child.parent = parent
+                parent.recompute_mbr()
+                parents.append(parent)
+            level = parents
+        tree._root = level[0]
+        return tree
+
+    # ------------------------------------------------------------------
+    # Insertion internals
+    # ------------------------------------------------------------------
+
+    def _choose_leaf(self, node: _Node, rect: Rect) -> _Node:
+        while not node.leaf:
+            best = min(
+                node.entries,
+                key=lambda child: (
+                    _enlargement(child.mbr, rect),
+                    child.mbr.area,
+                ),
+            )
+            node = best
+        return node
+
+    def _adjust_upward(self, node: _Node, rect: Rect) -> None:
+        """Grow MBRs up the path; split overflowing nodes as we go."""
+        while node is not None:
+            node.mbr = rect if node.mbr is None else node.mbr.union_mbr(rect)
+            if len(node.entries) > self._max:
+                self._split(node)
+            node = node.parent
+
+    def _split(self, node: _Node) -> None:
+        """Quadratic split of an overflowing node."""
+        entries = node.entries
+        mbr_of = lambda e: _entry_mbr(node, e)  # noqa: E731 - local shorthand
+
+        # Pick the two seeds wasting the most area if grouped together.
+        worst = -1.0
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                ri, rj = mbr_of(entries[i]), mbr_of(entries[j])
+                waste = ri.union_mbr(rj).area - ri.area - rj.area
+                if waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+
+        group_a = [entries[seeds[0]]]
+        group_b = [entries[seeds[1]]]
+        mbr_a = mbr_of(entries[seeds[0]])
+        mbr_b = mbr_of(entries[seeds[1]])
+        remaining = [e for idx, e in enumerate(entries) if idx not in seeds]
+
+        while remaining:
+            # Force assignment when one group must absorb all leftovers to
+            # reach minimum fill.
+            if len(group_a) + len(remaining) == self._min:
+                group_a.extend(remaining)
+                mbr_a = Rect.bounding([mbr_a] + [mbr_of(e) for e in remaining])
+                remaining = []
+                break
+            if len(group_b) + len(remaining) == self._min:
+                group_b.extend(remaining)
+                mbr_b = Rect.bounding([mbr_b] + [mbr_of(e) for e in remaining])
+                remaining = []
+                break
+            # Pick the entry with the strongest group preference.
+            best_idx = max(
+                range(len(remaining)),
+                key=lambda idx: abs(
+                    _enlargement(mbr_a, mbr_of(remaining[idx]))
+                    - _enlargement(mbr_b, mbr_of(remaining[idx]))
+                ),
+            )
+            entry = remaining.pop(best_idx)
+            rect = mbr_of(entry)
+            grow_a = _enlargement(mbr_a, rect)
+            grow_b = _enlargement(mbr_b, rect)
+            if (grow_a, mbr_a.area, len(group_a)) <= (grow_b, mbr_b.area, len(group_b)):
+                group_a.append(entry)
+                mbr_a = mbr_a.union_mbr(rect)
+            else:
+                group_b.append(entry)
+                mbr_b = mbr_b.union_mbr(rect)
+
+        sibling = _Node(leaf=node.leaf)
+        node.entries = group_a
+        sibling.entries = group_b
+        node.mbr = mbr_a
+        sibling.mbr = mbr_b
+        if not node.leaf:
+            for child in sibling.entries:
+                child.parent = sibling
+
+        if node.parent is None:
+            new_root = _Node(leaf=False)
+            new_root.entries = [node, sibling]
+            node.parent = new_root
+            sibling.parent = new_root
+            new_root.recompute_mbr()
+            self._root = new_root
+        else:
+            parent = node.parent
+            sibling.parent = parent
+            parent.entries.append(sibling)
+            parent.recompute_mbr()
+
+    # ------------------------------------------------------------------
+    # Deletion internals
+    # ------------------------------------------------------------------
+
+    def _find_leaf(self, node: _Node, item_id: ItemId, geom: Rect) -> _Node | None:
+        if node.mbr is None or not node.mbr.intersects(geom):
+            return None
+        if node.leaf:
+            if any(i == item_id for i, _ in node.entries):
+                return node
+            return None
+        for child in node.entries:
+            found = self._find_leaf(child, item_id, geom)
+            if found is not None:
+                return found
+        return None
+
+    def _condense(self, node: _Node) -> None:
+        """Remove underfull nodes up the path and reinsert their entries."""
+        orphans: list[tuple[ItemId, Rect]] = []
+        while node.parent is not None:
+            parent = node.parent
+            if len(node.entries) < self._min:
+                parent.entries.remove(node)
+                orphans.extend(self._collect_leaf_entries(node))
+            else:
+                node.recompute_mbr()
+            node = parent
+        node.recompute_mbr()
+        for item_id, rect in orphans:
+            # Entries stay registered in _geoms; reinsert structurally only.
+            leaf = self._choose_leaf(self._root, rect)
+            leaf.entries.append((item_id, rect))
+            self._adjust_upward(leaf, rect)
+
+    def _collect_leaf_entries(self, node: _Node) -> list[tuple[ItemId, Rect]]:
+        if node.leaf:
+            return list(node.entries)
+        collected: list[tuple[ItemId, Rect]] = []
+        for child in node.entries:
+            collected.extend(self._collect_leaf_entries(child))
+        return collected

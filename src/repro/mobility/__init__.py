@@ -1,0 +1,34 @@
+"""Synthetic mobile-user substrate: populations, movement models, traces."""
+
+from repro.mobility.network import (
+    NetworkMobilityModel,
+    manhattan_network,
+    random_geometric_network,
+)
+from repro.mobility.population import (
+    ClusterSpec,
+    clustered_population,
+    hotspot_population,
+    population_from_clusters,
+    uniform_population,
+)
+from repro.mobility.random_waypoint import RandomWaypointModel
+from repro.mobility.trace import Trace, TraceEvent, record_trace
+from repro.mobility.users import MobileUser, UserMode
+
+__all__ = [
+    "MobileUser",
+    "UserMode",
+    "ClusterSpec",
+    "uniform_population",
+    "clustered_population",
+    "hotspot_population",
+    "population_from_clusters",
+    "RandomWaypointModel",
+    "NetworkMobilityModel",
+    "manhattan_network",
+    "random_geometric_network",
+    "Trace",
+    "TraceEvent",
+    "record_trace",
+]

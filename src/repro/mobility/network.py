@@ -1,0 +1,207 @@
+"""Road-network mobility over a networkx graph.
+
+Location obfuscation work contemporaneous with the paper (Duckham & Kulik)
+models space as a road graph; this model lets the reproduction exercise
+cloaking under network-constrained movement, where users concentrate on
+corridors instead of filling the plane.  Users travel along shortest paths
+between random intersections of a synthetic Manhattan-style grid network
+(or any caller-supplied graph with ``pos``-attributed nodes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+import networkx as nx
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+def manhattan_network(bounds: Rect, blocks: int = 10) -> nx.Graph:
+    """A ``blocks x blocks`` street grid spanning ``bounds``.
+
+    Nodes carry a ``pos`` attribute (a :class:`Point`); edges carry their
+    Euclidean ``length``.
+    """
+    if blocks < 1:
+        raise ValueError("blocks must be positive")
+    graph = nx.Graph()
+    step_x = bounds.width / blocks
+    step_y = bounds.height / blocks
+    for i in range(blocks + 1):
+        for j in range(blocks + 1):
+            graph.add_node(
+                (i, j), pos=Point(bounds.min_x + i * step_x, bounds.min_y + j * step_y)
+            )
+    for i in range(blocks + 1):
+        for j in range(blocks + 1):
+            if i < blocks:
+                graph.add_edge((i, j), (i + 1, j), length=step_x)
+            if j < blocks:
+                graph.add_edge((i, j), (i, j + 1), length=step_y)
+    return graph
+
+
+def random_geometric_network(
+    bounds: Rect, n_nodes: int, radius_fraction: float, rng: np.random.Generator
+) -> nx.Graph:
+    """A connected random geometric street network.
+
+    Nodes are uniform in ``bounds``; nodes within ``radius_fraction *
+    width`` are connected.  Disconnected leftovers are attached to their
+    nearest covered node so every trip has a route.
+    """
+    if n_nodes < 2:
+        raise ValueError("need at least two nodes")
+    graph = nx.Graph()
+    positions = [
+        Point(
+            float(rng.uniform(bounds.min_x, bounds.max_x)),
+            float(rng.uniform(bounds.min_y, bounds.max_y)),
+        )
+        for _ in range(n_nodes)
+    ]
+    for i, pos in enumerate(positions):
+        graph.add_node(i, pos=pos)
+    radius = radius_fraction * bounds.width
+    for i in range(n_nodes):
+        for j in range(i + 1, n_nodes):
+            d = positions[i].distance_to(positions[j])
+            if d <= radius:
+                graph.add_edge(i, j, length=d)
+    components = [list(c) for c in nx.connected_components(graph)]
+    main = max(components, key=len)
+    main_set = set(main)
+    for component in components:
+        if component[0] in main_set:
+            continue
+        # Bridge the component to its nearest main-component node.
+        best = min(
+            ((a, b) for a in component for b in main),
+            key=lambda ab: positions[ab[0]].distance_to(positions[ab[1]]),
+        )
+        graph.add_edge(*best, length=positions[best[0]].distance_to(positions[best[1]]))
+        main_set.update(component)
+        main.extend(component)
+    return graph
+
+
+@dataclass
+class _TripState:
+    path: list[Hashable]
+    edge_index: int
+    offset: float
+    speed: float
+    position: Point = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.position = Point(0.0, 0.0)  # set by the model immediately
+
+
+class NetworkMobilityModel:
+    """Moves users along shortest paths of a street network.
+
+    Args:
+        graph: street graph with ``pos`` node attributes and ``length``
+            edge attributes.
+        rng: random generator.
+        speed_range: per-trip speed interval.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        rng: np.random.Generator,
+        speed_range: tuple[float, float] = (0.5, 2.0),
+    ) -> None:
+        if graph.number_of_nodes() < 2:
+            raise ValueError("graph must have at least two nodes")
+        if not nx.is_connected(graph):
+            raise ValueError("street graph must be connected")
+        self.graph = graph
+        self._rng = rng
+        self._speed_range = speed_range
+        self._nodes = list(graph.nodes)
+        self._trips: dict[Hashable, _TripState] = {}
+
+    def position_of(self, user_id: Hashable) -> Point:
+        return self._trips[user_id].position
+
+    def node_position(self, node: Hashable) -> Point:
+        return self.graph.nodes[node]["pos"]
+
+    def add_user(self, user_id: Hashable, start_node: Hashable | None = None) -> Point:
+        """Place a user at a (random) intersection; returns her position."""
+        if user_id in self._trips:
+            raise ValueError(f"duplicate user: {user_id!r}")
+        if start_node is None:
+            start_node = self._nodes[int(self._rng.integers(len(self._nodes)))]
+        state = self._new_trip(start_node)
+        self._trips[user_id] = state
+        return state.position
+
+    def remove_user(self, user_id: Hashable) -> None:
+        del self._trips[user_id]
+
+    def __len__(self) -> int:
+        return len(self._trips)
+
+    def step(self, dt: float) -> dict[Hashable, Point]:
+        """Advance every user by ``dt``; returns the new positions."""
+        if dt < 0:
+            raise ValueError("dt must be non-negative")
+        moved: dict[Hashable, Point] = {}
+        for user_id, state in self._trips.items():
+            remaining = state.speed * dt
+            while remaining > 0:
+                if state.edge_index >= len(state.path) - 1:
+                    state = self._new_trip(state.path[-1], speed=state.speed)
+                    self._trips[user_id] = state
+                    continue
+                a = state.path[state.edge_index]
+                b = state.path[state.edge_index + 1]
+                length = self.graph.edges[a, b]["length"]
+                left_on_edge = length - state.offset
+                if remaining < left_on_edge:
+                    state.offset += remaining
+                    remaining = 0.0
+                else:
+                    remaining -= left_on_edge
+                    state.offset = 0.0
+                    state.edge_index += 1
+            state.position = self._interpolate(state)
+            moved[user_id] = state.position
+        return moved
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _new_trip(self, start: Hashable, speed: float | None = None) -> _TripState:
+        target = start
+        while target == start:
+            target = self._nodes[int(self._rng.integers(len(self._nodes)))]
+        path = nx.shortest_path(self.graph, start, target, weight="length")
+        lo, hi = self._speed_range
+        state = _TripState(
+            path=path,
+            edge_index=0,
+            offset=0.0,
+            speed=speed if speed is not None else float(self._rng.uniform(lo, hi)),
+        )
+        state.position = self._interpolate(state)
+        return state
+
+    def _interpolate(self, state: _TripState) -> Point:
+        if state.edge_index >= len(state.path) - 1:
+            return self.node_position(state.path[-1])
+        a = self.node_position(state.path[state.edge_index])
+        b = self.node_position(state.path[state.edge_index + 1])
+        length = self.graph.edges[
+            state.path[state.edge_index], state.path[state.edge_index + 1]
+        ]["length"]
+        frac = state.offset / length if length > 0 else 0.0
+        return Point(a.x + frac * (b.x - a.x), a.y + frac * (b.y - a.y))

@@ -1,0 +1,64 @@
+"""Mobile users and their modes (Section 4 of the paper).
+
+A user is in one of three modes:
+
+* **passive** — shares nothing with anybody;
+* **active** — continuously reports her exact location to the location
+  anonymizer;
+* **query** — additionally has at least one outstanding location-based
+  query.
+
+The paper's system only ever processes active/query users; passive users
+exist in the simulation so population counts and anonymity pools reflect
+reality (a passive user cannot lend you her anonymity).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.profiles import PrivacyProfile
+from repro.geometry.point import Point
+
+
+class UserMode(enum.Enum):
+    """The three participation modes of Section 4."""
+
+    PASSIVE = "passive"
+    ACTIVE = "active"
+    QUERY = "query"
+
+    @property
+    def shares_location(self) -> bool:
+        """Does this mode send location updates to the anonymizer?"""
+        return self is not UserMode.PASSIVE
+
+
+@dataclass
+class MobileUser:
+    """One simulated mobile user.
+
+    Attributes:
+        user_id: stable identity (known only to the anonymizer).
+        location: current exact location.
+        profile: the user's privacy profile.
+        mode: participation mode.
+        speed: movement speed in distance units per simulated second.
+    """
+
+    user_id: Hashable
+    location: Point
+    profile: PrivacyProfile = field(default_factory=PrivacyProfile)
+    mode: UserMode = UserMode.ACTIVE
+    speed: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed < 0:
+            raise ValueError("speed must be non-negative")
+
+    @property
+    def is_visible(self) -> bool:
+        """Does the anonymizer currently see this user?"""
+        return self.mode.shares_location

@@ -1,0 +1,83 @@
+"""Continuous private nearest-neighbour queries (extension).
+
+The third continuous query kind: a moving, cloaked user keeps a standing
+"my nearest gas station" subscription.  The server recomputes the NN
+candidate set whenever the user's cloaked region changes and ships only
+the delta, like :class:`~repro.queries.continuous.ContinuousPrivateRange`
+does for range predicates.  An optional *stability* optimisation skips
+recomputation entirely while the new region is contained in the previous
+one (a shrinking region can only shrink the candidate set, so the cached
+answer stays sound — it just may ship a few extra candidates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.core.errors import QueryError
+from repro.core.stores import PublicStore
+from repro.geometry.rect import Rect
+from repro.queries.continuous import RangeDelta
+from repro.queries.private_nn import NNCandidateMethod, private_nn_query
+
+
+@dataclass
+class ContinuousPrivateNN:
+    """Standing private NN query for one moving, cloaked user.
+
+    Attributes:
+        store: the public data store being monitored.
+        method: candidate method forwarded to the snapshot query.
+        lazy_shrink: keep the cached (sound, slightly larger) candidate
+            set when the region shrinks inside the previous one instead of
+            recomputing.
+    """
+
+    store: PublicStore
+    method: NNCandidateMethod = "filter"
+    lazy_shrink: bool = False
+    _candidates: set[Hashable] = field(default_factory=set, init=False)
+    _region: Rect | None = field(default=None, init=False)
+    deltas_sent: int = field(default=0, init=False)
+    objects_shipped: int = field(default=0, init=False)
+    recomputations: int = field(default=0, init=False)
+
+    def on_region_update(self, region: Rect) -> RangeDelta:
+        """New cloaked region; returns the candidate-set delta."""
+        if (
+            self.lazy_shrink
+            and self._region is not None
+            and self._region.contains_rect(region)
+        ):
+            # Sound reuse: every NN of a point in the smaller region was an
+            # NN candidate of the larger one.
+            self._region = region
+            self.deltas_sent += 1
+            return RangeDelta(joined=(), left=())
+        result = private_nn_query(self.store, region, self.method)
+        self.recomputations += 1
+        new_candidates = set(result.candidates)
+        joined = tuple(sorted(new_candidates - self._candidates, key=repr))
+        left = tuple(sorted(self._candidates - new_candidates, key=repr))
+        self._candidates = new_candidates
+        self._region = region
+        delta = RangeDelta(joined=joined, left=left)
+        self.deltas_sent += 1
+        self.objects_shipped += delta.transmission_size
+        return delta
+
+    @property
+    def candidates(self) -> set[Hashable]:
+        """The client's current candidate view."""
+        return set(self._candidates)
+
+    @property
+    def region(self) -> Rect:
+        if self._region is None:
+            raise QueryError("continuous NN query has no region yet")
+        return self._region
+
+    @property
+    def full_answer_cost(self) -> int:
+        return len(self._candidates)

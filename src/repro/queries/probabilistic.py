@@ -1,0 +1,183 @@
+"""Probabilistic answer representations (Section 6.2.2, Figure 6).
+
+The paper proposes three answer formats for public queries over private
+data and these classes implement all of them:
+
+1. **absolute value** — the expected count (sum of per-object
+   probabilities; the worked example's ``1 + 0.75 + 0.5 + 0.2 + 0.25 =
+   2.7``),
+2. **interval** — ``[certain, possible]`` (the example's ``[1, 5]``), and
+3. **probability density function** — the exact distribution of the count,
+   which for independent per-object inclusion probabilities is the
+   Poisson–binomial distribution, computed here by exact dynamic
+   programming (no sampling).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Hashable, Mapping, Sequence
+
+import numpy as np
+
+#: Probabilities within this tolerance of 0/1 are treated as certain.
+_CERTAINTY_EPS = 1e-12
+
+
+def poisson_binomial_pmf(probs: Sequence[float]) -> np.ndarray:
+    """Exact PMF of a sum of independent Bernoulli variables.
+
+    Args:
+        probs: the per-trial success probabilities, each in [0, 1].
+
+    Returns:
+        Array ``pmf`` of length ``len(probs) + 1`` with
+        ``pmf[i] = P(count == i)``.
+
+    The dynamic program folds one trial at a time in O(n^2); exact (to
+    float precision) and comfortably fast for the thousands of objects a
+    realistic query window overlaps.
+    """
+    for p in probs:
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"probability out of range: {p}")
+    pmf = np.zeros(len(probs) + 1)
+    pmf[0] = 1.0
+    for n, p in enumerate(probs):
+        # After n trials only entries [0, n] are populated.
+        head = pmf[: n + 2].copy()
+        head[1:] = head[1:] * (1.0 - p) + head[:-1] * p
+        head[0] *= 1.0 - p
+        pmf[: n + 2] = head
+    return pmf
+
+
+@dataclass(frozen=True)
+class CountAnswer:
+    """A probabilistic count: per-object inclusion probabilities.
+
+    Attributes:
+        probabilities: object id -> probability the object satisfies the
+            query predicate.  Zero-probability objects may be omitted by
+            constructors; including them changes nothing.
+    """
+
+    probabilities: Mapping[Hashable, float]
+
+    def __post_init__(self) -> None:
+        for object_id, p in self.probabilities.items():
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"probability of {object_id!r} out of range: {p}")
+
+    # -- format 1: absolute value -------------------------------------
+
+    @property
+    def expected(self) -> float:
+        """The absolute-value answer (sum of probabilities)."""
+        return float(sum(self.probabilities.values()))
+
+    # -- format 2: interval --------------------------------------------
+
+    @property
+    def certain(self) -> int:
+        """Objects that contribute with probability 1 (interval lower end)."""
+        return sum(
+            1 for p in self.probabilities.values() if p >= 1.0 - _CERTAINTY_EPS
+        )
+
+    @property
+    def possible(self) -> int:
+        """Objects that could satisfy the predicate (interval upper end).
+
+        Constructors include exactly the objects whose region makes the
+        predicate *geometrically* possible, so this is simply the entry
+        count.  An entry may carry probability 0.0 (a region touching the
+        query window in a measure-zero set): the uniform model assigns it
+        no mass, yet the user could truly sit on that shared boundary, so
+        it still counts as possible.
+        """
+        return len(self.probabilities)
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        """The ``[min, max]`` interval answer."""
+        return (self.certain, self.possible)
+
+    # -- format 3: probability density function -------------------------
+
+    def pmf(self) -> np.ndarray:
+        """Exact distribution of the count (Poisson–binomial)."""
+        return poisson_binomial_pmf(list(self.probabilities.values()))
+
+    def probability_of_count(self, count: int) -> float:
+        """P(exactly ``count`` objects satisfy the predicate)."""
+        pmf = self.pmf()
+        if not 0 <= count < len(pmf):
+            return 0.0
+        return float(pmf[count])
+
+    def most_likely_count(self) -> int:
+        """The mode of the count distribution."""
+        return int(np.argmax(self.pmf()))
+
+    def variance(self) -> float:
+        """Variance of the count (sum of p * (1 - p))."""
+        return float(sum(p * (1.0 - p) for p in self.probabilities.values()))
+
+    def __len__(self) -> int:
+        return len(self.probabilities)
+
+
+@dataclass(frozen=True)
+class NearestAnswer:
+    """A probabilistic nearest-neighbour answer (Figure 6b formats).
+
+    Attributes:
+        probabilities: candidate object id -> probability it is the true
+            nearest object.  Probabilities sum to 1 (up to estimation
+            error) because exactly one object is nearest.
+    """
+
+    probabilities: Mapping[Hashable, float]
+
+    def __post_init__(self) -> None:
+        for object_id, p in self.probabilities.items():
+            if not 0.0 <= p <= 1.0 + 1e-9:
+                raise ValueError(f"probability of {object_id!r} out of range: {p}")
+
+    @property
+    def candidates(self) -> set[Hashable]:
+        """Format 1: the set of potential nearest objects."""
+        return {o for o, p in self.probabilities.items() if p > 0.0}
+
+    @property
+    def top(self) -> Hashable:
+        """Format 2: the single most probable nearest object."""
+        if not self.probabilities:
+            raise ValueError("empty answer has no top candidate")
+        return max(self.probabilities.items(), key=lambda item: item[1])[0]
+
+    def ranked(self) -> list[tuple[Hashable, float]]:
+        """Format 3: ``(object, probability)`` pairs, most probable first."""
+        return sorted(self.probabilities.items(), key=lambda item: -item[1])
+
+    @property
+    def total_probability(self) -> float:
+        return float(sum(self.probabilities.values()))
+
+    def entropy(self) -> float:
+        """Shannon entropy (bits) of the NN distribution.
+
+        Zero means the server can name the nearest object with certainty
+        despite cloaking; higher values quantify the privacy-induced answer
+        uncertainty (experiment E8).
+        """
+        h = 0.0
+        for p in self.probabilities.values():
+            if p > 0.0:
+                h -= p * math.log2(p)
+        return h
+
+    def __len__(self) -> int:
+        return len(self.probabilities)

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def bounds() -> Rect:
+    """The standard 100x100 test universe."""
+    return Rect(0.0, 0.0, 100.0, 100.0)
+
+
+@pytest.fixture
+def uniform_points_500(bounds, rng) -> list[Point]:
+    """500 uniform points in the test universe (deterministic)."""
+    coords = rng.uniform(0.0, 100.0, size=(500, 2))
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+@pytest.fixture
+def clustered_points_500(bounds, rng) -> list[Point]:
+    """A two-cluster population plus sparse background."""
+    pts = []
+    for cx, cy, n in [(20.0, 20.0, 200), (70.0, 75.0, 200)]:
+        xs = np.clip(rng.normal(cx, 4.0, n), 0.0, 100.0)
+        ys = np.clip(rng.normal(cy, 4.0, n), 0.0, 100.0)
+        pts.extend(Point(float(x), float(y)) for x, y in zip(xs, ys))
+    coords = rng.uniform(0.0, 100.0, size=(100, 2))
+    pts.extend(Point(float(x), float(y)) for x, y in coords)
+    return pts

@@ -1,0 +1,69 @@
+"""Property-based tests for CliqueCloak service invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloaking.clique import CliqueCloak
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+arrivals = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=100, allow_nan=False),  # x
+        st.floats(min_value=0, max_value=100, allow_nan=False),  # y
+        st.integers(min_value=1, max_value=6),                   # k
+        st.floats(min_value=0.5, max_value=25),                  # tolerance
+    ),
+    min_size=1,
+    max_size=50,
+)
+
+
+@given(arrivals)
+@settings(max_examples=50, deadline=None)
+def test_served_groups_satisfy_all_invariants(raw):
+    cloak = CliqueCloak(BOUNDS)
+    requests = {}
+    for i, (x, y, k, tolerance) in enumerate(raw):
+        point = Point(x, y)
+        requests[i] = (point, k, tolerance)
+        cloak.request(float(i), i, point, k=k, tolerance=tolerance)
+    cloak.tick(float(len(raw)))
+
+    served_users = [m for r in cloak.served for m in r.members]
+    # No user is served twice, and served + pending = all requests.
+    assert len(served_users) == len(set(served_users))
+    assert len(served_users) + cloak.pending_count == len(raw)
+
+    for result in cloak.served:
+        member_info = [requests[m] for m in result.members]
+        # 1. Group size covers every member's personal k.
+        assert result.group_size >= max(k for _, k, _ in member_info)
+        # 2. The shared region contains every member's point.
+        for point, _, _ in member_info:
+            assert result.region.expanded(1e-9).contains_point(point)
+        # 3. The region respects every member's tolerance box (up to the
+        #    universe clip).
+        for point, _, tolerance in member_info:
+            box = Rect.from_center(point, 2 * tolerance, 2 * tolerance)
+            allowed = box.intersection(BOUNDS)
+            assert allowed is not None
+            assert allowed.expanded(1e-9).contains_rect(result.region)
+        # 4. Inside the universe.
+        assert BOUNDS.contains_rect(result.region)
+
+
+@given(arrivals, st.floats(min_value=1, max_value=30))
+@settings(max_examples=30, deadline=None)
+def test_max_delay_bounds_pending_age(raw, max_delay):
+    cloak = CliqueCloak(BOUNDS, max_delay=max_delay)
+    for i, (x, y, k, tolerance) in enumerate(raw):
+        cloak.request(float(i), i, Point(x, y), k=k, tolerance=tolerance)
+        cloak.tick(float(i))
+    final_t = float(len(raw)) + max_delay + 1
+    cloak.tick(final_t)
+    # Everything still pending is younger than max_delay.
+    for pending in cloak._pending.values():
+        assert final_t - pending.requested_at <= max_delay + 1e-9

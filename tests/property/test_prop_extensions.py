@@ -1,0 +1,128 @@
+"""Property-based tests for the extension modules."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloaking.hilbert import HilbertCloaker, hilbert_d
+from repro.core.profiles import PrivacyRequirement
+from repro.core.stores import PrivateStore, PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.private_knn import exact_knn_answer, private_knn_query
+from repro.queries.public_knn import exact_knn_users, knn_candidate_users
+
+coord = st.floats(min_value=0, max_value=100, allow_nan=False)
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+class TestHilbertCurveProperties:
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=6, deadline=None)
+    def test_bijection_at_every_order(self, order):
+        side = 1 << order
+        seen = {
+            hilbert_d(order, x, y) for x in range(side) for y in range(side)
+        }
+        assert seen == set(range(side * side))
+
+    @given(st.integers(min_value=2, max_value=6), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_consecutive_indices_are_grid_neighbours(self, order, data):
+        side = 1 << order
+        x = data.draw(st.integers(min_value=0, max_value=side - 1))
+        y = data.draw(st.integers(min_value=0, max_value=side - 1))
+        d = hilbert_d(order, x, y)
+        if d + 1 >= side * side:
+            return
+        # Find the successor cell by scanning the local neighbourhood:
+        # locality means it is one of the 4-neighbours.
+        neighbours = [
+            (x + dx, y + dy)
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1))
+            if 0 <= x + dx < side and 0 <= y + dy < side
+        ]
+        assert any(hilbert_d(order, nx, ny) == d + 1 for nx, ny in neighbours)
+
+
+class TestHilbertBucketProperties:
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=3, max_size=60, unique=True),
+        st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_buckets_partition_and_cover(self, raw, data):
+        cloaker = HilbertCloaker(BOUNDS, order=6)
+        for i, (x, y) in enumerate(raw):
+            cloaker.add_user(i, Point(x, y))
+        k = data.draw(st.integers(min_value=1, max_value=len(raw)))
+        buckets = {frozenset(cloaker.bucket_of(i, k)) for i in range(len(raw))}
+        members = sorted(m for bucket in buckets for m in bucket)
+        assert members == sorted(range(len(raw)))  # partition
+        assert all(len(bucket) >= min(k, len(raw)) for bucket in buckets)
+
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=4, max_size=40, unique=True),
+        st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_reciprocity_of_regions(self, raw, data):
+        cloaker = HilbertCloaker(BOUNDS, order=6)
+        for i, (x, y) in enumerate(raw):
+            cloaker.add_user(i, Point(x, y))
+        k = data.draw(st.integers(min_value=2, max_value=len(raw)))
+        requirement = PrivacyRequirement(k=k)
+        victim = data.draw(st.integers(min_value=0, max_value=len(raw) - 1))
+        region = cloaker.cloak(victim, requirement).region
+        for member in cloaker.bucket_of(victim, k):
+            assert cloaker.cloak(member, requirement).region == region
+
+
+class TestPrivateKNNProperties:
+    @given(
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=40, unique=True),
+        st.tuples(coord, coord, coord, coord),
+        st.integers(min_value=1, max_value=6),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_knn_containment(self, raw, box, k, data):
+        store = PublicStore()
+        for i, (x, y) in enumerate(raw):
+            store.add(i, Point(x, y))
+        region = Rect(
+            min(box[0], box[2]), min(box[1], box[3]),
+            max(box[0], box[2]), max(box[1], box[3]),
+        )
+        result = private_knn_query(store, region, k, "filter")
+        x = data.draw(st.floats(min_value=region.min_x, max_value=region.max_x))
+        y = data.draw(st.floats(min_value=region.min_y, max_value=region.max_y))
+        truth = exact_knn_answer(store, Point(x, y), k)
+        assert set(truth) <= set(result.candidates)
+
+
+class TestPublicKNNProperties:
+    @given(
+        st.lists(
+            st.tuples(coord, coord, st.floats(min_value=0, max_value=15)),
+            min_size=1,
+            max_size=25,
+        ),
+        st.tuples(coord, coord),
+        st.integers(min_value=1, max_value=5),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_true_knn_users_always_candidates(self, raw, q_xy, k, data):
+        store = PrivateStore()
+        exact = {}
+        for i, (cx, cy, half) in enumerate(raw):
+            region = Rect(cx - half, cy - half, cx + half, cy + half)
+            store.set_region(i, region)
+            fx = data.draw(st.floats(min_value=region.min_x, max_value=region.max_x))
+            fy = data.draw(st.floats(min_value=region.min_y, max_value=region.max_y))
+            exact[i] = Point(fx, fy)
+        q = Point(*q_xy)
+        candidates, _ = knn_candidate_users(store, q, k)
+        truth = exact_knn_users(exact, q, k)
+        assert set(truth) <= set(candidates)

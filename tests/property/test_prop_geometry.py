@@ -1,0 +1,137 @@
+"""Property-based tests for the geometry substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.distances import (
+    max_dist,
+    max_dist_rects,
+    min_dist,
+    min_dist_rects,
+    min_max_dist_rect,
+    within_distance_of_rect,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+coords = st.floats(min_value=-1000, max_value=1000, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def points(draw):
+    return Point(draw(coords), draw(coords))
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(x1, y1, x2, y2)
+
+
+class TestPointProperties:
+    @given(points(), points())
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points(), points(), points())
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-7
+
+    @given(points(), points())
+    def test_manhattan_dominates_euclidean(self, a, b):
+        assert a.manhattan_distance_to(b) >= a.distance_to(b) - 1e-9
+
+
+class TestRectProperties:
+    @given(rects())
+    def test_center_inside(self, r):
+        assert r.contains_point(r.center)
+
+    @given(rects())
+    def test_corners_inside(self, r):
+        for corner in r.corners:
+            assert r.contains_point(corner)
+
+    @given(rects(), rects())
+    def test_intersection_commutes(self, a, b):
+        assert a.intersection(b) == b.intersection(a)
+
+    @given(rects(), rects())
+    def test_intersection_contained_in_both(self, a, b):
+        overlap = a.intersection(b)
+        if overlap is not None:
+            assert a.contains_rect(overlap)
+            assert b.contains_rect(overlap)
+
+    @given(rects(), rects())
+    def test_union_mbr_contains_both(self, a, b):
+        union = a.union_mbr(b)
+        assert union.contains_rect(a)
+        assert union.contains_rect(b)
+
+    @given(rects(), st.floats(min_value=0, max_value=100))
+    def test_expanded_contains_original(self, r, margin):
+        assert r.expanded(margin).contains_rect(r)
+
+    @given(rects(), st.floats(min_value=0.01, max_value=100))
+    def test_expanded_area_formula(self, r, margin):
+        expanded = r.expanded(margin)
+        expected = (r.width + 2 * margin) * (r.height + 2 * margin)
+        assert math.isclose(expanded.area, expected, rel_tol=1e-9, abs_tol=1e-6)
+
+    @given(rects())
+    def test_quadrants_tile(self, r):
+        quads = r.quadrants()
+        assert math.isclose(sum(q.area for q in quads), r.area, rel_tol=1e-9, abs_tol=1e-6)
+        for q in quads:
+            assert r.contains_rect(q)
+
+    @given(rects(), st.floats(min_value=0.1, max_value=1e6))
+    def test_scaled_to_area_hits_target(self, r, target):
+        scaled = r.scaled_to_area(target)
+        if r.area > 0 or target > 0:
+            assert math.isclose(scaled.area, target, rel_tol=1e-6, abs_tol=1e-6)
+
+
+class TestDistanceProperties:
+    @given(points(), rects())
+    def test_min_le_max(self, p, r):
+        assert min_dist(p, r) <= max_dist(p, r) + 1e-9
+
+    @given(points(), rects())
+    def test_min_dist_zero_iff_inside(self, p, r):
+        if r.contains_point(p):
+            assert min_dist(p, r) == 0.0
+        else:
+            assert min_dist(p, r) > 0.0
+
+    @given(points(), rects())
+    def test_max_dist_attained_at_a_corner(self, p, r):
+        corner_max = max(p.distance_to(c) for c in r.corners)
+        assert math.isclose(max_dist(p, r), corner_max, rel_tol=1e-9, abs_tol=1e-9)
+
+    @given(rects(), rects())
+    def test_rect_distances_bracket(self, a, b):
+        assert min_dist_rects(a, b) <= max_dist_rects(a, b) + 1e-9
+
+    @given(rects(), rects())
+    def test_min_max_dist_bracketed(self, a, b):
+        m = min_max_dist_rect(a, b)
+        assert min_dist_rects(a, b) - 1e-9 <= m <= max_dist_rects(a, b) + 1e-9
+
+    @given(points(), rects(), st.floats(min_value=0, max_value=500))
+    def test_rounded_region_subset_of_mbr_expansion(self, p, r, d):
+        # Tiny float slack: the expansion sum can round down when d is
+        # subnormal relative to the coordinates.
+        if within_distance_of_rect(p, r, d):
+            assert r.expanded(d).expanded(1e-6).contains_point(p)
+
+    @given(rects(), rects())
+    def test_intersecting_iff_zero_min_dist(self, a, b):
+        if a.intersects(b):
+            assert min_dist_rects(a, b) == 0.0
+        else:
+            assert min_dist_rects(a, b) > 0.0

@@ -1,0 +1,88 @@
+"""Unit tests for the ASCII visualisation helpers."""
+
+import pytest
+
+from repro.evalx.ascii_viz import density_map, overlay_regions, render_cloak_comparison
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+class TestDensityMap:
+    def test_dimensions(self):
+        art = density_map([Point(50, 50)], BOUNDS, width=40, height=10)
+        lines = art.split("\n")
+        assert len(lines) == 10
+        assert all(len(line) == 40 for line in lines)
+
+    def test_empty_population_is_blank(self):
+        art = density_map([], BOUNDS, width=10, height=4)
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_dense_cell_darker_than_sparse(self):
+        points = [Point(10, 10)] * 50 + [Point(90, 90)]
+        art = density_map(points, BOUNDS, width=10, height=10)
+        lines = art.split("\n")
+        # North-up: (10, 10) lands in cell (1, 1) = second line from the
+        # bottom; (90, 90) in cell (9, 9) = the top line.
+        assert lines[-2][1] == "@"
+        assert lines[0][9] != " "
+        assert lines[0][9] != "@"
+
+    def test_north_up_orientation(self):
+        art = density_map([Point(5, 95)], BOUNDS, width=10, height=10)
+        lines = art.split("\n")
+        assert lines[0].strip() != ""  # top row has the mark
+        assert lines[-1].strip() == ""
+
+    def test_out_of_bounds_points_skipped(self):
+        art = density_map([Point(500, 500)], BOUNDS, width=5, height=5)
+        assert set(art.replace("\n", "")) == {" "}
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            density_map([], BOUNDS, width=0)
+
+
+class TestOverlay:
+    def test_rectangle_outline_drawn(self):
+        base = density_map([], BOUNDS, width=20, height=20)
+        art = overlay_regions(base, [(Rect(20, 20, 80, 80), "#")], BOUNDS)
+        assert "#" in art
+        lines = art.split("\n")
+        hash_rows = [i for i, line in enumerate(lines) if "#" in line]
+        # A rectangle outline has hollow middle rows (only 2 # per row).
+        middle = lines[(hash_rows[0] + hash_rows[-1]) // 2]
+        assert middle.count("#") == 2
+
+    def test_marker_drawn_last(self):
+        base = density_map([], BOUNDS, width=20, height=20)
+        art = overlay_regions(
+            base,
+            [(Rect(0, 0, 100, 100), "#")],
+            BOUNDS,
+            markers=[(Point(0, 0), "X")],
+        )
+        lines = art.split("\n")
+        assert lines[-1][0] == "X"
+
+    def test_disjoint_region_ignored(self):
+        base = density_map([], BOUNDS, width=10, height=10)
+        art = overlay_regions(base, [(Rect(200, 200, 300, 300), "#")], BOUNDS)
+        assert "#" not in art
+
+
+class TestComparison:
+    def test_one_panel_per_algorithm(self):
+        points = [Point(float(i), 50.0) for i in range(100)]
+        art = render_cloak_comparison(
+            points,
+            Point(50, 50),
+            [("naive", Rect(40, 40, 60, 60)), ("pyramid", Rect(50, 50, 75, 75))],
+            BOUNDS,
+            width=30,
+            height=10,
+        )
+        assert "naive" in art and "pyramid" in art
+        assert art.count("X") == 2

@@ -1,0 +1,246 @@
+"""Unit tests for the adversary suite."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.base import AttackOutcome
+from repro.attacks.linkage import MaxSpeedLinkageAttack
+from repro.attacks.location import (
+    BoundaryAttack,
+    CenterAttack,
+    RandomGuessAttack,
+    distance_to_boundary,
+    on_boundary_fraction,
+)
+from repro.attacks.metrics import evaluate_attacks
+from repro.attacks.posterior import (
+    posterior_anonymity,
+    reciprocity_rate,
+    regions_equal,
+)
+from repro.cloaking.hilbert import HilbertCloaker
+from repro.cloaking.mbr import MBRCloaker
+from repro.cloaking.naive import NaiveCloaker
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def load(cls, points, **kwargs):
+    cloaker = cls(BOUNDS, **kwargs)
+    for i, p in enumerate(points):
+        cloaker.add_user(i, p)
+    return cloaker
+
+
+class TestAttackOutcome:
+    def test_normalized_error(self):
+        outcome = AttackOutcome(guess=Point(0, 0), error=5.0, region_diagonal=10.0)
+        assert outcome.normalized_error == 0.5
+
+    def test_normalized_error_degenerate_region(self):
+        hit = AttackOutcome(guess=Point(0, 0), error=0.0, region_diagonal=0.0)
+        miss = AttackOutcome(guess=Point(0, 0), error=1.0, region_diagonal=0.0)
+        assert hit.normalized_error == 0.0
+        assert miss.normalized_error == float("inf")
+
+    def test_hit_within(self):
+        outcome = AttackOutcome(guess=Point(0, 0), error=2.0, region_diagonal=10.0)
+        assert outcome.hit_within(2.0)
+        assert not outcome.hit_within(1.9)
+
+
+class TestCenterAttack:
+    def test_breaks_naive_cloaking(self, uniform_points_500):
+        cloaker = load(NaiveCloaker, uniform_points_500)
+        attack = CenterAttack()
+        interior = [
+            i
+            for i, p in enumerate(uniform_points_500)
+            if 25 < p.x < 75 and 25 < p.y < 75
+        ][:30]
+        errors = []
+        for victim in interior:
+            region = cloaker.cloak(victim, PrivacyRequirement(k=10)).region
+            outcome = attack.attack(region, uniform_points_500[victim])
+            errors.append(outcome.normalized_error)
+        assert np.mean(errors) < 0.01  # essentially exact localisation
+
+    def test_does_not_break_pyramid(self, uniform_points_500):
+        cloaker = load(PyramidCloaker, uniform_points_500, height=6)
+        attack = CenterAttack()
+        errors = []
+        for victim in range(40):
+            region = cloaker.cloak(victim, PrivacyRequirement(k=10)).region
+            errors.append(
+                attack.attack(region, uniform_points_500[victim]).normalized_error
+            )
+        assert np.mean(errors) > 0.15  # comparable to blind guessing
+
+
+class TestBoundaryLeakage:
+    def test_distance_to_boundary(self):
+        region = Rect(0, 0, 10, 10)
+        assert distance_to_boundary(region, Point(5, 5)) == 5.0
+        assert distance_to_boundary(region, Point(1, 5)) == 1.0
+        assert distance_to_boundary(region, Point(0, 5)) == 0.0
+
+    def test_distance_outside_raises(self):
+        with pytest.raises(ValueError):
+            distance_to_boundary(Rect(0, 0, 1, 1), Point(5, 5))
+
+    def test_mbr_victims_often_on_boundary(self, uniform_points_500):
+        cloaker = load(MBRCloaker, uniform_points_500)
+        cloaks = []
+        for victim in range(60):
+            region = cloaker.cloak(victim, PrivacyRequirement(k=5)).region
+            cloaks.append((region, uniform_points_500[victim]))
+        rate = on_boundary_fraction(cloaks)
+        # The requester is the *centre* of her kNN group, so she defines an
+        # edge less often than a random member — but still vastly more
+        # often than the ~0 of a space-partitioned region.
+        assert rate > 0.15
+
+    def test_pyramid_victims_rarely_on_boundary(self, uniform_points_500):
+        cloaker = load(PyramidCloaker, uniform_points_500, height=6)
+        cloaks = []
+        for victim in range(60):
+            region = cloaker.cloak(victim, PrivacyRequirement(k=5)).region
+            cloaks.append((region, uniform_points_500[victim]))
+        assert on_boundary_fraction(cloaks) < 0.05
+
+    def test_boundary_attack_guesses_on_boundary(self, rng):
+        attack = BoundaryAttack(rng)
+        region = Rect(10, 10, 20, 30)
+        for _ in range(20):
+            assert region.on_boundary(attack.guess(region), tolerance=1e-9)
+
+    def test_empty_cloaks_raise(self):
+        with pytest.raises(ValueError):
+            on_boundary_fraction([])
+
+
+class TestRandomGuess:
+    def test_guess_inside_region(self, rng):
+        attack = RandomGuessAttack(rng)
+        region = Rect(5, 5, 8, 9)
+        for _ in range(50):
+            assert region.contains_point(attack.guess(region))
+
+
+class TestPosteriorAnonymity:
+    def test_regions_equal_tolerance(self):
+        a = Rect(0, 0, 1, 1)
+        b = Rect(0, 0, 1 + 1e-12, 1)
+        assert regions_equal(a, b)
+        assert not regions_equal(a, Rect(0, 0, 2, 1))
+
+    def test_naive_cloaking_has_singleton_posterior(self, uniform_points_500):
+        cloaker = load(NaiveCloaker, uniform_points_500)
+        interior = next(
+            i
+            for i, p in enumerate(uniform_points_500)
+            if 25 < p.x < 75 and 25 < p.y < 75
+        )
+        result = posterior_anonymity(cloaker, interior, PrivacyRequirement(k=10))
+        assert result.posterior_anonymity == 1
+        assert not result.is_reciprocal
+        assert result.entropy_bits == 0.0
+
+    def test_hilbert_cloaking_is_reciprocal(self, uniform_points_500):
+        cloaker = load(HilbertCloaker, uniform_points_500)
+        req = PrivacyRequirement(k=10)
+        for victim in (0, 100, 499):
+            result = posterior_anonymity(cloaker, victim, req)
+            assert result.posterior_anonymity >= 10
+            assert result.is_reciprocal
+            assert result.anonymity_ratio >= 1.0
+
+    def test_victim_always_in_posterior(self, uniform_points_500):
+        cloaker = load(PyramidCloaker, uniform_points_500, height=6)
+        result = posterior_anonymity(cloaker, 7, PrivacyRequirement(k=10))
+        assert 7 in result.plausible_issuers
+
+    def test_reciprocity_rate_bounds(self, uniform_points_500):
+        cloaker = load(HilbertCloaker, uniform_points_500)
+        rate = reciprocity_rate(cloaker, PrivacyRequirement(k=10), [0, 5, 10])
+        assert rate == 1.0
+
+    def test_reciprocity_rate_empty_raises(self, uniform_points_500):
+        cloaker = load(HilbertCloaker, uniform_points_500)
+        with pytest.raises(ValueError):
+            reciprocity_rate(cloaker, PrivacyRequirement(k=10), [])
+
+
+class TestLinkageAttack:
+    def test_first_observation_sets_feasible(self):
+        attack = MaxSpeedLinkageAttack(max_speed=1.0)
+        region = Rect(0, 0, 10, 10)
+        step = attack.observe(0.0, region)
+        assert step.feasible == region
+        assert step.shrinkage == 1.0
+
+    def test_static_region_no_shrinkage(self):
+        attack = MaxSpeedLinkageAttack(max_speed=5.0)
+        region = Rect(0, 0, 10, 10)
+        attack.observe(0.0, region)
+        step = attack.observe(1.0, region)
+        assert step.shrinkage == pytest.approx(1.0)
+
+    def test_slow_victim_jumping_regions_leaks(self):
+        attack = MaxSpeedLinkageAttack(max_speed=1.0)
+        attack.observe(0.0, Rect(0, 0, 10, 10))
+        # One second later the region moved right by 9: the victim must be
+        # in the overlap strip + reach margin.
+        step = attack.observe(1.0, Rect(9, 0, 19, 10))
+        assert step.feasible is not None
+        assert step.feasible.width <= 2.0 + 1e-9
+        assert step.shrinkage < 0.25
+
+    def test_inconsistent_speed_falls_back(self):
+        attack = MaxSpeedLinkageAttack(max_speed=0.1)
+        attack.observe(0.0, Rect(0, 0, 1, 1))
+        step = attack.observe(1.0, Rect(50, 50, 60, 60))
+        assert step.feasible is None
+        assert step.shrinkage == 1.0
+        # Tracker reset soundly to the new region.
+        assert attack.feasible_region == Rect(50, 50, 60, 60)
+
+    def test_out_of_order_raises(self):
+        attack = MaxSpeedLinkageAttack(max_speed=1.0)
+        attack.observe(5.0, Rect(0, 0, 1, 1))
+        with pytest.raises(ValueError):
+            attack.observe(4.0, Rect(0, 0, 1, 1))
+
+    def test_mean_shrinkage_requires_observations(self):
+        with pytest.raises(ValueError):
+            MaxSpeedLinkageAttack(max_speed=1.0).mean_shrinkage()
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            MaxSpeedLinkageAttack(max_speed=-1.0)
+
+
+class TestEvaluateAttacks:
+    def test_report_fields(self, uniform_points_500, rng):
+        cloaker = load(PyramidCloaker, uniform_points_500, height=5)
+        report = evaluate_attacks(
+            cloaker,
+            PrivacyRequirement(k=8),
+            victims=list(range(20)),
+            rng=rng,
+            posterior_sample=5,
+        )
+        assert report.algorithm == "pyramid"
+        assert report.k == 8
+        assert 0 <= report.boundary_rate <= 1
+        assert report.mean_posterior_anonymity >= 1
+        assert 0 <= report.reciprocity_rate <= 1
+
+    def test_no_victims_raises(self, uniform_points_500, rng):
+        cloaker = load(PyramidCloaker, uniform_points_500, height=5)
+        with pytest.raises(ValueError):
+            evaluate_attacks(cloaker, PrivacyRequirement(k=8), [], rng)

@@ -1,0 +1,67 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, _as_tables, _run_ids, build_parser, main
+from repro.evalx.tables import Table
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiments_defaults_to_all(self):
+        args = build_parser().parse_args(["experiments"])
+        assert args.ids == ["all"]
+
+    def test_report_output_flag(self):
+        args = build_parser().parse_args(["report", "-o", "out.md"])
+        assert args.output == "out.md"
+
+
+class TestHelpers:
+    def test_as_tables_single(self):
+        table = Table("t", ["a"])
+        assert _as_tables(table) == [table]
+
+    def test_as_tables_tuple(self):
+        tables = (Table("t1", ["a"]), Table("t2", ["b"]))
+        assert _as_tables(tables) == list(tables)
+
+    def test_unknown_experiment_exits(self):
+        with pytest.raises(SystemExit, match="unknown experiment"):
+            _run_ids(["E99"])
+
+    def test_registry_covers_e1_to_e14(self):
+        assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
+
+
+class TestCommands:
+    def test_demo_runs(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "correct: True" in out
+
+    def test_experiments_e1(self, capsys):
+        assert main(["experiments", "E1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "1000" in out
+
+    def test_experiment_id_case_insensitive(self, capsys):
+        assert main(["experiments", "e1"]) == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_report_to_file(self, tmp_path, capsys, monkeypatch):
+        # Restrict the registry so the test stays fast.
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "EXPERIMENTS", {"E1": cli.EXPERIMENTS["E1"]}
+        )
+        target = tmp_path / "tables.md"
+        assert main(["report", "-o", str(target)]) == 0
+        content = target.read_text()
+        assert "| time | k |" in content or "| time" in content
+        assert "Figure 2" in content

@@ -1,0 +1,327 @@
+"""Behavioural tests shared by all six cloaking algorithms, plus
+algorithm-specific tests for each."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloaking.grid_cloak import GridCloaker
+from repro.cloaking.hilbert import HilbertCloaker, hilbert_d
+from repro.cloaking.mbr import MBRCloaker
+from repro.cloaking.naive import NaiveCloaker
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.cloaking.quadtree_cloak import QuadtreeCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+ALL = [
+    NaiveCloaker,
+    MBRCloaker,
+    QuadtreeCloaker,
+    GridCloaker,
+    PyramidCloaker,
+    HilbertCloaker,
+]
+
+
+def load(cls, points, **kwargs):
+    cloaker = cls(BOUNDS, **kwargs)
+    for i, p in enumerate(points):
+        cloaker.add_user(i, p)
+    return cloaker
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestCommonContract:
+    """Invariants every algorithm must satisfy (paper requirement 1)."""
+
+    def test_region_contains_user(self, cls, uniform_points_500):
+        cloaker = load(cls, uniform_points_500)
+        for victim in (0, 123, 499):
+            result = cloaker.cloak(victim, PrivacyRequirement(k=10))
+            assert result.region.contains_point(uniform_points_500[victim])
+
+    def test_region_inside_bounds(self, cls, uniform_points_500):
+        cloaker = load(cls, uniform_points_500)
+        result = cloaker.cloak(5, PrivacyRequirement(k=50))
+        assert BOUNDS.contains_rect(result.region)
+
+    def test_k_satisfied_uniform(self, cls, uniform_points_500):
+        cloaker = load(cls, uniform_points_500)
+        for k in (1, 5, 25, 100):
+            result = cloaker.cloak(7, PrivacyRequirement(k=k))
+            assert result.user_count >= k, f"{cls.__name__} k={k}"
+
+    def test_k_satisfied_clustered(self, cls, clustered_points_500):
+        cloaker = load(cls, clustered_points_500)
+        for victim in (0, 250, 450):
+            result = cloaker.cloak(victim, PrivacyRequirement(k=20))
+            assert result.user_count >= 20
+
+    def test_min_area_best_effort(self, cls, uniform_points_500):
+        cloaker = load(cls, uniform_points_500)
+        result = cloaker.cloak(11, PrivacyRequirement(k=5, min_area=50.0))
+        assert result.region.area >= 50.0 - 1e-9
+
+    def test_area_grows_with_k(self, cls, uniform_points_500):
+        cloaker = load(cls, uniform_points_500)
+        small = cloaker.cloak(42, PrivacyRequirement(k=5)).area
+        large = cloaker.cloak(42, PrivacyRequirement(k=200)).area
+        assert large >= small
+
+    def test_cloak_after_movement(self, cls, uniform_points_500):
+        cloaker = load(cls, uniform_points_500)
+        cloaker.move_user(0, Point(77.7, 33.3))
+        result = cloaker.cloak(0, PrivacyRequirement(k=15))
+        assert result.region.contains_point(Point(77.7, 33.3))
+        assert result.user_count >= 15
+
+    def test_cloak_after_churn(self, cls, uniform_points_500, rng):
+        cloaker = load(cls, uniform_points_500)
+        for i in range(100):
+            cloaker.remove_user(i)
+        for i in range(500, 550):
+            cloaker.add_user(
+                i, Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            )
+        result = cloaker.cloak(200, PrivacyRequirement(k=30))
+        assert result.user_count >= 30
+
+
+class TestNaive:
+    def test_user_is_exact_center_when_unclipped(self, uniform_points_500):
+        cloaker = load(NaiveCloaker, uniform_points_500)
+        # Pick an interior user whose k-square does not hit the border.
+        victim = next(
+            i
+            for i, p in enumerate(uniform_points_500)
+            if 30 < p.x < 70 and 30 < p.y < 70
+        )
+        result = cloaker.cloak(victim, PrivacyRequirement(k=10))
+        center = result.region.center
+        true = uniform_points_500[victim]
+        # This IS the flaw the paper describes: centre == user location.
+        assert center.distance_to(true) < 1e-3
+
+    def test_square_is_minimal_for_k(self, uniform_points_500):
+        cloaker = load(NaiveCloaker, uniform_points_500)
+        victim = 42
+        result = cloaker.cloak(victim, PrivacyRequirement(k=20))
+        assert result.user_count >= 20
+        # Shrinking by 1% must drop below k (minimality up to precision).
+        shrunk = result.region.expanded(-0.01 * result.region.width)
+        assert cloaker.count_in(shrunk) < 20 or shrunk.area == 0
+
+    def test_amax_capped_when_amin_forced_growth(self, uniform_points_500):
+        cloaker = load(NaiveCloaker, uniform_points_500)
+        req = PrivacyRequirement(k=2, min_area=900.0, max_area=400.0)
+        result = cloaker.cloak(0, req)
+        # Contradictory profile: k wins, A_max wins over A_min.
+        assert result.user_count >= 2
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            NaiveCloaker(BOUNDS, precision=0)
+
+
+class TestMBR:
+    def test_region_is_knn_mbr(self, uniform_points_500):
+        cloaker = load(MBRCloaker, uniform_points_500)
+        victim = 7
+        k = 12
+        result = cloaker.cloak(victim, PrivacyRequirement(k=k))
+        group = cloaker.k_nearest_points(uniform_points_500[victim], k)
+        assert result.region == Rect.from_points(group)
+
+    def test_some_user_on_each_edge(self, uniform_points_500):
+        """The leakage the paper describes: the MBR touches k-group points."""
+        cloaker = load(MBRCloaker, uniform_points_500)
+        result = cloaker.cloak(3, PrivacyRequirement(k=8))
+        r = result.region
+        users_on_boundary = [
+            u
+            for u in cloaker.users_in(r)
+            if r.on_boundary(cloaker.location_of(u), tolerance=1e-9)
+        ]
+        assert len(users_on_boundary) >= 2
+
+    def test_padding_strictly_contains_raw_mbr(self, uniform_points_500):
+        raw = load(MBRCloaker, uniform_points_500)
+        padded = load(MBRCloaker, uniform_points_500, pad_fraction=0.2)
+        r_raw = raw.cloak(9, PrivacyRequirement(k=10)).region
+        r_pad = padded.cloak(9, PrivacyRequirement(k=10)).region
+        assert r_pad.contains_rect(r_raw.intersection(r_pad))
+        assert r_pad.area > r_raw.area
+
+    def test_k_nearest_includes_self(self, uniform_points_500):
+        cloaker = load(MBRCloaker, uniform_points_500)
+        p = uniform_points_500[0]
+        assert p in cloaker.k_nearest_points(p, 5)
+
+    def test_invalid_pad(self):
+        with pytest.raises(ValueError):
+            MBRCloaker(BOUNDS, pad_fraction=-0.1)
+
+
+class TestQuadtreeCloaker:
+    def test_region_is_a_quadtree_node(self, uniform_points_500):
+        cloaker = load(QuadtreeCloaker, uniform_points_500, capacity=4, max_depth=8)
+        result = cloaker.cloak(0, PrivacyRequirement(k=10))
+        # The region must appear on the victim's node path.
+        path_rects = [
+            rect for rect, _ in cloaker._tree.node_path(uniform_points_500[0])
+        ]
+        assert result.region in path_rects
+
+    def test_region_independent_of_position_within_leaf(self, uniform_points_500):
+        cloaker = load(QuadtreeCloaker, uniform_points_500, capacity=8)
+        req = PrivacyRequirement(k=50)
+        r1 = cloaker.cloak(0, req).region
+        # Nudge the user within a tiny neighbourhood (same leaf w.h.p.).
+        p = uniform_points_500[0]
+        cloaker.move_user(0, Point(p.x + 1e-9, p.y))
+        r2 = cloaker.cloak(0, req).region
+        assert r1 == r2
+
+    def test_count_in_uses_tree(self, uniform_points_500):
+        cloaker = load(QuadtreeCloaker, uniform_points_500)
+        window = Rect(10, 10, 60, 60)
+        expected = sum(
+            1 for p in uniform_points_500 if window.contains_point(p)
+        )
+        assert cloaker.count_in(window) == expected
+
+
+class TestGridCloaker:
+    def test_single_cell_when_dense_enough(self, clustered_points_500):
+        cloaker = load(GridCloaker, clustered_points_500, cols=8)
+        # Find a user in the dense cluster near (20, 20).
+        victim = min(
+            range(500),
+            key=lambda i: clustered_points_500[i].distance_to(Point(20, 20)),
+        )
+        result = cloaker.cloak(victim, PrivacyRequirement(k=5))
+        cell_area = (100 / 8) ** 2
+        assert result.region.area == pytest.approx(cell_area)
+
+    def test_merges_toward_users(self, uniform_points_500):
+        cloaker = load(GridCloaker, uniform_points_500, cols=32)
+        result = cloaker.cloak(0, PrivacyRequirement(k=40))
+        assert result.user_count >= 40
+        # The merged block is aligned to the grid.
+        cell = 100 / 32
+        for coord in result.region.as_tuple():
+            assert abs(coord / cell - round(coord / cell)) < 1e-9
+
+    def test_whole_grid_fallback(self, uniform_points_500):
+        cloaker = load(GridCloaker, uniform_points_500, cols=4)
+        result = cloaker.cloak(0, PrivacyRequirement(k=500))
+        assert result.region == BOUNDS
+        assert result.user_count == 500
+
+
+class TestPyramidCloaker:
+    def test_region_is_pyramid_cell(self, uniform_points_500):
+        cloaker = load(PyramidCloaker, uniform_points_500, height=6)
+        result = cloaker.cloak(0, PrivacyRequirement(k=10))
+        assert cloaker.pyramid.cell_for_rect(result.region) is not None
+
+    def test_top_down_equals_bottom_up(self, uniform_points_500):
+        up = load(PyramidCloaker, uniform_points_500, height=6, bottom_up=True)
+        down = load(PyramidCloaker, uniform_points_500, height=6, bottom_up=False)
+        for victim in (0, 100, 250, 499):
+            for k in (2, 10, 60):
+                req = PrivacyRequirement(k=k)
+                assert up.cloak(victim, req).region == down.cloak(victim, req).region
+
+    def test_neighbor_merge_never_larger(self, clustered_points_500):
+        plain = load(PyramidCloaker, clustered_points_500, height=6)
+        merged = load(
+            PyramidCloaker, clustered_points_500, height=6, neighbor_merge=True
+        )
+        req = PrivacyRequirement(k=25)
+        for victim in range(0, 500, 25):
+            a = plain.cloak(victim, req).area
+            b = merged.cloak(victim, req).area
+            assert b <= a + 1e-9
+
+    def test_neighbor_merge_still_satisfies_k(self, clustered_points_500):
+        merged = load(
+            PyramidCloaker, clustered_points_500, height=6, neighbor_merge=True
+        )
+        for victim in range(0, 500, 50):
+            result = merged.cloak(victim, PrivacyRequirement(k=25))
+            assert result.user_count >= 25
+
+    def test_probe_stats_recorded(self, uniform_points_500):
+        cloaker = load(PyramidCloaker, uniform_points_500, height=6)
+        cloaker.cloak(0, PrivacyRequirement(k=10))
+        assert cloaker.stats.extra.get("probes", 0) > 0
+
+
+class TestHilbertCurve:
+    def test_hilbert_d_bijective_order_3(self):
+        side = 8
+        indices = {hilbert_d(3, x, y) for x in range(side) for y in range(side)}
+        assert indices == set(range(side * side))
+
+    def test_hilbert_d_adjacent_cells_are_neighbours(self):
+        # Consecutive curve indices map to grid-adjacent cells.
+        side = 16
+        by_index = {}
+        for x in range(side):
+            for y in range(side):
+                by_index[hilbert_d(4, x, y)] = (x, y)
+        for d in range(side * side - 1):
+            (x1, y1), (x2, y2) = by_index[d], by_index[d + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            hilbert_d(0, 0, 0)
+        with pytest.raises(ValueError):
+            hilbert_d(2, 4, 0)
+
+
+class TestHilbertCloaker:
+    def test_bucket_members_share_region(self, uniform_points_500):
+        cloaker = load(HilbertCloaker, uniform_points_500)
+        req = PrivacyRequirement(k=10)
+        victim = 17
+        bucket = cloaker.bucket_of(victim, 10)
+        assert victim in bucket
+        assert len(bucket) >= 10
+        region = cloaker.cloak(victim, req).region
+        for member in bucket:
+            assert cloaker.cloak(member, req).region == region
+
+    def test_buckets_partition_population(self, uniform_points_500):
+        cloaker = load(HilbertCloaker, uniform_points_500)
+        seen = set()
+        for uid in range(500):
+            bucket = frozenset(cloaker.bucket_of(uid, 7))
+            seen.add(bucket)
+        assert sum(len(b) for b in seen) == 500
+        assert all(len(b) >= 7 for b in seen)
+
+    def test_tiny_population_single_bucket(self):
+        cloaker = HilbertCloaker(BOUNDS)
+        for i in range(3):
+            cloaker.add_user(i, Point(10.0 * i + 5, 50))
+        assert set(cloaker.bucket_of(0, 3)) == {0, 1, 2}
+
+    def test_sort_invalidated_on_move(self, uniform_points_500):
+        cloaker = load(HilbertCloaker, uniform_points_500)
+        req = PrivacyRequirement(k=5)
+        cloaker.cloak(0, req)
+        cloaker.move_user(0, Point(99, 99))
+        result = cloaker.cloak(0, req)
+        assert result.region.contains_point(Point(99, 99))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            HilbertCloaker(BOUNDS, order=0)

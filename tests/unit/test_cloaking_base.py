@@ -1,0 +1,184 @@
+"""Unit tests for the Cloaker base machinery."""
+
+import pytest
+
+from repro.cloaking.base import CloakResult, Cloaker, enforce_area_window
+from repro.core.errors import CloakingError, RegistrationError
+from repro.core.profiles import PrivacyRequirement
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+class FixedCloaker(Cloaker):
+    """Test double: always returns a fixed-size square around the user."""
+
+    name = "fixed"
+
+    def __init__(self, bounds, side=10.0):
+        super().__init__(bounds)
+        self._side = side
+
+    def _cloak(self, user_id, point, requirement):
+        return Rect.from_center(point, self._side, self._side)
+
+
+@pytest.fixture
+def cloaker(uniform_points_500):
+    c = FixedCloaker(BOUNDS)
+    for i, p in enumerate(uniform_points_500):
+        c.add_user(i, p)
+    return c
+
+
+class TestPopulation:
+    def test_degenerate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            FixedCloaker(Rect(0, 0, 0, 10))
+
+    def test_add_duplicate_raises(self, cloaker):
+        with pytest.raises(RegistrationError):
+            cloaker.add_user(0, Point(1, 1))
+
+    def test_add_outside_bounds_raises(self, cloaker):
+        with pytest.raises(RegistrationError):
+            cloaker.add_user("x", Point(-1, 0))
+
+    def test_move_unknown_raises(self, cloaker):
+        with pytest.raises(RegistrationError):
+            cloaker.move_user("ghost", Point(1, 1))
+
+    def test_remove_unknown_raises(self, cloaker):
+        with pytest.raises(RegistrationError):
+            cloaker.remove_user("ghost")
+
+    def test_location_roundtrip(self, cloaker):
+        cloaker.move_user(0, Point(50, 60))
+        assert cloaker.location_of(0) == Point(50, 60)
+
+    def test_user_count(self, cloaker):
+        assert cloaker.user_count() == 500
+        cloaker.remove_user(0)
+        assert cloaker.user_count() == 499
+
+    def test_stats_track_updates(self, cloaker):
+        before = cloaker.stats.updates
+        cloaker.move_user(1, Point(2, 2))
+        assert cloaker.stats.updates == before + 1
+
+
+class TestCounting:
+    def test_count_in_matches_brute_force(self, cloaker, uniform_points_500):
+        window = Rect(20, 20, 60, 70)
+        expected = sum(1 for p in uniform_points_500 if window.contains_point(p))
+        assert cloaker.count_in(window) == expected
+
+    def test_users_in_matches_count(self, cloaker):
+        window = Rect(0, 0, 35, 35)
+        assert len(cloaker.users_in(window)) == cloaker.count_in(window)
+
+    def test_count_after_moves(self, cloaker):
+        window = Rect(0, 0, 1, 1)
+        base = cloaker.count_in(window)
+        cloaker.move_user(0, Point(0.5, 0.5))
+        assert cloaker.count_in(window) == base + 1
+
+    def test_empty_cloaker_counts_zero(self):
+        assert FixedCloaker(BOUNDS).count_in(BOUNDS) == 0
+        assert FixedCloaker(BOUNDS).users_in(BOUNDS) == []
+
+
+class TestCloak:
+    def test_result_contains_user_and_is_clipped(self, cloaker):
+        # A user near the corner gets a clipped region.
+        cloaker.add_user("corner", Point(1, 1))
+        result = cloaker.cloak("corner", PrivacyRequirement(k=1))
+        assert BOUNDS.contains_rect(result.region)
+        assert result.region.contains_point(Point(1, 1))
+
+    def test_user_count_measured(self, cloaker):
+        result = cloaker.cloak(0, PrivacyRequirement(k=1))
+        assert result.user_count == cloaker.count_in(result.region)
+
+    def test_k_larger_than_population_raises(self, cloaker):
+        with pytest.raises(CloakingError, match="exceeds"):
+            cloaker.cloak(0, PrivacyRequirement(k=501))
+
+    def test_unknown_user_raises(self, cloaker):
+        with pytest.raises(RegistrationError):
+            cloaker.cloak("ghost", PrivacyRequirement(k=1))
+
+    def test_stats_count_cloaks(self, cloaker):
+        before = cloaker.stats.cloaks
+        cloaker.cloak(0, PrivacyRequirement(k=1))
+        assert cloaker.stats.cloaks == before + 1
+
+    def test_default_partition_key_is_none(self, cloaker):
+        assert cloaker.partition_key(0, Point(1, 1), PrivacyRequirement()) is None
+
+
+class TestCloakResult:
+    def test_satisfaction_flags(self):
+        result = CloakResult(
+            region=Rect(0, 0, 2, 2),
+            user_count=5,
+            requirement=PrivacyRequirement(k=5, min_area=1.0, max_area=10.0),
+        )
+        assert result.k_satisfied
+        assert result.area_satisfied
+        assert result.fully_satisfied
+        assert result.area == 4.0
+
+    def test_unsatisfied_k(self):
+        result = CloakResult(
+            region=Rect(0, 0, 2, 2), user_count=3, requirement=PrivacyRequirement(k=5)
+        )
+        assert not result.k_satisfied
+        assert not result.fully_satisfied
+
+    def test_area_violation(self):
+        result = CloakResult(
+            region=Rect(0, 0, 10, 10),
+            user_count=5,
+            requirement=PrivacyRequirement(k=5, max_area=50.0),
+        )
+        assert result.k_satisfied and not result.area_satisfied
+
+
+class TestEnforceAreaWindow:
+    def test_grows_to_min_area(self):
+        region = Rect(49, 49, 51, 51)
+        out = enforce_area_window(
+            region, PrivacyRequirement(k=1, min_area=100.0), BOUNDS, min_region=region
+        )
+        assert out.area >= 100.0
+        assert out.contains_rect(region)
+
+    def test_shrinks_toward_max_area(self):
+        region = Rect(0, 0, 50, 50)
+        core = Rect(20, 20, 30, 30)
+        out = enforce_area_window(
+            region, PrivacyRequirement(k=1, max_area=400.0), BOUNDS, min_region=core
+        )
+        assert out.area <= 400.0 + 1e-9
+        assert out.contains_rect(core)
+
+    def test_never_shrinks_below_min_region(self):
+        region = Rect(10, 10, 40, 40)
+        out = enforce_area_window(
+            region, PrivacyRequirement(k=1, max_area=1.0), BOUNDS, min_region=region
+        )
+        # k-carrying region wins over A_max.
+        assert out.contains_rect(region)
+
+    def test_result_inside_bounds(self):
+        region = Rect(0, 0, 1, 1)
+        out = enforce_area_window(
+            region,
+            PrivacyRequirement(k=1, min_area=2500.0),
+            BOUNDS,
+            min_region=region,
+        )
+        assert BOUNDS.contains_rect(out)
+        assert out.area >= 2500.0 - 1e-6

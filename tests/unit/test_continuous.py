@@ -1,0 +1,155 @@
+"""Unit tests for continuous queries (incremental evaluation)."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.stores import PrivateStore, PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.continuous import (
+    ContinuousCountMonitor,
+    ContinuousPrivateRange,
+    RangeDelta,
+)
+
+WINDOW = Rect(0, 0, 10, 10)
+
+
+class TestContinuousCountMonitor:
+    def test_updates_accumulate(self):
+        monitor = ContinuousCountMonitor(WINDOW)
+        delta = monitor.on_region_update("a", Rect(0, 0, 5, 5))  # inside: 1.0
+        assert delta == pytest.approx(1.0)
+        delta = monitor.on_region_update("b", Rect(-5, 0, 5, 5))  # half: 0.5
+        assert delta == pytest.approx(0.5)
+        assert monitor.expected_count == pytest.approx(1.5)
+
+    def test_replacement_applies_difference(self):
+        monitor = ContinuousCountMonitor(WINDOW)
+        monitor.on_region_update("a", Rect(0, 0, 5, 5))
+        delta = monitor.on_region_update("a", Rect(50, 50, 60, 60))
+        assert delta == pytest.approx(-1.0)
+        assert monitor.expected_count == pytest.approx(0.0)
+        assert len(monitor.answer()) == 0
+
+    def test_removal(self):
+        monitor = ContinuousCountMonitor(WINDOW)
+        monitor.on_region_update("a", Rect(0, 0, 5, 5))
+        delta = monitor.on_object_removed("a")
+        assert delta == pytest.approx(-1.0)
+        assert monitor.expected_count == pytest.approx(0.0)
+
+    def test_remove_unknown_is_noop(self):
+        monitor = ContinuousCountMonitor(WINDOW)
+        assert monitor.on_object_removed("ghost") == 0.0
+
+    def test_matches_full_recompute_after_churn(self, rng):
+        store = PrivateStore()
+        monitor = ContinuousCountMonitor(WINDOW)
+        for i in range(100):
+            cx, cy = rng.uniform(-5, 20, 2)
+            region = Rect.from_center(Point(float(cx), float(cy)), 4, 4)
+            store.set_region(i, region)
+            monitor.on_region_update(i, region)
+        for _ in range(300):
+            i = int(rng.integers(100))
+            cx, cy = rng.uniform(-5, 20, 2)
+            region = Rect.from_center(Point(float(cx), float(cy)), 4, 4)
+            store.set_region(i, region)
+            monitor.on_region_update(i, region)
+        recomputed = monitor.recompute(store)
+        assert monitor.expected_count == pytest.approx(recomputed.expected)
+        assert monitor.answer().interval == recomputed.interval
+
+    def test_seed_from_store(self):
+        store = PrivateStore()
+        store.set_region("in", Rect(1, 1, 2, 2))
+        store.set_region("out", Rect(80, 80, 90, 90))
+        monitor = ContinuousCountMonitor(WINDOW)
+        monitor.seed_from_store(store)
+        assert monitor.expected_count == pytest.approx(1.0)
+
+    def test_updates_processed_counter(self):
+        monitor = ContinuousCountMonitor(WINDOW)
+        monitor.on_region_update("a", Rect(0, 0, 1, 1))
+        monitor.on_object_removed("a")
+        assert monitor.updates_processed == 2
+
+    def test_answer_formats_available(self):
+        monitor = ContinuousCountMonitor(WINDOW)
+        monitor.on_region_update("a", Rect(0, 0, 5, 5))
+        monitor.on_region_update("b", Rect(-5, 0, 5, 5))
+        answer = monitor.answer()
+        assert answer.interval == (1, 2)
+        assert answer.pmf().sum() == pytest.approx(1.0)
+
+
+class TestContinuousPrivateRange:
+    @pytest.fixture
+    def store(self, uniform_points_500):
+        s = PublicStore()
+        for i, p in enumerate(uniform_points_500):
+            s.add(i, p)
+        return s
+
+    def test_first_update_joins_everything(self, store):
+        query = ContinuousPrivateRange(store, radius=5.0)
+        delta = query.on_region_update(Rect(40, 40, 50, 50))
+        assert delta.left == ()
+        assert set(delta.joined) == query.candidates
+
+    def test_stationary_region_empty_delta(self, store):
+        query = ContinuousPrivateRange(store, radius=5.0)
+        query.on_region_update(Rect(40, 40, 50, 50))
+        delta = query.on_region_update(Rect(40, 40, 50, 50))
+        assert delta.is_empty
+
+    def test_small_move_small_delta(self, store):
+        query = ContinuousPrivateRange(store, radius=5.0)
+        query.on_region_update(Rect(40, 40, 50, 50))
+        delta = query.on_region_update(Rect(41, 40, 51, 50))
+        assert delta.transmission_size < query.full_answer_cost + 5
+
+    def test_client_view_consistent(self, store):
+        from repro.queries.private_range import private_range_query
+
+        query = ContinuousPrivateRange(store, radius=5.0)
+        view: set = set()
+        for region in [
+            Rect(40, 40, 50, 50),
+            Rect(42, 41, 52, 51),
+            Rect(45, 45, 55, 55),
+            Rect(10, 10, 20, 20),
+        ]:
+            delta = query.on_region_update(region)
+            view |= set(delta.joined)
+            view -= set(delta.left)
+            snapshot = private_range_query(store, region, 5.0, "exact")
+            assert view == set(snapshot.candidates)
+
+    def test_public_update_refreshes(self, store):
+        query = ContinuousPrivateRange(store, radius=5.0)
+        query.on_region_update(Rect(40, 40, 50, 50))
+        store.add("new-poi", Point(45, 45))
+        delta = query.on_public_update("new-poi")
+        assert "new-poi" in delta.joined
+
+    def test_public_update_before_region_raises(self, store):
+        query = ContinuousPrivateRange(store, radius=5.0)
+        with pytest.raises(QueryError):
+            query.on_public_update("whatever")
+
+    def test_shipping_stats(self, store):
+        query = ContinuousPrivateRange(store, radius=5.0)
+        d1 = query.on_region_update(Rect(40, 40, 50, 50))
+        d2 = query.on_region_update(Rect(60, 60, 70, 70))
+        assert query.deltas_sent == 2
+        assert query.objects_shipped == d1.transmission_size + d2.transmission_size
+
+
+class TestRangeDelta:
+    def test_sizes(self):
+        delta = RangeDelta(joined=("a", "b"), left=("c",))
+        assert delta.transmission_size == 3
+        assert not delta.is_empty
+        assert RangeDelta((), ()).is_empty

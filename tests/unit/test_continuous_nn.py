@@ -1,0 +1,85 @@
+"""Unit tests for continuous private NN queries."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.stores import PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.continuous_nn import ContinuousPrivateNN
+from repro.queries.private_nn import private_nn_query
+
+
+@pytest.fixture
+def store(uniform_points_500):
+    s = PublicStore()
+    for i, p in enumerate(uniform_points_500):
+        s.add(i, p)
+    return s
+
+
+class TestBasicDeltas:
+    def test_first_update_joins_all(self, store):
+        query = ContinuousPrivateNN(store)
+        delta = query.on_region_update(Rect(40, 40, 50, 50))
+        assert delta.left == ()
+        assert set(delta.joined) == query.candidates
+        assert query.region == Rect(40, 40, 50, 50)
+
+    def test_stationary_region_empty_delta(self, store):
+        query = ContinuousPrivateNN(store)
+        query.on_region_update(Rect(40, 40, 50, 50))
+        assert query.on_region_update(Rect(40, 40, 50, 50)).is_empty
+
+    def test_client_view_matches_snapshot(self, store):
+        query = ContinuousPrivateNN(store)
+        view: set = set()
+        for region in [
+            Rect(40, 40, 50, 50),
+            Rect(45, 42, 55, 52),
+            Rect(70, 70, 80, 80),
+        ]:
+            delta = query.on_region_update(region)
+            view |= set(delta.joined)
+            view -= set(delta.left)
+            snapshot = private_nn_query(store, region, "filter")
+            assert view == set(snapshot.candidates)
+
+    def test_region_before_update_raises(self, store):
+        with pytest.raises(QueryError):
+            ContinuousPrivateNN(store).region
+
+    def test_shipping_stats(self, store):
+        query = ContinuousPrivateNN(store)
+        d1 = query.on_region_update(Rect(40, 40, 50, 50))
+        d2 = query.on_region_update(Rect(10, 10, 20, 20))
+        assert query.deltas_sent == 2
+        assert query.objects_shipped == d1.transmission_size + d2.transmission_size
+
+
+class TestLazyShrink:
+    def test_shrinking_region_reuses_candidates(self, store):
+        query = ContinuousPrivateNN(store, lazy_shrink=True)
+        query.on_region_update(Rect(30, 30, 60, 60))
+        recomputes = query.recomputations
+        delta = query.on_region_update(Rect(40, 40, 50, 50))
+        assert delta.is_empty
+        assert query.recomputations == recomputes
+
+    def test_lazy_candidates_remain_sound(self, store, rng):
+        from repro.geometry.sampling import uniform_points
+        from repro.queries.private_nn import exact_nn_answer
+
+        query = ContinuousPrivateNN(store, lazy_shrink=True)
+        query.on_region_update(Rect(30, 30, 60, 60))
+        small = Rect(40, 40, 50, 50)
+        query.on_region_update(small)
+        for p in uniform_points(small, 200, rng):
+            assert exact_nn_answer(store, p) in query.candidates
+
+    def test_growth_still_recomputes(self, store):
+        query = ContinuousPrivateNN(store, lazy_shrink=True)
+        query.on_region_update(Rect(40, 40, 50, 50))
+        before = query.recomputations
+        query.on_region_update(Rect(30, 30, 60, 60))
+        assert query.recomputations == before + 1

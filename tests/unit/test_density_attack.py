@@ -1,0 +1,89 @@
+"""Unit tests for the density-weighted adversary."""
+
+import numpy as np
+import pytest
+
+from repro.attacks.density import DensityModel, DensityWeightedAttack
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def skewed_model():
+    """Almost everyone lives in the 10x10 block at (10..20, 10..20)."""
+    dense = [Point(15.0 + 0.01 * i, 15.0) for i in range(200)]
+    sparse = [Point(80.0, 80.0 + 0.01 * i) for i in range(5)]
+    return DensityModel(BOUNDS, resolution=10).fit(dense + sparse)
+
+
+class TestDensityModel:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            DensityModel(BOUNDS, resolution=0)
+        with pytest.raises(ValueError):
+            DensityModel(Rect(0, 0, 0, 1))
+
+    def test_posterior_sums_to_one(self):
+        model = skewed_model()
+        posterior = model.posterior_in(Rect(0, 0, 100, 100))
+        assert sum(p for _, p in posterior) == pytest.approx(1.0)
+
+    def test_posterior_concentrates_on_dense_block(self):
+        model = skewed_model()
+        region = Rect(0, 0, 50, 50)  # covers the dense block + empty space
+        posterior = model.posterior_in(region)
+        heaviest_cell, heaviest_mass = max(posterior, key=lambda item: item[1])
+        assert heaviest_cell.contains_point(Point(15, 15))
+        assert heaviest_mass > 0.95
+
+    def test_empty_region_falls_back_to_uniform(self):
+        model = skewed_model()
+        region = Rect(40, 40, 60, 60)  # nobody lives here
+        posterior = model.posterior_in(region)
+        assert sum(p for _, p in posterior) == pytest.approx(1.0)
+        masses = [p for _, p in posterior]
+        assert max(masses) == pytest.approx(min(masses), rel=1e-9)
+
+    def test_map_point_in_dense_chunk(self):
+        model = skewed_model()
+        guess = model.map_point(Rect(0, 0, 50, 50))
+        assert guess.distance_to(Point(15, 15)) < 8.0
+
+    def test_effective_anonymity_low_when_skewed(self):
+        model = skewed_model()
+        skewed_region = Rect(0, 0, 50, 50)
+        uniform_region = Rect(40, 40, 60, 60)
+        assert model.effective_anonymity(skewed_region) < 1.5
+        assert model.effective_anonymity(uniform_region) > 2.0
+
+    def test_fit_ignores_out_of_bounds(self):
+        model = DensityModel(BOUNDS, resolution=4).fit([Point(500, 500)])
+        posterior = model.posterior_in(Rect(0, 0, 100, 100))
+        masses = [p for _, p in posterior]
+        assert max(masses) == pytest.approx(min(masses))  # uniform fallback
+
+
+class TestDensityWeightedAttack:
+    def test_beats_center_attack_on_skewed_population(self, rng):
+        """A region straddling the dense block: MAP guess lands in the
+        block, the centre guess does not."""
+        from repro.attacks.location import CenterAttack
+
+        model = skewed_model()
+        attack = DensityWeightedAttack(model)
+        center = CenterAttack()
+        region = Rect(5, 5, 60, 60)
+        true_location = Point(15.5, 15.2)  # the victim is where people are
+        density_outcome = attack.attack(region, true_location)
+        center_outcome = center.attack(region, true_location)
+        assert density_outcome.error < center_outcome.error
+
+    def test_attack_name(self):
+        assert DensityWeightedAttack(skewed_model()).name == "density"
+
+    def test_guess_inside_region(self):
+        model = skewed_model()
+        attack = DensityWeightedAttack(model)
+        for region in [Rect(0, 0, 30, 30), Rect(70, 70, 95, 95), Rect(2, 2, 98, 98)]:
+            assert region.expanded(1e-9).contains_point(attack.guess(region))

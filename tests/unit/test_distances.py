@@ -1,0 +1,119 @@
+"""Unit tests for repro.geometry.distances."""
+
+import math
+
+import pytest
+
+from repro.geometry.distances import (
+    max_dist,
+    max_dist_rects,
+    min_dist,
+    min_dist_rects,
+    min_max_dist_rect,
+    rounded_rect_area,
+    within_distance_of_rect,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+R = Rect(0, 0, 4, 2)
+
+
+class TestPointRectDistances:
+    def test_min_dist_inside_is_zero(self):
+        assert min_dist(Point(2, 1), R) == 0.0
+
+    def test_min_dist_on_edge_is_zero(self):
+        assert min_dist(Point(0, 1), R) == 0.0
+
+    def test_min_dist_axis_aligned(self):
+        assert min_dist(Point(6, 1), R) == 2.0
+        assert min_dist(Point(2, -3), R) == 3.0
+
+    def test_min_dist_diagonal(self):
+        assert min_dist(Point(7, 6), R) == pytest.approx(5.0)  # 3-4-5 to corner (4,2)
+
+    def test_max_dist_from_center(self):
+        # Farthest corner of R from (2,1) is any corner, distance sqrt(5).
+        assert max_dist(Point(2, 1), R) == pytest.approx(math.sqrt(5))
+
+    def test_max_dist_outside(self):
+        assert max_dist(Point(5, 3), R) == pytest.approx(math.hypot(5, 3))
+
+    def test_min_le_max_everywhere(self):
+        for p in [Point(0, 0), Point(10, 10), Point(-3, 1), Point(2, 1)]:
+            assert min_dist(p, R) <= max_dist(p, R)
+
+    def test_degenerate_rect_both_equal_point_distance(self):
+        deg = Rect.from_point(Point(1, 1))
+        p = Point(4, 5)
+        assert min_dist(p, deg) == max_dist(p, deg) == 5.0
+
+
+class TestRectRectDistances:
+    def test_min_dist_overlapping_is_zero(self):
+        assert min_dist_rects(R, Rect(3, 1, 6, 5)) == 0.0
+
+    def test_min_dist_separated_diagonally(self):
+        assert min_dist_rects(R, Rect(7, 6, 9, 9)) == pytest.approx(5.0)
+
+    def test_min_dist_symmetric(self):
+        a, b = Rect(0, 0, 1, 1), Rect(5, 2, 6, 4)
+        assert min_dist_rects(a, b) == min_dist_rects(b, a)
+
+    def test_max_dist_rects(self):
+        a, b = Rect(0, 0, 1, 1), Rect(2, 0, 3, 1)
+        assert max_dist_rects(a, b) == pytest.approx(math.hypot(3, 1))
+
+    def test_max_dist_of_identical_rect_is_diagonal(self):
+        assert max_dist_rects(R, R) == pytest.approx(math.hypot(4, 2))
+
+    def test_min_max_dist_rect_identical_regions(self):
+        # From the worst corner of R, the closest point of R is itself: 0.
+        assert min_max_dist_rect(R, R) == 0.0
+
+    def test_min_max_dist_rect_disjoint(self):
+        a = Rect(0, 0, 2, 2)
+        b = Rect(10, 0, 12, 2)
+        # Worst point of a is its left edge; distance to b is 10 - x.
+        assert min_max_dist_rect(a, b) == pytest.approx(10.0)
+
+    def test_min_max_between_min_and_max(self):
+        a, b = Rect(0, 0, 3, 3), Rect(5, 5, 9, 9)
+        assert (
+            min_dist_rects(a, b)
+            <= min_max_dist_rect(a, b)
+            <= max_dist_rects(a, b)
+        )
+
+
+class TestRoundedRect:
+    def test_within_distance_inside(self):
+        assert within_distance_of_rect(Point(1, 1), R, 0.0)
+
+    def test_within_distance_near_edge(self):
+        assert within_distance_of_rect(Point(5, 1), R, 1.0)
+        assert not within_distance_of_rect(Point(5.01, 1), R, 1.0)
+
+    def test_corner_rounding_excludes_mbr_corner(self):
+        # Point at the corner of the MBR expansion but outside the disc.
+        d = 1.0
+        corner_point = Point(4 + d * 0.9, 2 + d * 0.9)
+        assert R.expanded(d).contains_point(corner_point)
+        assert not within_distance_of_rect(corner_point, R, d)
+
+    def test_rounded_rect_area_formula(self):
+        d = 2.0
+        expected = R.area + R.perimeter * d + math.pi * d * d
+        assert rounded_rect_area(R, d) == pytest.approx(expected)
+
+    def test_rounded_area_less_than_mbr_area(self):
+        d = 3.0
+        assert rounded_rect_area(R, d) < R.expanded(d).area
+
+    def test_rounded_rect_area_zero_distance(self):
+        assert rounded_rect_area(R, 0.0) == R.area
+
+    def test_negative_distance_raises(self):
+        with pytest.raises(ValueError):
+            rounded_rect_area(R, -1.0)

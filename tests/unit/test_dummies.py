@@ -1,0 +1,92 @@
+"""Unit tests for the false-dummies baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cloaking.dummies import (
+    DummyGenerator,
+    dummy_posterior_size,
+    reachability_filter,
+)
+from repro.core.errors import RegistrationError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+class TestDummyGeneration:
+    def test_report_shape(self, rng):
+        generator = DummyGenerator(BOUNDS, n_dummies=4, rng=rng)
+        report = generator.report("u", Point(50, 50))
+        assert report.n == 5
+        assert report.true_location == Point(50, 50)
+        assert report.locations[report.true_index] == Point(50, 50)
+
+    def test_all_points_in_bounds(self, rng):
+        generator = DummyGenerator(BOUNDS, n_dummies=6, rng=rng, consistent=True)
+        for step in range(20):
+            report = generator.report("u", Point(50 + step, 50))
+            assert all(BOUNDS.contains_point(p) for p in report.locations)
+
+    def test_true_index_varies(self, rng):
+        generator = DummyGenerator(BOUNDS, n_dummies=3, rng=rng)
+        indices = {generator.report("u", Point(1, 1)).true_index for _ in range(50)}
+        assert len(indices) > 1
+
+    def test_invalid_args(self, rng):
+        with pytest.raises(ValueError):
+            DummyGenerator(BOUNDS, n_dummies=0, rng=rng)
+        generator = DummyGenerator(BOUNDS, n_dummies=2, rng=rng)
+        with pytest.raises(RegistrationError):
+            generator.report("u", Point(-5, 0))
+
+    def test_consistent_dummies_move_plausibly(self, rng):
+        generator = DummyGenerator(BOUNDS, n_dummies=3, rng=rng, consistent=True)
+        first = generator.report("u", Point(50, 50))
+        second = generator.report("u", Point(51, 50))  # user moved 1 unit
+        prev_dummies = [
+            p for i, p in enumerate(first.locations) if i != first.true_index
+        ]
+        new_dummies = [
+            p for i, p in enumerate(second.locations) if i != second.true_index
+        ]
+        for dummy in new_dummies:
+            assert any(dummy.distance_to(q) <= 1.0 + 1e-6 for q in prev_dummies)
+
+
+class TestReachabilityAttack:
+    def _trajectory(self, steps):
+        return [Point(10.0 + step, 50.0) for step in range(steps)]
+
+    def test_true_index_always_plausible(self, rng):
+        for consistent in (False, True):
+            generator = DummyGenerator(
+                BOUNDS, n_dummies=4, rng=rng, consistent=consistent
+            )
+            reports = [generator.report("u", p) for p in self._trajectory(15)]
+            plausible = reachability_filter(reports, max_speed=1.0, dt=1.0)
+            for report, indices in zip(reports, plausible):
+                assert report.true_index in indices
+
+    def test_naive_dummies_get_filtered(self, rng):
+        generator = DummyGenerator(BOUNDS, n_dummies=6, rng=rng, consistent=False)
+        reports = [generator.report("u", p) for p in self._trajectory(20)]
+        posterior = dummy_posterior_size(reports, max_speed=1.0, dt=1.0)
+        assert posterior < 3.0  # most of the 7 points eliminated
+
+    def test_consistent_dummies_survive(self, rng):
+        generator = DummyGenerator(BOUNDS, n_dummies=6, rng=rng, consistent=True)
+        reports = [generator.report("u", p) for p in self._trajectory(20)]
+        posterior = dummy_posterior_size(reports, max_speed=1.05, dt=1.0)
+        assert posterior > 5.0
+
+    def test_empty_stream(self):
+        assert reachability_filter([], 1.0, 1.0) == []
+        with pytest.raises(ValueError):
+            dummy_posterior_size([], 1.0, 1.0)
+
+    def test_single_report_all_plausible(self, rng):
+        generator = DummyGenerator(BOUNDS, n_dummies=3, rng=rng)
+        reports = [generator.report("u", Point(5, 5))]
+        assert reachability_filter(reports, 1.0, 1.0) == [{0, 1, 2, 3}]

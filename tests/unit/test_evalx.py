@@ -1,0 +1,165 @@
+"""Unit tests for the evaluation harness (tables, metrics, workloads)."""
+
+import numpy as np
+import pytest
+
+from repro.cloaking.base import CloakResult
+from repro.cloaking.mbr import MBRCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.evalx.metrics import (
+    count_answer_error,
+    geometric_mean,
+    mean_and_p95,
+    normalized_count_error,
+    relative_area,
+    smallest_k_area,
+)
+from repro.evalx.tables import Table
+from repro.evalx.workloads import (
+    DEFAULT_BOUNDS,
+    build_workload,
+    cloaked_private_store,
+    loaded_cloaker,
+    poi_store,
+    query_windows,
+    sample_victims,
+    standard_cloakers,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestTable:
+    def test_add_row_and_render(self):
+        table = Table("demo", ["a", "b"])
+        table.add_row(1, 2.5)
+        table.add_row("x", True)
+        text = table.to_text()
+        assert "demo" in text
+        assert "2.5000" in text
+        assert "yes" in text
+        assert len(table) == 2
+
+    def test_wrong_arity_raises(self):
+        table = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            table.add_row(1, 2)
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ValueError):
+            Table("demo", [])
+
+    def test_column_access(self):
+        table = Table("demo", ["k", "v"])
+        table.add_row(1, 10)
+        table.add_row(2, 20)
+        assert table.column("v") == ["10", "20"]
+        with pytest.raises(KeyError):
+            table.column("missing")
+
+    def test_markdown_render(self):
+        table = Table("demo", ["a"])
+        table.add_row(5)
+        md = table.to_markdown()
+        assert "| a |" in md
+        assert "| 5 |" in md
+
+    def test_large_number_formatting(self):
+        table = Table("demo", ["n"])
+        table.add_row(1234567.89)
+        assert "1,234,567.9" in table.to_text()
+
+
+class TestMetrics:
+    def test_mean_and_p95(self):
+        mean, p95 = mean_and_p95(list(range(101)))
+        assert mean == pytest.approx(50.0)
+        assert p95 == pytest.approx(95.0)
+
+    def test_mean_and_p95_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean_and_p95([])
+
+    def test_count_errors(self):
+        assert count_answer_error(2.7, 3) == pytest.approx(0.3)
+        assert normalized_count_error(5.0, 10) == pytest.approx(0.5)
+        assert normalized_count_error(1.0, 0) == pytest.approx(1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_relative_area(self):
+        result = CloakResult(
+            region=Rect(0, 0, 4, 4), user_count=5, requirement=PrivacyRequirement(k=5)
+        )
+        assert relative_area(result, 8.0) == pytest.approx(2.0)
+        assert relative_area(result, 0.0) > 1e9  # floored reference
+
+    def test_smallest_k_area_matches_mbr_cloaker(self, uniform_points_500):
+        workload = build_workload(n_users=200, seed=3)
+        cloaker = loaded_cloaker(MBRCloaker, workload)
+        point = workload.users[0]
+        reference = smallest_k_area(cloaker, point, 10)
+        mbr_region = cloaker.cloak(0, PrivacyRequirement(k=10)).region
+        assert reference == pytest.approx(mbr_region.area)
+
+
+class TestWorkloads:
+    def test_build_workload_deterministic(self):
+        a = build_workload(n_users=50, n_pois=10, seed=9)
+        b = build_workload(n_users=50, n_pois=10, seed=9)
+        assert a.users == b.users
+        assert a.pois == b.pois
+
+    def test_distributions(self):
+        for dist in ("uniform", "clustered", "hotspot"):
+            workload = build_workload(n_users=100, distribution=dist, seed=1)
+            assert len(workload.users) == 100
+            assert all(DEFAULT_BOUNDS.contains_point(p) for p in workload.users)
+
+    def test_unknown_distribution_raises(self):
+        with pytest.raises(ValueError):
+            build_workload(distribution="weird")
+
+    def test_standard_cloakers_all_loaded(self):
+        workload = build_workload(n_users=60, seed=2)
+        cloakers = standard_cloakers(workload)
+        assert len(cloakers) == 6
+        names = {c.name for c in cloakers}
+        assert names == {"naive", "mbr", "quadtree", "grid", "pyramid", "hilbert"}
+        assert all(c.user_count() == 60 for c in cloakers)
+
+    def test_poi_store(self):
+        workload = build_workload(n_users=10, n_pois=25, seed=2)
+        store = poi_store(workload)
+        assert len(store) == 25
+
+    def test_cloaked_private_store(self):
+        workload = build_workload(n_users=120, seed=2)
+        from repro.cloaking.pyramid_cloak import PyramidCloaker
+
+        cloaker = loaded_cloaker(PyramidCloaker, workload, height=5)
+        store = cloaked_private_store(cloaker, k=8)
+        assert len(store) == 120
+        for i, point in enumerate(workload.users):
+            assert store.region_of(i).contains_point(point)
+
+    def test_sample_victims(self):
+        workload = build_workload(n_users=30, seed=2)
+        rng = np.random.default_rng(0)
+        victims = sample_victims(workload, 10, rng)
+        assert len(victims) == 10
+        assert len(set(victims)) == 10
+        assert sample_victims(workload, 100, rng) == list(range(30))
+
+    def test_query_windows(self):
+        rng = np.random.default_rng(0)
+        windows = query_windows(DEFAULT_BOUNDS, 5, 0.2, rng)
+        assert len(windows) == 5
+        for w in windows:
+            assert DEFAULT_BOUNDS.contains_rect(w)
+            assert w.width == pytest.approx(20.0)

@@ -1,0 +1,98 @@
+"""Targeted tests for geometry helpers not covered elsewhere."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, total_covered_area
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+class TestShiftedInto:
+    def test_already_inside_unchanged(self):
+        r = Rect(10, 10, 20, 20)
+        assert r.shifted_into(BOUNDS) == r
+
+    def test_shifts_left_overhang(self):
+        r = Rect(-5, 10, 5, 20)
+        shifted = r.shifted_into(BOUNDS)
+        assert shifted == Rect(0, 10, 10, 20)
+        assert shifted.area == r.area
+
+    def test_shifts_both_axes(self):
+        r = Rect(95, -3, 105, 7)
+        shifted = r.shifted_into(BOUNDS)
+        assert shifted == Rect(90, 0, 100, 10)
+
+    def test_covers_original_intersection(self):
+        r = Rect(-8, -8, 4, 4)
+        shifted = r.shifted_into(BOUNDS)
+        original_part = r.intersection(BOUNDS)
+        assert shifted.contains_rect(original_part)
+
+    def test_oversized_axis_clipped(self):
+        r = Rect(-50, 40, 150, 60)  # wider than the universe
+        shifted = r.shifted_into(BOUNDS)
+        assert BOUNDS.contains_rect(shifted)
+        assert shifted.min_x == 0 and shifted.max_x == 100
+        assert shifted.height == pytest.approx(20)
+
+    def test_preserves_area_when_it_fits(self, rng):
+        for _ in range(100):
+            cx, cy = rng.uniform(-20, 120, 2)
+            w, h = rng.uniform(1, 60, 2)
+            r = Rect.from_center(Point(float(cx), float(cy)), float(w), float(h))
+            if r.intersection(BOUNDS) is None:
+                continue
+            shifted = r.shifted_into(BOUNDS)
+            assert BOUNDS.contains_rect(shifted)
+            if w <= 100 and h <= 100:
+                assert shifted.area == pytest.approx(r.area)
+
+
+class TestTotalCoveredAreaMore:
+    def test_grid_of_touching_squares(self):
+        rects = [
+            Rect(10 * i, 10 * j, 10 * (i + 1), 10 * (j + 1))
+            for i in range(3)
+            for j in range(3)
+        ]
+        assert total_covered_area(rects) == pytest.approx(900.0)
+
+    def test_identical_rects_counted_once(self):
+        rects = [Rect(0, 0, 5, 5)] * 4
+        assert total_covered_area(rects) == pytest.approx(25.0)
+
+    def test_degenerate_rects_contribute_nothing(self):
+        rects = [Rect.from_point(Point(3, 3)), Rect(0, 0, 2, 2)]
+        assert total_covered_area(rects) == pytest.approx(4.0)
+
+    def test_cross_shape(self):
+        rects = [Rect(0, 4, 10, 6), Rect(4, 0, 6, 10)]
+        # 20 + 20 - 4 overlap
+        assert total_covered_area(rects) == pytest.approx(36.0)
+
+
+class TestRectEdgeBehaviours:
+    def test_union_mbr_with_self(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.union_mbr(r) == r
+
+    def test_expanded_zero_is_identity(self):
+        r = Rect(1, 2, 3, 4)
+        assert r.expanded(0) == r
+
+    def test_on_boundary_degenerate_rect(self):
+        deg = Rect.from_point(Point(5, 5))
+        assert deg.on_boundary(Point(5, 5))
+        assert not deg.on_boundary(Point(5.1, 5))
+
+    def test_scaled_to_area_zero_target(self):
+        r = Rect(0, 0, 4, 4).scaled_to_area(0.0)
+        assert r.area == 0.0
+        assert r.center == Point(2, 2)
+
+    def test_quadrants_of_degenerate_rect(self):
+        deg = Rect.from_point(Point(1, 1))
+        quads = deg.quadrants()
+        assert all(q.area == 0.0 for q in quads)

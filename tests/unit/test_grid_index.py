@@ -1,0 +1,153 @@
+"""Unit tests for the uniform grid index."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.grid import GridIndex, square_grid_for_density
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+@pytest.fixture
+def loaded(uniform_points_500):
+    grid = GridIndex(BOUNDS, cols=16)
+    points = dict(enumerate(uniform_points_500))
+    for i, p in points.items():
+        grid.insert_point(i, p)
+    return grid, points
+
+
+class TestCellArithmetic:
+    def test_cell_of_interior(self):
+        grid = GridIndex(BOUNDS, cols=10)
+        assert grid.cell_of(Point(5, 5)) == (0, 0)
+        assert grid.cell_of(Point(95, 15)) == (9, 1)
+
+    def test_cell_of_far_boundary_belongs_to_last_cell(self):
+        grid = GridIndex(BOUNDS, cols=10)
+        assert grid.cell_of(Point(100, 100)) == (9, 9)
+
+    def test_cell_of_outside_raises(self):
+        grid = GridIndex(BOUNDS, cols=10)
+        with pytest.raises(ValueError):
+            grid.cell_of(Point(101, 0))
+
+    def test_cell_rect_tiles_universe(self):
+        grid = GridIndex(BOUNDS, cols=4, rows=5)
+        total = sum(
+            grid.cell_rect(c, r).area for c in range(4) for r in range(5)
+        )
+        assert total == pytest.approx(BOUNDS.area)
+
+    def test_cell_rect_out_of_range_raises(self):
+        grid = GridIndex(BOUNDS, cols=4)
+        with pytest.raises(ValueError):
+            grid.cell_rect(4, 0)
+
+    def test_block_rect_spans_cells(self):
+        grid = GridIndex(BOUNDS, cols=10)
+        assert grid.block_rect(1, 1, 3, 2) == Rect(10, 10, 40, 30)
+
+    def test_point_lands_in_its_cell_rect(self, rng):
+        grid = GridIndex(BOUNDS, cols=7, rows=13)
+        for _ in range(200):
+            p = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            col, row = grid.cell_of(p)
+            assert grid.cell_rect(col, row).contains_point(p)
+
+
+class TestCounts:
+    def test_cell_counts_sum_to_total(self, loaded):
+        grid, points = loaded
+        total = sum(
+            grid.cell_count(c, r) for c in range(grid.cols) for r in range(grid.rows)
+        )
+        assert total == len(points)
+
+    def test_block_count_matches_cells(self, loaded):
+        grid, _ = loaded
+        block = grid.block_count(2, 3, 5, 7)
+        manual = sum(
+            grid.cell_count(c, r) for c in range(2, 6) for r in range(3, 8)
+        )
+        assert block == manual
+
+    def test_counts_follow_deletes(self, loaded):
+        grid, points = loaded
+        col, row = grid.cell_of(points[0])
+        before = grid.cell_count(col, row)
+        grid.delete(0)
+        assert grid.cell_count(col, row) == before - 1
+
+
+class TestQueries:
+    def test_range_matches_brute_force(self, loaded):
+        grid, points = loaded
+        for window in [Rect(0, 0, 100, 100), Rect(13, 27, 55, 61), Rect(-10, -10, 5, 5)]:
+            expected = sorted(i for i, p in points.items() if window.contains_point(p))
+            assert sorted(grid.range_query(window)) == expected
+
+    def test_range_disjoint_window(self, loaded):
+        grid, _ = loaded
+        assert grid.range_query(Rect(200, 200, 300, 300)) == []
+
+    def test_nearest_matches_brute_force(self, loaded, rng):
+        grid, points = loaded
+        for _ in range(10):
+            q = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            got = grid.nearest(q, 3)
+            got_d = sorted(points[i].distance_to(q) for i in got)
+            exp_d = sorted(points[i].distance_to(q) for i in points)[:3]
+            assert got_d == pytest.approx(exp_d)
+
+    def test_nearest_in_sparse_grid(self):
+        grid = GridIndex(BOUNDS, cols=20)
+        grid.insert_point("far", Point(99, 99))
+        assert grid.nearest(Point(0, 0), 1) == ["far"]
+
+    def test_nearest_empty(self):
+        assert GridIndex(BOUNDS, cols=4).nearest(Point(0, 0)) == []
+
+
+class TestLifecycle:
+    def test_duplicate_raises(self):
+        grid = GridIndex(BOUNDS, cols=4)
+        grid.insert_point("a", Point(1, 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            grid.insert_point("a", Point(2, 2))
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            GridIndex(BOUNDS, cols=4).delete("nope")
+
+    def test_update_moves_between_cells(self):
+        grid = GridIndex(BOUNDS, cols=10)
+        grid.insert_point("a", Point(5, 5))
+        grid.update("a", Rect.from_point(Point(95, 95)))
+        assert grid.cell_count(0, 0) == 0
+        assert grid.cell_count(9, 9) == 1
+
+    def test_non_point_insert_raises(self):
+        with pytest.raises(ValueError, match="points"):
+            GridIndex(BOUNDS, cols=4).insert("a", Rect(0, 0, 5, 5))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            GridIndex(BOUNDS, cols=0)
+        with pytest.raises(ValueError):
+            GridIndex(Rect(0, 0, 5, 0), cols=4)
+
+
+class TestDensityHelper:
+    def test_square_grid_for_density(self):
+        grid = square_grid_for_density(BOUNDS, n_points=1000, points_per_cell=10)
+        assert grid.cols == grid.rows == 10
+
+    def test_small_population_gets_single_cell(self):
+        grid = square_grid_for_density(BOUNDS, n_points=0, points_per_cell=10)
+        assert grid.cols == 1
+
+    def test_invalid_density(self):
+        with pytest.raises(ValueError):
+            square_grid_for_density(BOUNDS, n_points=10, points_per_cell=0)

@@ -1,0 +1,132 @@
+"""Unit tests for incremental cloak evaluation (Section 5.3)."""
+
+import pytest
+
+from repro.cloaking.incremental import IncrementalCloaker
+from repro.cloaking.mbr import MBRCloaker
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.core.profiles import PrivacyRequirement
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+REQ = PrivacyRequirement(k=10)
+
+
+@pytest.fixture
+def incremental(uniform_points_500):
+    inner = PyramidCloaker(BOUNDS, height=6)
+    wrapper = IncrementalCloaker(inner)
+    for i, p in enumerate(uniform_points_500):
+        wrapper.add_user(i, p)
+    return wrapper
+
+
+class TestReuse:
+    def test_second_cloak_reuses(self, incremental):
+        first = incremental.cloak(0, REQ)
+        second = incremental.cloak(0, REQ)
+        assert not first.reused
+        assert second.reused
+        assert second.region == first.region
+
+    def test_reuse_counted_in_stats(self, incremental):
+        incremental.cloak(0, REQ)
+        incremental.cloak(0, REQ)
+        assert incremental.stats.reuses == 1
+
+    def test_small_move_inside_region_reuses(self, incremental):
+        first = incremental.cloak(0, REQ)
+        center = first.region.center
+        incremental.move_user(0, center)
+        second = incremental.cloak(0, REQ)
+        assert second.reused
+        assert second.region == first.region
+
+    def test_move_out_of_region_recomputes(self, incremental):
+        first = incremental.cloak(0, REQ)
+        outside_x = (first.region.max_x + 50.0) % 100.0
+        outside_y = (first.region.max_y + 50.0) % 100.0
+        incremental.move_user(0, Point(outside_x, outside_y))
+        second = incremental.cloak(0, REQ)
+        assert not second.reused
+        assert second.region.contains_point(Point(outside_x, outside_y))
+
+    def test_requirement_change_recomputes(self, incremental):
+        incremental.cloak(0, REQ)
+        second = incremental.cloak(0, PrivacyRequirement(k=11))
+        assert not second.reused
+
+    def test_population_drain_invalidates(self, incremental):
+        first = incremental.cloak(0, REQ)
+        # Remove everyone else inside the cached region.
+        inside = [
+            uid
+            for uid in incremental.inner.users_in(first.region)
+            if uid != 0
+        ]
+        for uid in inside:
+            incremental.remove_user(uid)
+        second = incremental.cloak(0, REQ)
+        assert not second.reused
+        assert second.user_count >= REQ.k
+
+    def test_reused_result_still_k_valid(self, incremental):
+        incremental.cloak(0, REQ)
+        result = incremental.cloak(0, REQ)
+        assert result.user_count >= REQ.k
+
+
+class TestFreshnessBound:
+    def test_max_reuses_forces_recompute(self, uniform_points_500):
+        inner = PyramidCloaker(BOUNDS, height=6)
+        wrapper = IncrementalCloaker(inner, max_reuses=2)
+        for i, p in enumerate(uniform_points_500):
+            wrapper.add_user(i, p)
+        results = [wrapper.cloak(0, REQ) for _ in range(5)]
+        assert [r.reused for r in results] == [False, True, True, False, True]
+
+    def test_invalid_max_reuses(self):
+        with pytest.raises(ValueError):
+            IncrementalCloaker(PyramidCloaker(BOUNDS), max_reuses=-1)
+
+    def test_zero_max_reuses_never_caches(self, uniform_points_500):
+        inner = PyramidCloaker(BOUNDS, height=6)
+        wrapper = IncrementalCloaker(inner, max_reuses=0)
+        for i, p in enumerate(uniform_points_500):
+            wrapper.add_user(i, p)
+        assert not wrapper.cloak(0, REQ).reused
+        assert not wrapper.cloak(0, REQ).reused
+
+
+class TestLifecycle:
+    def test_remove_user_clears_cache(self, incremental):
+        incremental.cloak(0, REQ)
+        incremental.remove_user(0)
+        incremental.add_user(0, Point(1, 1))
+        assert not incremental.cloak(0, REQ).reused
+
+    def test_invalidate_single(self, incremental):
+        incremental.cloak(0, REQ)
+        incremental.invalidate(0)
+        assert not incremental.cloak(0, REQ).reused
+
+    def test_invalidate_all(self, incremental):
+        incremental.cloak(0, REQ)
+        incremental.cloak(1, REQ)
+        incremental.invalidate()
+        assert not incremental.cloak(0, REQ).reused
+        assert not incremental.cloak(1, REQ).reused
+
+    def test_name_and_bounds_forwarded(self, incremental):
+        assert incremental.name == "incremental(pyramid)"
+        assert incremental.bounds == BOUNDS
+        assert incremental.user_count() == 500
+
+    def test_wraps_data_dependent_cloaker(self, uniform_points_500):
+        wrapper = IncrementalCloaker(MBRCloaker(BOUNDS))
+        for i, p in enumerate(uniform_points_500):
+            wrapper.add_user(i, p)
+        first = wrapper.cloak(3, REQ)
+        second = wrapper.cloak(3, REQ)
+        assert not first.reused and second.reused

@@ -1,0 +1,137 @@
+"""Unit tests for the k-d tree index."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.kdtree import KDTree
+
+
+def brute_range(points, window):
+    return sorted(i for i, p in points.items() if window.contains_point(p))
+
+
+@pytest.fixture
+def loaded(uniform_points_500):
+    points = dict(enumerate(uniform_points_500))
+    return KDTree.build(points), points
+
+
+class TestBulkBuild:
+    def test_build_and_len(self, loaded):
+        tree, points = loaded
+        assert len(tree) == len(points)
+        assert tree.buffered == 0
+
+    def test_range_matches_brute_force(self, loaded):
+        tree, points = loaded
+        for window in [
+            Rect(0, 0, 100, 100),
+            Rect(22, 31, 47, 59),
+            Rect(-5, -5, 0, 0),
+            Rect(50, 50, 50.1, 50.1),
+        ]:
+            assert sorted(tree.range_query(window)) == brute_range(points, window)
+
+    def test_knn_matches_brute_force(self, loaded, rng):
+        tree, points = loaded
+        for _ in range(15):
+            q = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            got = [points[i].distance_to(q) for i in tree.nearest(q, 6)]
+            expected = sorted(p.distance_to(q) for p in points.values())[:6]
+            assert sorted(got) == pytest.approx(expected)
+
+    def test_empty_tree(self):
+        tree = KDTree()
+        assert tree.range_query(Rect(0, 0, 1, 1)) == []
+        assert tree.nearest(Point(0, 0), 3) == []
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            KDTree(rebuild_fraction=0.0)
+        with pytest.raises(ValueError):
+            KDTree(rebuild_fraction=1.5)
+
+
+class TestDynamicUpdates:
+    def test_inserts_buffered_then_rebuilt(self):
+        tree = KDTree(rebuild_fraction=0.5)
+        for i in range(40):
+            tree.insert_point(i, Point(float(i), float(i)))
+        # Some rebuilds must have happened along the way.
+        assert tree.buffered < 40
+        assert sorted(tree.range_query(Rect(0, 0, 100, 100))) == list(range(40))
+
+    def test_delete_from_tree_and_buffer(self, loaded):
+        tree, points = loaded
+        tree.delete(0)  # tree-resident
+        tree.insert_point("fresh", Point(1, 1))
+        tree.delete("fresh")  # buffer-resident
+        assert len(tree) == 499
+        window = Rect(0, 0, 100, 100)
+        remaining = {i: p for i, p in points.items() if i != 0}
+        assert sorted(tree.range_query(window), key=str) == sorted(
+            brute_range(remaining, window), key=str
+        )
+
+    def test_reinsert_after_delete_uses_new_point(self, loaded):
+        tree, points = loaded
+        tree.delete(3)
+        tree.insert_point(3, Point(99.5, 99.5))
+        assert 3 in tree.range_query(Rect(99, 99, 100, 100))
+        old_window = Rect.from_center(points[3], 0.01, 0.01)
+        assert 3 not in tree.range_query(old_window) or points[3].distance_to(
+            Point(99.5, 99.5)
+        ) < 0.01
+
+    def test_duplicate_insert_raises(self, loaded):
+        tree, _ = loaded
+        with pytest.raises(ValueError, match="duplicate"):
+            tree.insert_point(0, Point(1, 1))
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            KDTree().delete("ghost")
+
+    def test_non_point_rect_raises(self):
+        with pytest.raises(ValueError, match="points"):
+            KDTree().insert("a", Rect(0, 0, 1, 1))
+
+    def test_explicit_rebuild_flushes_buffer(self):
+        tree = KDTree(rebuild_fraction=1.0)
+        for i in range(20):
+            tree.insert_point(i, Point(float(i), 0.0))
+        tree.rebuild()
+        assert tree.buffered == 0
+        assert sorted(tree.range_query(Rect(0, 0, 25, 1))) == list(range(20))
+
+    def test_interleaved_workload_consistency(self, rng):
+        tree = KDTree(rebuild_fraction=0.2)
+        reference = {}
+        next_id = 0
+        for _ in range(800):
+            op = rng.random()
+            if op < 0.6 or not reference:
+                p = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+                tree.insert_point(next_id, p)
+                reference[next_id] = p
+                next_id += 1
+            elif op < 0.8:
+                victim = list(reference)[int(rng.integers(len(reference)))]
+                tree.delete(victim)
+                del reference[victim]
+            else:
+                cx, cy = rng.uniform(0, 100, 2)
+                window = Rect.from_center(Point(float(cx), float(cy)), 25, 25)
+                assert sorted(tree.range_query(window)) == brute_range(
+                    reference, window
+                )
+        assert len(tree) == len(reference)
+
+    def test_nearest_sees_buffer_and_respects_tombstones(self, loaded, rng):
+        tree, points = loaded
+        q = Point(50, 50)
+        true_first = tree.nearest(q, 1)[0]
+        tree.delete(true_first)
+        tree.insert_point("winner", Point(50.0001, 50.0001))
+        assert tree.nearest(q, 1) == ["winner"]

@@ -1,0 +1,293 @@
+"""Unit tests for the mobility substrate."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import PrivacyProfile
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.mobility.network import (
+    NetworkMobilityModel,
+    manhattan_network,
+    random_geometric_network,
+)
+from repro.mobility.population import (
+    ClusterSpec,
+    clustered_population,
+    hotspot_population,
+    population_from_clusters,
+    uniform_population,
+)
+from repro.mobility.random_waypoint import RandomWaypointModel
+from repro.mobility.trace import Trace, TraceEvent, record_trace
+from repro.mobility.users import MobileUser, UserMode
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+class TestUserModes:
+    def test_mode_visibility(self):
+        assert not UserMode.PASSIVE.shares_location
+        assert UserMode.ACTIVE.shares_location
+        assert UserMode.QUERY.shares_location
+
+    def test_user_defaults(self):
+        user = MobileUser("u1", Point(1, 2))
+        assert user.mode is UserMode.ACTIVE
+        assert user.is_visible
+        assert user.profile == PrivacyProfile()
+
+    def test_negative_speed_rejected(self):
+        with pytest.raises(ValueError):
+            MobileUser("u", Point(0, 0), speed=-1.0)
+
+
+class TestPopulations:
+    def test_uniform_population(self, rng):
+        pts = uniform_population(BOUNDS, 300, rng)
+        assert len(pts) == 300
+        assert all(BOUNDS.contains_point(p) for p in pts)
+
+    def test_clustered_population_in_bounds(self, rng):
+        pts = clustered_population(BOUNDS, 500, rng, n_clusters=4)
+        assert len(pts) == 500
+        assert all(BOUNDS.contains_point(p) for p in pts)
+
+    def test_clustered_is_denser_than_uniform(self, rng):
+        pts = clustered_population(
+            BOUNDS, 1000, rng, n_clusters=3, background_fraction=0.1
+        )
+        # Measure max local density via a coarse histogram.
+        grid = np.zeros((10, 10))
+        for p in pts:
+            grid[min(int(p.x / 10), 9), min(int(p.y / 10), 9)] += 1
+        assert grid.max() > 3 * 10  # >3x the uniform per-cell expectation
+
+    def test_hotspot_population(self, rng):
+        pts = hotspot_population(BOUNDS, 1000, rng, hotspot_fraction=0.8)
+        center = BOUNDS.center
+        near = sum(1 for p in pts if p.distance_to(center) < 10)
+        assert near >= 700
+
+    def test_cluster_spec_validation(self):
+        with pytest.raises(ValueError):
+            ClusterSpec(Point(0, 0), sigma=-1, weight=1)
+        with pytest.raises(ValueError):
+            ClusterSpec(Point(0, 0), sigma=1, weight=-1)
+
+    def test_population_from_clusters_exact_count(self, rng):
+        specs = [
+            ClusterSpec(Point(20, 20), 2.0, 0.7),
+            ClusterSpec(Point(80, 80), 2.0, 0.3),
+        ]
+        pts = population_from_clusters(BOUNDS, 777, rng, specs, 0.25)
+        assert len(pts) == 777
+
+    def test_invalid_population_args(self, rng):
+        with pytest.raises(ValueError):
+            clustered_population(BOUNDS, 10, rng, background_fraction=1.5)
+        with pytest.raises(ValueError):
+            clustered_population(BOUNDS, 10, rng, n_clusters=0)
+        with pytest.raises(ValueError):
+            population_from_clusters(
+                BOUNDS, 10, rng, [ClusterSpec(Point(0, 0), 1, 0.0)]
+            )
+
+
+class TestRandomWaypoint:
+    def test_users_stay_in_bounds(self, rng):
+        model = RandomWaypointModel(BOUNDS, rng)
+        for i in range(20):
+            model.add_user(i, Point(50, 50))
+        for _ in range(50):
+            positions = model.step(2.0)
+            assert all(BOUNDS.contains_point(p) for p in positions.values())
+
+    def test_movement_bounded_by_speed(self, rng):
+        model = RandomWaypointModel(BOUNDS, rng, speed_range=(1.0, 1.0))
+        model.add_user("u", Point(50, 50))
+        previous = Point(50, 50)
+        for _ in range(30):
+            current = model.step(1.0)["u"]
+            assert previous.distance_to(current) <= 1.0 + 1e-9
+            previous = current
+
+    def test_zero_dt_keeps_positions(self, rng):
+        model = RandomWaypointModel(BOUNDS, rng)
+        model.add_user("u", Point(10, 10))
+        assert model.step(0.0)["u"] == Point(10, 10)
+
+    def test_users_eventually_move(self, rng):
+        model = RandomWaypointModel(BOUNDS, rng, speed_range=(1.0, 2.0))
+        model.add_user("u", Point(50, 50))
+        model.step(5.0)
+        assert model.position_of("u") != Point(50, 50)
+
+    def test_pausing_users_can_stand_still(self, rng):
+        model = RandomWaypointModel(
+            BOUNDS, rng, speed_range=(100.0, 100.0), pause_range=(10.0, 10.0)
+        )
+        model.add_user("u", Point(50, 50))
+        # After reaching the first waypoint the user pauses; eventually a
+        # step returns the same position twice.
+        seen_pause = False
+        last = model.position_of("u")
+        for _ in range(50):
+            current = model.step(0.5)["u"]
+            if current == last:
+                seen_pause = True
+                break
+            last = current
+        assert seen_pause
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            RandomWaypointModel(BOUNDS, rng, speed_range=(2.0, 1.0))
+        with pytest.raises(ValueError):
+            RandomWaypointModel(BOUNDS, rng, pause_range=(-1.0, 0.0))
+        model = RandomWaypointModel(BOUNDS, rng)
+        model.add_user("u", Point(0, 0))
+        with pytest.raises(ValueError):
+            model.add_user("u", Point(1, 1))
+        with pytest.raises(ValueError):
+            model.add_user("v", Point(-5, 0))
+        with pytest.raises(ValueError):
+            model.step(-1.0)
+
+    def test_remove_user(self, rng):
+        model = RandomWaypointModel(BOUNDS, rng)
+        model.add_user("u", Point(0, 0))
+        model.remove_user("u")
+        assert len(model) == 0
+
+
+class TestNetworks:
+    def test_manhattan_network_shape(self):
+        graph = manhattan_network(BOUNDS, blocks=4)
+        assert graph.number_of_nodes() == 25
+        assert graph.number_of_edges() == 2 * 4 * 5
+
+    def test_manhattan_positions_span_bounds(self):
+        graph = manhattan_network(BOUNDS, blocks=2)
+        positions = [data["pos"] for _, data in graph.nodes(data=True)]
+        assert Point(0, 0) in positions
+        assert Point(100, 100) in positions
+
+    def test_random_geometric_connected(self, rng):
+        graph = random_geometric_network(BOUNDS, 60, 0.15, rng)
+        import networkx as nx
+
+        assert nx.is_connected(graph)
+        assert graph.number_of_nodes() == 60
+
+    def test_invalid_networks(self, rng):
+        with pytest.raises(ValueError):
+            manhattan_network(BOUNDS, blocks=0)
+        with pytest.raises(ValueError):
+            random_geometric_network(BOUNDS, 1, 0.1, rng)
+
+
+class TestNetworkMobility:
+    @pytest.fixture
+    def model(self, rng):
+        graph = manhattan_network(BOUNDS, blocks=5)
+        return NetworkMobilityModel(graph, rng, speed_range=(5.0, 5.0))
+
+    def test_users_on_network_edges(self, model):
+        model.add_user("u")
+        for _ in range(40):
+            p = model.step(1.0)["u"]
+            # On a Manhattan grid, at least one coordinate sits on a street.
+            on_street = any(
+                abs(p.x - x) < 1e-6 or abs(p.y - x) < 1e-6
+                for x in [0, 20, 40, 60, 80, 100]
+            )
+            assert on_street
+
+    def test_start_node_respected(self, model):
+        start = (0, 0)
+        p = model.add_user("u", start_node=start)
+        assert p == model.node_position(start)
+
+    def test_duplicate_user_raises(self, model):
+        model.add_user("u")
+        with pytest.raises(ValueError):
+            model.add_user("u")
+
+    def test_movement_progresses(self, model):
+        model.add_user("u", start_node=(0, 0))
+        start = model.position_of("u")
+        model.step(3.0)
+        assert model.position_of("u") != start
+
+    def test_disconnected_graph_rejected(self, rng):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_node(0, pos=Point(0, 0))
+        graph.add_node(1, pos=Point(1, 1))
+        with pytest.raises(ValueError):
+            NetworkMobilityModel(graph, rng)
+
+
+class TestTrace:
+    def test_ordering_enforced(self):
+        trace = Trace()
+        trace.append(TraceEvent(1.0, "u", Point(0, 0)))
+        with pytest.raises(ValueError):
+            trace.append(TraceEvent(0.5, "u", Point(1, 1)))
+
+    def test_record_step_and_metadata(self):
+        trace = Trace()
+        trace.record_step(0.0, {"a": Point(0, 0), "b": Point(1, 1)})
+        trace.record_step(1.0, {"a": Point(2, 2)})
+        assert len(trace) == 3
+        assert trace.users == {"a", "b"}
+        assert trace.duration == 1.0
+
+    def test_replay_order(self):
+        trace = Trace(
+            [
+                TraceEvent(0.0, "a", Point(0, 0)),
+                TraceEvent(1.0, "a", Point(1, 1)),
+            ]
+        )
+        seen = []
+        count = trace.replay(lambda e: seen.append(e.t))
+        assert count == 2
+        assert seen == [0.0, 1.0]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = Trace(
+            [
+                TraceEvent(0.0, "a", Point(0.5, 1.25)),
+                TraceEvent(2.0, "b", Point(3.125, 4.0)),
+            ]
+        )
+        path = tmp_path / "trace.tsv"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == 2
+        assert loaded[0].location == Point(0.5, 1.25)
+        assert loaded[1].user_id == "b"
+
+    def test_load_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("1.0\tonly-two-fields\n")
+        with pytest.raises(ValueError, match="expected 4"):
+            Trace.load(path)
+
+    def test_record_trace_from_model(self, rng):
+        model = RandomWaypointModel(BOUNDS, rng)
+        initial = {}
+        for i in range(5):
+            model.add_user(i, Point(50, 50))
+            initial[i] = Point(50, 50)
+        trace = record_trace(model, n_steps=4, dt=1.0, initial_positions=initial)
+        assert len(trace) == 5 * 5  # initial + 4 steps
+        assert trace.duration == 4.0
+
+    def test_record_trace_invalid_args(self, rng):
+        model = RandomWaypointModel(BOUNDS, rng)
+        with pytest.raises(ValueError):
+            record_trace(model, n_steps=-1, dt=1.0)

@@ -1,0 +1,69 @@
+"""Unit tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, centroid
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -7.1)
+        assert p.distance_to(p) == 0.0
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1, 2), Point(-3, 9)
+        assert a.distance_to(b) == b.distance_to(a)
+
+    def test_squared_distance_matches_distance(self):
+        a, b = Point(1.5, 2.0), Point(4.0, -1.0)
+        assert a.squared_distance_to(b) == pytest.approx(a.distance_to(b) ** 2)
+
+    def test_manhattan_distance(self):
+        assert Point(0, 0).manhattan_distance_to(Point(3, -4)) == 7.0
+
+    def test_translated(self):
+        assert Point(1, 1).translated(2, -3) == Point(3, -2)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(4, 6)) == Point(2, 3)
+
+    def test_as_tuple_and_iter(self):
+        p = Point(1.0, 2.0)
+        assert p.as_tuple() == (1.0, 2.0)
+        assert tuple(p) == (1.0, 2.0)
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(1, 2).x = 5  # type: ignore[misc]
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Point(3, 4)]) == Point(3, 4)
+
+    def test_square_corners(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(pts) == Point(1, 1)
+
+    def test_accepts_generators(self):
+        assert centroid(Point(i, 0) for i in range(5)) == Point(2, 0)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            centroid([])
+
+    def test_mean_of_collinear_points(self):
+        pts = [Point(x, 2 * x) for x in (1.0, 2.0, 3.0)]
+        c = centroid(pts)
+        assert c.x == pytest.approx(2.0)
+        assert c.y == pytest.approx(4.0)
+        assert math.isclose(c.y, 2 * c.x)

@@ -1,0 +1,120 @@
+"""Unit tests for repro.geometry.polygon (half-plane clipping)."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.polygon import (
+    bisector_halfplane,
+    clip_by_halfplane,
+    polygon_area,
+    voronoi_cell_clip,
+    voronoi_cell_intersects,
+)
+from repro.geometry.rect import Rect
+
+SQUARE = [Point(0, 0), Point(4, 0), Point(4, 4), Point(0, 4)]
+
+
+class TestClipByHalfplane:
+    def test_no_clip_when_polygon_inside(self):
+        # x <= 10 keeps the whole square.
+        result = clip_by_halfplane(SQUARE, 1, 0, 10)
+        assert polygon_area(result) == pytest.approx(16.0)
+
+    def test_full_clip_when_polygon_outside(self):
+        # x <= -1 removes everything.
+        assert clip_by_halfplane(SQUARE, 1, 0, -1) == []
+
+    def test_half_clip(self):
+        # x <= 2 keeps the left half.
+        result = clip_by_halfplane(SQUARE, 1, 0, 2)
+        assert polygon_area(result) == pytest.approx(8.0)
+
+    def test_diagonal_clip(self):
+        # x + y <= 4 keeps the lower-left triangle.
+        result = clip_by_halfplane(SQUARE, 1, 1, 4)
+        assert polygon_area(result) == pytest.approx(8.0)
+
+    def test_empty_input(self):
+        assert clip_by_halfplane([], 1, 0, 0) == []
+
+    def test_successive_clips_compose(self):
+        result = clip_by_halfplane(SQUARE, 1, 0, 2)
+        result = clip_by_halfplane(result, 0, 1, 2)
+        assert polygon_area(result) == pytest.approx(4.0)
+
+
+class TestBisector:
+    def test_halfplane_prefers_nearer_point(self):
+        o, other = Point(0, 0), Point(4, 0)
+        a, b, c = bisector_halfplane(o, other)
+        # Points with x < 2 are closer to o.
+        assert a * 1 + b * 0 <= c  # (1, 0) closer to o
+        assert a * 3 + b * 0 > c  # (3, 0) closer to other
+
+    def test_bisector_line_is_equidistant(self):
+        o, other = Point(1, 1), Point(5, 3)
+        a, b, c = bisector_halfplane(o, other)
+        mid = o.midpoint(other)
+        assert a * mid.x + b * mid.y == pytest.approx(c)
+
+
+class TestVoronoiCell:
+    def test_single_object_cell_covers_region(self):
+        region = Rect(0, 0, 10, 10)
+        cell = voronoi_cell_clip(Point(5, 5), [], region)
+        assert polygon_area(cell) == pytest.approx(100.0)
+
+    def test_two_objects_split_region(self):
+        region = Rect(0, 0, 10, 10)
+        left = voronoi_cell_clip(Point(0, 5), [Point(10, 5)], region)
+        right = voronoi_cell_clip(Point(10, 5), [Point(0, 5)], region)
+        assert polygon_area(left) == pytest.approx(50.0)
+        assert polygon_area(right) == pytest.approx(50.0)
+
+    def test_dominated_object_has_empty_cell(self):
+        region = Rect(0, 0, 2, 2)
+        # The far object loses everywhere in the region to the near one.
+        assert not voronoi_cell_intersects(
+            Point(50, 50), [Point(1, 1)], region
+        )
+
+    def test_object_inside_region_always_intersects(self):
+        region = Rect(0, 0, 10, 10)
+        competitors = [Point(20, 20), Point(-5, -5)]
+        assert voronoi_cell_intersects(Point(5, 5), competitors, region)
+
+    def test_competitor_equal_to_object_ignored(self):
+        region = Rect(0, 0, 2, 2)
+        o = Point(1, 1)
+        assert voronoi_cell_intersects(o, [o, Point(50, 50)], region)
+
+    def test_cell_areas_partition_region(self):
+        region = Rect(0, 0, 6, 6)
+        objects = [Point(1, 1), Point(5, 1), Point(3, 5), Point(9, 9)]
+        total = 0.0
+        for o in objects:
+            competitors = [q for q in objects if q != o]
+            total += polygon_area(voronoi_cell_clip(o, competitors, region))
+        assert total == pytest.approx(region.area, rel=1e-9)
+
+    def test_degenerate_region(self):
+        region = Rect.from_point(Point(3, 3))
+        near, far = Point(3, 4), Point(30, 30)
+        assert voronoi_cell_intersects(near, [far], region)
+        assert not voronoi_cell_intersects(far, [near], region)
+
+
+class TestPolygonArea:
+    def test_triangle(self):
+        assert polygon_area([Point(0, 0), Point(4, 0), Point(0, 3)]) == pytest.approx(6.0)
+
+    def test_orientation_invariant(self):
+        cw = [Point(0, 0), Point(0, 3), Point(4, 0)]
+        ccw = list(reversed(cw))
+        assert polygon_area(cw) == polygon_area(ccw)
+
+    def test_fewer_than_three_vertices_is_zero(self):
+        assert polygon_area([]) == 0.0
+        assert polygon_area([Point(1, 1)]) == 0.0
+        assert polygon_area([Point(1, 1), Point(2, 2)]) == 0.0

@@ -1,0 +1,114 @@
+"""Unit tests for private k-NN queries (extension of Figure 5b)."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.stores import PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.sampling import uniform_points
+from repro.queries.private_knn import (
+    exact_knn_answer,
+    private_knn_query,
+    refine_knn_candidates,
+)
+from repro.queries.private_nn import private_nn_query
+
+
+@pytest.fixture
+def store(uniform_points_500):
+    s = PublicStore()
+    for i, p in enumerate(uniform_points_500):
+        s.add(i, p)
+    return s
+
+
+REGION = Rect(30, 55, 48, 70)
+
+
+class TestGuarantee:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    @pytest.mark.parametrize("method", ["range", "filter"])
+    def test_all_k_nearest_always_candidates(self, store, rng, k, method):
+        result = private_knn_query(store, REGION, k, method)
+        for p in uniform_points(REGION, 300, rng):
+            truth = exact_knn_answer(store, p, k)
+            assert set(truth) <= set(result.candidates), (k, method)
+
+    def test_filter_subset_of_range(self, store):
+        for k in (1, 4, 10):
+            f = private_knn_query(store, REGION, k, "filter")
+            r = private_knn_query(store, REGION, k, "range")
+            assert set(f.candidates) <= set(r.candidates)
+            assert len(f.candidates) >= k
+
+    def test_k1_consistent_with_private_nn(self, store):
+        knn = private_knn_query(store, REGION, 1, "filter")
+        nn = private_nn_query(store, REGION, "filter")
+        # Both are sound supersets of the same exact set; the k-NN one must
+        # at least contain every NN candidate.
+        assert set(nn.candidates) <= set(knn.candidates)
+
+    def test_candidates_grow_with_k(self, store):
+        sizes = [
+            len(private_knn_query(store, REGION, k, "filter").candidates)
+            for k in (1, 3, 6, 12)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_degenerate_region_is_classic_knn(self, store, uniform_points_500):
+        p = uniform_points_500[5]
+        result = private_knn_query(store, Rect.from_point(p), 5, "filter")
+        truth = exact_knn_answer(store, p, 5)
+        refined = refine_knn_candidates(store, result, p)
+        assert refined == truth
+
+
+class TestEdgeCases:
+    def test_k_capped_at_store_size(self):
+        store = PublicStore()
+        for i in range(3):
+            store.add(i, Point(10.0 * i, 0))
+        result = private_knn_query(store, Rect(0, 0, 5, 5), 10)
+        assert result.k == 3
+        assert set(result.candidates) == {0, 1, 2}
+
+    def test_invalid_k_raises(self, store):
+        with pytest.raises(QueryError):
+            private_knn_query(store, REGION, 0)
+
+    def test_empty_store_raises(self):
+        with pytest.raises(QueryError):
+            private_knn_query(PublicStore(), REGION, 1)
+
+    def test_unknown_method_raises(self, store):
+        with pytest.raises(QueryError):
+            private_knn_query(store, REGION, 2, "fancy")
+
+    def test_refine_empty_raises(self, store):
+        from repro.queries.private_knn import PrivateKNNResult
+
+        empty = PrivateKNNResult(
+            region=REGION, k=2, candidates=(), method="filter", pruning_radius=0.0
+        )
+        with pytest.raises(QueryError):
+            refine_knn_candidates(store, empty, Point(0, 0))
+
+    def test_exact_knn_empty_store_raises(self):
+        with pytest.raises(QueryError):
+            exact_knn_answer(PublicStore(), Point(0, 0), 1)
+
+
+class TestRefinement:
+    def test_refined_matches_truth_everywhere(self, store, rng):
+        result = private_knn_query(store, REGION, 4, "filter")
+        for p in uniform_points(REGION, 60, rng):
+            refined = refine_knn_candidates(store, result, p)
+            truth = exact_knn_answer(store, p, 4)
+            got = sorted(store.point_of(i).distance_to(p) for i in refined)
+            want = sorted(store.point_of(i).distance_to(p) for i in truth)
+            assert got == pytest.approx(want)
+
+    def test_transmission_size(self, store):
+        result = private_knn_query(store, REGION, 3, "filter")
+        assert result.transmission_size == len(result.candidates)

@@ -1,0 +1,172 @@
+"""Unit tests for private nearest-neighbour queries (Figure 5b)."""
+
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.stores import PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.sampling import uniform_points
+from repro.queries.private_nn import (
+    exact_nn_answer,
+    nn_probabilities,
+    private_nn_query,
+    pruning_radius,
+    refine_nn_candidates,
+)
+
+
+@pytest.fixture
+def store(uniform_points_500):
+    s = PublicStore()
+    for i, p in enumerate(uniform_points_500):
+        s.add(i, p)
+    return s
+
+
+REGION = Rect(30, 55, 48, 70)
+
+
+class TestPruningRadius:
+    def test_bound_is_min_of_max_dists(self, store, uniform_points_500):
+        from repro.geometry.distances import max_dist
+
+        m, ids = pruning_radius(store, REGION)
+        brute = min(max_dist(p, REGION) for p in uniform_points_500)
+        assert m == pytest.approx(brute)
+        assert len(ids) >= 1
+
+    def test_all_ids_within_bound(self, store):
+        from repro.geometry.distances import min_dist
+
+        m, ids = pruning_radius(store, REGION)
+        for i in ids:
+            assert min_dist(store.point_of(i), REGION) <= m + 1e-12
+
+    def test_empty_store_raises(self):
+        with pytest.raises(QueryError):
+            pruning_radius(PublicStore(), REGION)
+
+
+class TestCandidateSets:
+    def test_method_tightness_ordering(self, store):
+        r_range = private_nn_query(store, REGION, "range")
+        r_filter = private_nn_query(store, REGION, "filter")
+        r_exact = private_nn_query(store, REGION, "exact")
+        assert set(r_exact.candidates) <= set(r_filter.candidates)
+        assert set(r_filter.candidates) <= set(r_range.candidates)
+        assert len(r_exact.candidates) >= 1
+
+    def test_corner_dominance_actually_prunes(self, store):
+        """The filter must beat the plain radius bound on a typical city."""
+        r_range = private_nn_query(store, REGION, "range")
+        r_filter = private_nn_query(store, REGION, "filter")
+        assert len(r_filter.candidates) < len(r_range.candidates)
+
+    def test_figure_5b_style_dominance(self):
+        """The paper's worked pruning: A loses to B and C everywhere in R."""
+        store = PublicStore()
+        region = Rect(40, 40, 50, 50)
+        store.add("B", Point(45, 52))  # just above R
+        store.add("C", Point(45, 38))  # just below R
+        store.add("A", Point(45, 80))  # far above: B beats it everywhere
+        store.add("D", Point(58, 45))  # right of R: may win on the right edge
+        result = private_nn_query(store, region, "filter")
+        assert "A" not in result.candidates
+        assert {"B", "C", "D"} <= set(result.candidates)
+
+    @pytest.mark.parametrize("method", ["range", "filter", "exact"])
+    def test_no_false_negatives(self, store, rng, method):
+        result = private_nn_query(store, REGION, method)
+        for p in uniform_points(REGION, 400, rng):
+            assert exact_nn_answer(store, p) in result.candidates
+
+    def test_exact_set_has_no_false_positives(self, store, rng):
+        """Every exact candidate must win somewhere in the region."""
+        result = private_nn_query(store, REGION, "exact")
+        winners = set()
+        for p in uniform_points(REGION, 6000, rng):
+            winners.add(exact_nn_answer(store, p))
+        # Dense sampling should recover (nearly) all exact candidates; allow
+        # candidates with tiny winning cells to be missed, but not many.
+        assert len(winners - set(result.candidates)) == 0
+        assert len(set(result.candidates) - winners) <= max(
+            1, len(result.candidates) // 3
+        )
+
+    def test_objects_inside_region_are_candidates(self, store, uniform_points_500):
+        inside = [
+            i for i, p in enumerate(uniform_points_500) if REGION.contains_point(p)
+        ]
+        result = private_nn_query(store, REGION, "exact")
+        # The paper: objects inside the cloaked region are always candidates.
+        assert set(inside) <= set(result.candidates)
+
+    def test_degenerate_region_single_candidate_methods_agree(self, store, uniform_points_500):
+        region = Rect.from_point(uniform_points_500[3])
+        for method in ("range", "filter", "exact"):
+            result = private_nn_query(store, region, method)
+            assert exact_nn_answer(store, uniform_points_500[3]) in result.candidates
+
+    def test_single_object_store(self):
+        store = PublicStore()
+        store.add("only", Point(50, 50))
+        result = private_nn_query(store, REGION, "exact")
+        assert result.candidates == ("only",)
+
+    def test_unknown_method_raises(self, store):
+        with pytest.raises(QueryError):
+            private_nn_query(store, REGION, "bogus")
+
+
+class TestProbabilities:
+    def test_sum_to_one(self, store):
+        result = private_nn_query(store, REGION, "exact")
+        probs = nn_probabilities(store, result)
+        assert sum(probs.values()) == pytest.approx(1.0)
+
+    def test_nonnegative_and_supported(self, store):
+        result = private_nn_query(store, REGION, "exact")
+        probs = nn_probabilities(store, result)
+        assert all(p >= 0 for p in probs.values())
+        # Exact candidates should essentially all have positive mass.
+        positive = sum(1 for p in probs.values() if p > 1e-9)
+        assert positive >= len(result.candidates) - 1
+
+    def test_match_monte_carlo(self, store, rng):
+        result = private_nn_query(store, REGION, "exact")
+        probs = nn_probabilities(store, result)
+        counts = {i: 0 for i in result.candidates}
+        n = 4000
+        for p in uniform_points(REGION, n, rng):
+            counts[exact_nn_answer(store, p)] += 1
+        for i in result.candidates:
+            assert counts[i] / n == pytest.approx(probs[i], abs=0.03)
+
+    def test_degenerate_region(self, store, uniform_points_500):
+        region = Rect.from_point(uniform_points_500[9])
+        result = private_nn_query(store, region, "exact")
+        probs = nn_probabilities(store, result)
+        top = max(probs, key=probs.get)
+        assert probs[top] == 1.0
+        assert top == exact_nn_answer(store, uniform_points_500[9])
+
+
+class TestRefinement:
+    def test_refined_matches_truth(self, store, rng):
+        result = private_nn_query(store, REGION, "filter")
+        for p in uniform_points(REGION, 100, rng):
+            assert refine_nn_candidates(store, result, p) == exact_nn_answer(store, p)
+
+    def test_empty_candidates_raise(self, store):
+        from repro.queries.private_nn import PrivateNNResult
+
+        empty = PrivateNNResult(
+            region=REGION, candidates=(), method="filter", pruning_radius=0.0
+        )
+        with pytest.raises(QueryError):
+            refine_nn_candidates(store, empty, Point(0, 0))
+
+    def test_exact_nn_answer_empty_store_raises(self):
+        with pytest.raises(QueryError):
+            exact_nn_answer(PublicStore(), Point(0, 0))

@@ -1,0 +1,178 @@
+"""Unit tests for privacy profiles (Section 4 / Figure 2)."""
+
+import pytest
+
+from repro.core.errors import ProfileError
+from repro.core.profiles import (
+    NO_PRIVACY,
+    PrivacyProfile,
+    PrivacyRequirement,
+    ProfileEntry,
+    example_profile,
+    hhmm,
+    time_of_day,
+)
+
+
+class TestHhmm:
+    def test_parses(self):
+        assert hhmm("00:00") == 0.0
+        assert hhmm("08:30") == 8 * 3600 + 30 * 60
+        assert hhmm("23:59") == 23 * 3600 + 59 * 60
+
+    @pytest.mark.parametrize("bad", ["24:00", "12:60", "noon", "1230", "-1:00"])
+    def test_rejects(self, bad):
+        with pytest.raises(ProfileError):
+            hhmm(bad)
+
+
+class TestTimeOfDay:
+    def test_wraps_days(self):
+        assert time_of_day(86_400.0 + 3600.0) == 3600.0
+
+    def test_identity_within_day(self):
+        assert time_of_day(12345.0) == 12345.0
+
+
+class TestPrivacyRequirement:
+    def test_defaults_are_no_privacy(self):
+        r = PrivacyRequirement()
+        assert r.k == 1 and r.min_area == 0.0 and r.max_area is None
+        assert not r.wants_privacy
+
+    def test_validation(self):
+        with pytest.raises(ProfileError):
+            PrivacyRequirement(k=0)
+        with pytest.raises(ProfileError):
+            PrivacyRequirement(min_area=-1)
+        with pytest.raises(ProfileError):
+            PrivacyRequirement(max_area=0)
+
+    def test_contradictory_allowed_but_flagged(self):
+        r = PrivacyRequirement(k=5, min_area=10, max_area=2)
+        assert r.is_contradictory
+        assert not PrivacyRequirement(k=5, min_area=1, max_area=2).is_contradictory
+
+    def test_wants_privacy(self):
+        assert PrivacyRequirement(k=2).wants_privacy
+        assert PrivacyRequirement(min_area=0.5).wants_privacy
+        assert not PrivacyRequirement(k=1).wants_privacy
+
+    def test_area_satisfied(self):
+        r = PrivacyRequirement(k=1, min_area=2.0, max_area=5.0)
+        assert not r.area_satisfied(1.0)
+        assert r.area_satisfied(2.0)
+        assert r.area_satisfied(5.0)
+        assert not r.area_satisfied(5.1)
+
+    def test_area_satisfied_unbounded_max(self):
+        assert PrivacyRequirement(min_area=1.0).area_satisfied(1e12)
+
+    def test_restrictiveness_ordering(self):
+        lax = PrivacyRequirement(k=1)
+        mid = PrivacyRequirement(k=100, min_area=1, max_area=3)
+        strict = PrivacyRequirement(k=1000, min_area=5)
+        assert lax.restrictiveness() < mid.restrictiveness() < strict.restrictiveness()
+
+
+class TestProfileEntry:
+    def test_start_out_of_range_raises(self):
+        with pytest.raises(ProfileError):
+            ProfileEntry(-1.0, NO_PRIVACY)
+        with pytest.raises(ProfileError):
+            ProfileEntry(86_400.0, NO_PRIVACY)
+
+
+class TestPrivacyProfile:
+    def test_empty_profile_is_no_privacy(self):
+        profile = PrivacyProfile()
+        assert profile.requirement_at(hhmm("13:00")) == NO_PRIVACY
+        assert not profile.wants_privacy_at(0.0)
+
+    def test_always(self):
+        profile = PrivacyProfile.always(k=7, min_area=2.0)
+        for t in (0.0, 50_000.0, 86_399.0):
+            assert profile.requirement_at(t).k == 7
+
+    def test_duplicate_starts_rejected(self):
+        with pytest.raises(ProfileError, match="distinct"):
+            PrivacyProfile(
+                [ProfileEntry(0.0, NO_PRIVACY), ProfileEntry(0.0, NO_PRIVACY)]
+            )
+
+    def test_figure2_daytime(self):
+        profile = example_profile()
+        assert profile.requirement_at(hhmm("08:00")).k == 1
+        assert profile.requirement_at(hhmm("12:00")).k == 1
+        assert not profile.wants_privacy_at(hhmm("12:00"))
+
+    def test_figure2_evening(self):
+        req = example_profile().requirement_at(hhmm("18:30"))
+        assert req.k == 100
+        assert req.min_area == 1.0
+        assert req.max_area == 3.0
+
+    def test_figure2_night_wraps_past_midnight(self):
+        profile = example_profile()
+        for label in ("22:00", "23:59", "00:00", "03:00", "07:59"):
+            req = profile.requirement_at(hhmm(label))
+            assert req.k == 1000, label
+            assert req.min_area == 5.0
+
+    def test_requirement_at_uses_absolute_timestamps(self):
+        profile = example_profile()
+        noon_day_3 = 3 * 86_400.0 + hhmm("12:00")
+        assert profile.requirement_at(noon_day_3).k == 1
+
+    def test_max_k(self):
+        assert example_profile().max_k() == 1000
+        assert PrivacyProfile().max_k() == 1
+
+    def test_with_entry_replaces_same_start(self):
+        profile = example_profile().with_entry(
+            ProfileEntry(hhmm("17:00"), PrivacyRequirement(k=9))
+        )
+        assert profile.requirement_at(hhmm("18:00")).k == 9
+        assert len(profile.entries) == 3
+
+    def test_with_entry_adds_new_interval(self):
+        profile = example_profile().with_entry(
+            ProfileEntry(hhmm("20:00"), PrivacyRequirement(k=500))
+        )
+        assert profile.requirement_at(hhmm("19:00")).k == 100
+        assert profile.requirement_at(hhmm("21:00")).k == 500
+        assert profile.requirement_at(hhmm("22:30")).k == 1000
+
+    def test_without_entry(self):
+        profile = example_profile().without_entry(hhmm("17:00"))
+        # 18:00 now falls back to the 8:00 entry.
+        assert profile.requirement_at(hhmm("18:00")).k == 1
+
+    def test_without_missing_entry_raises(self):
+        with pytest.raises(ProfileError):
+            example_profile().without_entry(123.0)
+
+    def test_scaled_k(self):
+        profile = example_profile().scaled_k(2.0)
+        assert profile.requirement_at(hhmm("18:00")).k == 200
+        assert profile.requirement_at(hhmm("12:00")).k == 2
+
+    def test_scaled_k_floors_at_one(self):
+        profile = example_profile().scaled_k(0.001)
+        assert profile.requirement_at(hhmm("12:00")).k == 1
+
+    def test_scaled_k_invalid(self):
+        with pytest.raises(ProfileError):
+            example_profile().scaled_k(0.0)
+
+    def test_equality(self):
+        assert example_profile() == example_profile()
+        assert PrivacyProfile() != example_profile()
+
+    def test_from_schedule(self):
+        profile = PrivacyProfile.from_schedule(
+            [("09:00", PrivacyRequirement(k=3)), ("21:00", PrivacyRequirement(k=30))]
+        )
+        assert profile.requirement_at(hhmm("10:00")).k == 3
+        assert profile.requirement_at(hhmm("22:00")).k == 30
+        assert profile.requirement_at(hhmm("01:00")).k == 30  # wraps

@@ -1,0 +1,154 @@
+"""Unit tests for public k-NN queries over private data."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.stores import PrivateStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.public_knn import (
+    exact_knn_users,
+    knn_candidate_users,
+    public_knn_query,
+)
+
+Q = Point(50, 50)
+
+
+def make_store(regions):
+    store = PrivateStore()
+    for object_id, region in regions.items():
+        store.set_region(object_id, region)
+    return store
+
+
+class TestCandidates:
+    def test_certain_k_prunes_everyone_else(self):
+        store = make_store(
+            {
+                "a": Rect(49, 49, 51, 51),
+                "b": Rect(48, 48, 52, 52),
+                "far": Rect(90, 90, 95, 95),
+            }
+        )
+        candidates, _ = knn_candidate_users(store, Q, 2)
+        assert set(candidates) == {"a", "b"}
+
+    def test_bound_is_kth_worst_case(self):
+        from repro.geometry.distances import max_dist
+
+        regions = {
+            i: Rect.from_center(Point(50 + 5 * i, 50), 4, 4) for i in range(5)
+        }
+        store = make_store(regions)
+        _, bound = knn_candidate_users(store, Q, 3)
+        worst = sorted(max_dist(Q, r) for r in regions.values())
+        assert bound == pytest.approx(worst[2])
+
+    def test_k_capped_at_store_size(self):
+        store = make_store({"a": Rect(0, 0, 1, 1)})
+        candidates, _ = knn_candidate_users(store, Q, 10)
+        assert candidates == ["a"]
+
+    def test_invalid_inputs(self):
+        with pytest.raises(QueryError):
+            knn_candidate_users(PrivateStore(), Q, 1)
+        store = make_store({"a": Rect(0, 0, 1, 1)})
+        with pytest.raises(QueryError):
+            knn_candidate_users(store, Q, 0)
+        with pytest.raises(QueryError):
+            public_knn_query(store, Q, 1, samples=0)
+
+
+class TestGroundTruthContainment:
+    def test_true_knn_always_candidates(self, rng):
+        for trial in range(8):
+            regions = {}
+            exact = {}
+            for i in range(30):
+                cx, cy = rng.uniform(10, 90, 2)
+                w, h = rng.uniform(0.5, 14, 2)
+                region = Rect.from_center(Point(float(cx), float(cy)), float(w), float(h))
+                regions[i] = region
+                exact[i] = Point(
+                    float(rng.uniform(region.min_x, region.max_x)),
+                    float(rng.uniform(region.min_y, region.max_y)),
+                )
+            store = make_store(regions)
+            for k in (1, 3, 7):
+                candidates, _ = knn_candidate_users(store, Q, k)
+                truth = exact_knn_users(exact, Q, k)
+                assert set(truth) <= set(candidates), (trial, k)
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_k(self, rng):
+        store = make_store(
+            {i: Rect.from_center(Point(44 + 3 * i, 50), 10, 10) for i in range(6)}
+        )
+        for k in (1, 2, 4):
+            result = public_knn_query(store, Q, k, samples=3000, rng=rng)
+            assert sum(result.probabilities.values()) == pytest.approx(k, abs=1e-9)
+
+    def test_exact_candidates_skip_sampling(self):
+        store = make_store(
+            {
+                "a": Rect(49, 49, 51, 51),
+                "b": Rect(48, 48, 52, 52),
+                "far": Rect(90, 90, 95, 95),
+            }
+        )
+        result = public_knn_query(store, Q, 2)
+        assert result.samples == 0
+        assert result.probabilities == {"a": 1.0, "b": 1.0}
+        assert result.certain_members == {"a", "b"}
+
+    def test_nearer_regions_more_probable(self, rng):
+        store = make_store(
+            {
+                "near": Rect(48, 48, 54, 54),
+                "mid": Rect(53, 50, 61, 58),
+                "far": Rect(56, 54, 68, 64),
+            }
+        )
+        result = public_knn_query(store, Q, 2, samples=8000, rng=rng)
+        probs = result.probabilities
+        assert len(result.candidates) == 3  # pruning alone cannot decide
+        assert probs["near"] > probs["mid"] > probs["far"]
+
+    def test_top_returns_k_items(self, rng):
+        store = make_store(
+            {i: Rect.from_center(Point(45 + 2 * i, 50), 8, 8) for i in range(7)}
+        )
+        result = public_knn_query(store, Q, 3, samples=1000, rng=rng)
+        assert len(result.top()) == 3
+        assert 0.0 < result.expected_overlap <= 3.0
+
+    def test_matches_one_nn_case(self, rng):
+        from repro.queries.public_nn import public_nn_query
+
+        regions = {
+            "a": Rect(45, 45, 55, 55),
+            "b": Rect(50, 50, 60, 60),
+            "c": Rect(20, 20, 30, 30),
+        }
+        store = make_store(regions)
+        knn = public_knn_query(store, Q, 1, samples=30000, rng=np.random.default_rng(5))
+        nn = public_nn_query(store, Q, samples=30000, rng=np.random.default_rng(6))
+        for object_id in regions:
+            assert knn.probabilities.get(object_id, 0.0) == pytest.approx(
+                nn.answer.probabilities.get(object_id, 0.0), abs=0.02
+            )
+
+
+class TestExactKnnUsers:
+    def test_ranks_by_distance(self):
+        exact = {"a": Point(51, 50), "b": Point(60, 50), "c": Point(49, 50)}
+        assert exact_knn_users(exact, Q, 2) == ["a", "c"] or exact_knn_users(
+            exact, Q, 2
+        ) == ["c", "a"]
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError):
+            exact_knn_users({}, Q, 1)

@@ -1,0 +1,180 @@
+"""Unit tests for public NN queries over private data (Figure 6b)."""
+
+import numpy as np
+import pytest
+
+from repro.core.errors import QueryError
+from repro.core.stores import PrivateStore
+from repro.geometry.distances import max_dist, min_dist
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.public_nn import (
+    certain_nn_user,
+    estimate_nn_probabilities,
+    exact_nn_user,
+    nn_candidate_users,
+    public_nn_query,
+)
+
+Q = Point(50, 50)
+
+
+def make_store(regions: dict) -> PrivateStore:
+    store = PrivateStore()
+    for object_id, region in regions.items():
+        store.set_region(object_id, region)
+    return store
+
+
+class TestCandidatePruning:
+    def test_dominated_region_pruned(self):
+        store = make_store(
+            {
+                "near": Rect(48, 48, 52, 52),
+                "far": Rect(90, 90, 95, 95),
+            }
+        )
+        candidates, bound = nn_candidate_users(store, Q)
+        assert candidates == ["near"]
+        assert bound == pytest.approx(max_dist(Q, Rect(48, 48, 52, 52)))
+
+    def test_overlapping_uncertainty_keeps_both(self):
+        store = make_store(
+            {
+                "a": Rect(45, 45, 60, 60),
+                "b": Rect(40, 40, 55, 55),
+            }
+        )
+        candidates, _ = nn_candidate_users(store, Q)
+        assert set(candidates) == {"a", "b"}
+
+    def test_bound_is_sound(self, rng):
+        regions = {}
+        for i in range(30):
+            cx, cy = rng.uniform(0, 100, 2)
+            w, h = rng.uniform(1, 20, 2)
+            regions[i] = Rect.from_center(Point(float(cx), float(cy)), float(w), float(h))
+        store = make_store(regions)
+        candidates, bound = nn_candidate_users(store, Q)
+        # Every non-candidate has min_dist > bound: it loses to the bound
+        # attainer no matter where anyone actually is.
+        for i, region in regions.items():
+            if i not in candidates:
+                assert min_dist(Q, region) > bound
+
+    def test_empty_store_raises(self):
+        with pytest.raises(QueryError):
+            nn_candidate_users(PrivateStore(), Q)
+
+
+class TestTrueNNAlwaysCandidate:
+    def test_monte_carlo_ground_truth_containment(self, rng):
+        for trial in range(10):
+            regions = {}
+            exact = {}
+            for i in range(25):
+                cx, cy = rng.uniform(10, 90, 2)
+                w, h = rng.uniform(0.5, 15, 2)
+                region = Rect.from_center(Point(float(cx), float(cy)), float(w), float(h))
+                regions[i] = region
+                # The user's true location is somewhere in her region.
+                exact[i] = Point(
+                    float(rng.uniform(region.min_x, region.max_x)),
+                    float(rng.uniform(region.min_y, region.max_y)),
+                )
+            store = make_store(regions)
+            candidates, _ = nn_candidate_users(store, Q)
+            assert exact_nn_user(exact, Q) in candidates
+
+
+class TestProbabilities:
+    def test_probabilities_sum_to_one(self, rng):
+        store = make_store(
+            {i: Rect.from_center(Point(45 + i, 50), 8, 8) for i in range(5)}
+        )
+        result = public_nn_query(store, Q, samples=2000, rng=rng)
+        assert result.answer.total_probability == pytest.approx(1.0)
+
+    def test_single_candidate_probability_one_no_sampling(self):
+        store = make_store(
+            {"close": Rect(49, 49, 51, 51), "far": Rect(0, 0, 2, 2)}
+        )
+        result = public_nn_query(store, Q)
+        assert result.samples == 0
+        assert result.answer.probabilities == {"close": 1.0}
+
+    def test_nearer_region_more_probable(self, rng):
+        store = make_store(
+            {
+                "near": Rect(48, 48, 56, 56),
+                "far": Rect(54, 54, 66, 66),
+            }
+        )
+        result = public_nn_query(store, Q, samples=6000, rng=rng)
+        probs = result.answer.probabilities
+        assert probs["near"] > probs["far"]
+
+    def test_symmetric_regions_equal_probability(self, rng):
+        store = make_store(
+            {
+                "left": Rect(38, 45, 48, 55),
+                "right": Rect(52, 45, 62, 55),
+            }
+        )
+        result = public_nn_query(store, Q, samples=20000, rng=rng)
+        probs = result.answer.probabilities
+        assert probs["left"] == pytest.approx(probs["right"], abs=0.03)
+
+    def test_estimate_matches_analytic_point_regions(self, rng):
+        # Degenerate regions: probabilities collapse to the deterministic NN.
+        regions = [Rect.from_point(Point(52, 50)), Rect.from_point(Point(60, 50))]
+        probs = estimate_nn_probabilities(regions, Q, 500, rng)
+        assert probs == [1.0, 0.0]
+
+    def test_invalid_samples_raise(self):
+        store = make_store({"a": Rect(0, 0, 1, 1), "b": Rect(2, 2, 3, 3)})
+        with pytest.raises(QueryError):
+            public_nn_query(store, Q, samples=0)
+
+    def test_deterministic_default_rng(self):
+        store = make_store(
+            {"a": Rect(40, 40, 55, 55), "b": Rect(45, 45, 60, 60)}
+        )
+        r1 = public_nn_query(store, Q, samples=1000)
+        r2 = public_nn_query(store, Q, samples=1000)
+        assert r1.answer.probabilities == r2.answer.probabilities
+
+
+class TestCertainNN:
+    def test_certain_when_worst_case_beats_all(self):
+        store = make_store(
+            {
+                "sure": Rect(49, 49, 51, 51),
+                "other": Rect(70, 70, 80, 80),
+                "another": Rect(10, 10, 20, 20),
+            }
+        )
+        assert certain_nn_user(store, Q) == "sure"
+
+    def test_none_when_ambiguous(self):
+        store = make_store(
+            {
+                "a": Rect(40, 40, 60, 60),
+                "b": Rect(45, 45, 65, 65),
+            }
+        )
+        assert certain_nn_user(store, Q) is None
+
+    def test_single_user_is_certain(self):
+        store = make_store({"only": Rect(0, 0, 100, 100)})
+        assert certain_nn_user(store, Q) == "only"
+
+
+class TestExactNNUser:
+    def test_picks_closest(self):
+        exact = {"a": Point(0, 0), "b": Point(49, 49)}
+        assert exact_nn_user(exact, Q) == "b"
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError):
+            exact_nn_user({}, Q)

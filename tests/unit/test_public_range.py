@@ -1,0 +1,111 @@
+"""Unit tests for public range queries over private data (Figure 6a)."""
+
+import pytest
+
+from repro.core.stores import PrivateStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.public_range import (
+    exact_range_count,
+    membership_probability,
+    naive_range_count,
+    public_range_count,
+)
+
+WINDOW = Rect(0, 0, 10, 10)
+
+
+def figure_6a_store():
+    store = PrivateStore()
+    store.set_region("D", Rect(1, 1, 3, 3))       # fully inside -> 1.0
+    store.set_region("C", Rect(20, 20, 22, 22))   # disjoint    -> 0.0
+    store.set_region("A", Rect(-2, 0, 6, 4))      # 24/32       -> 0.75
+    store.set_region("B", Rect(-5, 0, 5, 5))      # 25/50       -> 0.5
+    store.set_region("E", Rect(5, -8, 10, 2))     # 10/50       -> 0.2
+    store.set_region("F", Rect(6, 6, 14, 14))     # 16/64       -> 0.25
+    return store
+
+
+class TestMembershipProbability:
+    def test_fully_inside(self):
+        assert membership_probability(Rect(1, 1, 3, 3), WINDOW) == 1.0
+
+    def test_disjoint(self):
+        assert membership_probability(Rect(20, 20, 30, 30), WINDOW) == 0.0
+
+    def test_partial_overlap_ratio(self):
+        assert membership_probability(Rect(-5, 0, 5, 5), WINDOW) == pytest.approx(0.5)
+
+    def test_degenerate_region_inside(self):
+        assert membership_probability(Rect.from_point(Point(5, 5)), WINDOW) == 1.0
+
+    def test_degenerate_region_outside(self):
+        assert membership_probability(Rect.from_point(Point(50, 5)), WINDOW) == 0.0
+
+
+class TestFigure6a:
+    def test_per_object_probabilities(self):
+        answer = public_range_count(figure_6a_store(), WINDOW)
+        probs = dict(answer.probabilities)
+        assert probs.pop("D") == pytest.approx(1.0)
+        assert probs.pop("A") == pytest.approx(0.75)
+        assert probs.pop("B") == pytest.approx(0.5)
+        assert probs.pop("E") == pytest.approx(0.2)
+        assert probs.pop("F") == pytest.approx(0.25)
+        assert probs == {}  # C omitted: zero probability
+
+    def test_absolute_answer_is_2_7(self):
+        assert public_range_count(figure_6a_store(), WINDOW).expected == pytest.approx(2.7)
+
+    def test_interval_answer_is_1_to_5(self):
+        assert public_range_count(figure_6a_store(), WINDOW).interval == (1, 5)
+
+    def test_naive_answer_is_5(self):
+        # "Dealing with each object as a non-zero size object would return
+        # five as the query answer, which is totally inaccurate."
+        assert naive_range_count(figure_6a_store(), WINDOW) == 5
+
+    def test_pdf_support_matches_interval(self):
+        answer = public_range_count(figure_6a_store(), WINDOW)
+        pmf = answer.pmf()
+        assert pmf[0] == pytest.approx(0.0)  # D is certain: count >= 1
+        assert pmf.sum() == pytest.approx(1.0)
+        assert len(pmf) == 6  # counts 0..5
+
+
+class TestSweepBehaviour:
+    def test_expected_tracks_truth_for_exact_regions(self, uniform_points_500):
+        store = PrivateStore()
+        exact = {}
+        for i, p in enumerate(uniform_points_500):
+            store.set_region(i, Rect.from_point(p))
+            exact[i] = p
+        window = Rect(20, 20, 70, 55)
+        answer = public_range_count(store, window)
+        assert answer.expected == pytest.approx(exact_range_count(exact, window))
+        assert answer.interval[0] == answer.interval[1]
+
+    def test_interval_brackets_truth_for_cloaked_regions(self, uniform_points_500, rng):
+        store = PrivateStore()
+        exact = {}
+        for i, p in enumerate(uniform_points_500):
+            w, h = rng.uniform(2, 12, 2)
+            region = Rect.from_center(p, float(w), float(h))
+            store.set_region(i, region)
+            exact[i] = p
+        window = Rect(25, 25, 60, 75)
+        truth = exact_range_count(exact, window)
+        answer = public_range_count(store, window)
+        lo, hi = answer.interval
+        assert lo <= truth <= hi
+
+    def test_empty_store(self):
+        answer = public_range_count(PrivateStore(), WINDOW)
+        assert answer.expected == 0.0
+        assert naive_range_count(PrivateStore(), WINDOW) == 0
+
+
+class TestExactRangeCount:
+    def test_counts_containment(self):
+        locations = {"a": Point(1, 1), "b": Point(50, 50), "c": Point(10, 10)}
+        assert exact_range_count(locations, WINDOW) == 2

@@ -1,0 +1,177 @@
+"""Unit tests for the multi-level grid (pyramid) index."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.pyramid import PyramidGrid
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+@pytest.fixture
+def loaded(uniform_points_500):
+    pyramid = PyramidGrid(BOUNDS, height=6)
+    points = dict(enumerate(uniform_points_500))
+    for i, p in points.items():
+        pyramid.insert_point(i, p)
+    return pyramid, points
+
+
+class TestStructure:
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            PyramidGrid(BOUNDS, height=-1)
+        with pytest.raises(ValueError):
+            PyramidGrid(Rect(0, 0, 0, 1), height=2)
+
+    def test_cells_per_side(self):
+        pyramid = PyramidGrid(BOUNDS, height=3)
+        assert [pyramid.cells_per_side(h) for h in range(4)] == [1, 2, 4, 8]
+
+    def test_level_0_is_whole_space(self):
+        pyramid = PyramidGrid(BOUNDS, height=3)
+        assert pyramid.cell_rect(0, 0, 0) == BOUNDS
+
+    def test_invalid_level_raises(self):
+        pyramid = PyramidGrid(BOUNDS, height=3)
+        with pytest.raises(ValueError):
+            pyramid.cell_rect(4, 0, 0)
+        with pytest.raises(ValueError):
+            pyramid.cell_count(-1, 0, 0)
+
+    def test_child_cells_nest_in_parent(self):
+        pyramid = PyramidGrid(BOUNDS, height=4)
+        parent = pyramid.cell_rect(2, 1, 1)
+        for dc in (0, 1):
+            for dr in (0, 1):
+                assert parent.contains_rect(pyramid.cell_rect(3, 2 + dc, 2 + dr))
+
+
+class TestCounts:
+    def test_level0_count_is_population(self, loaded):
+        pyramid, points = loaded
+        assert pyramid.cell_count(0, 0, 0) == len(points)
+
+    def test_each_level_sums_to_population(self, loaded):
+        pyramid, points = loaded
+        for level in range(pyramid.height + 1):
+            side = pyramid.cells_per_side(level)
+            total = sum(
+                pyramid.cell_count(level, c, r)
+                for c in range(side)
+                for r in range(side)
+            )
+            assert total == len(points)
+
+    def test_parent_count_is_sum_of_children(self, loaded):
+        pyramid, _ = loaded
+        for level in range(pyramid.height):
+            side = pyramid.cells_per_side(level)
+            for c in range(side):
+                for r in range(side):
+                    children = sum(
+                        pyramid.cell_count(level + 1, 2 * c + dc, 2 * r + dr)
+                        for dc in (0, 1)
+                        for dr in (0, 1)
+                    )
+                    assert pyramid.cell_count(level, c, r) == children
+
+    def test_delete_decrements_every_level(self, loaded):
+        pyramid, points = loaded
+        p = points[0]
+        before = [
+            pyramid.cell_count(level, *pyramid.cell_at(level, p))
+            for level in range(pyramid.height + 1)
+        ]
+        pyramid.delete(0)
+        after = [
+            pyramid.cell_count(level, *pyramid.cell_at(level, p))
+            for level in range(pyramid.height + 1)
+        ]
+        assert all(b - 1 == a for b, a in zip(before, after))
+
+
+class TestQueries:
+    def test_range_matches_brute_force(self, loaded):
+        pyramid, points = loaded
+        for window in [Rect(0, 0, 100, 100), Rect(17, 33, 62, 78), Rect(99.5, 0, 100, 100)]:
+            expected = sorted(i for i, p in points.items() if window.contains_point(p))
+            assert sorted(pyramid.range_query(window)) == expected
+
+    def test_count_in_window_matches_range(self, loaded):
+        pyramid, _ = loaded
+        for window in [Rect(0, 0, 33, 33), Rect(50, 50, 100, 100), Rect(12.5, 0, 25, 12.5)]:
+            assert pyramid.count_in_window(window) == len(pyramid.range_query(window))
+
+    def test_count_exact_cell_fast_path(self, loaded):
+        pyramid, _ = loaded
+        cell = pyramid.cell_rect(3, 2, 5)
+        assert pyramid.cell_for_rect(cell) == (3, 2, 5)
+        assert pyramid.count_in_window(cell) == len(pyramid.range_query(cell))
+
+    def test_cell_for_rect_rejects_non_cells(self, loaded):
+        pyramid, _ = loaded
+        assert pyramid.cell_for_rect(Rect(0, 0, 33, 33)) is None
+        assert pyramid.cell_for_rect(Rect(1, 0, 13.5, 12.5)) is None
+        assert pyramid.cell_for_rect(Rect.from_point(Point(3, 3))) is None
+
+    def test_nearest_matches_brute_force(self, loaded, rng):
+        pyramid, points = loaded
+        for _ in range(10):
+            q = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            got = pyramid.nearest(q, 4)
+            got_d = sorted(points[i].distance_to(q) for i in got)
+            exp_d = sorted(points[i].distance_to(q) for i in points)[:4]
+            assert got_d == pytest.approx(exp_d)
+
+    def test_nearest_empty_and_invalid(self):
+        pyramid = PyramidGrid(BOUNDS, height=2)
+        assert pyramid.nearest(Point(0, 0)) == []
+        with pytest.raises(ValueError):
+            pyramid.nearest(Point(0, 0), k=0)
+
+
+class TestPathUp:
+    def test_path_levels_descend(self, loaded):
+        pyramid, points = loaded
+        path = pyramid.path_up(points[1])
+        assert [lvl for lvl, _, _ in path] == list(range(pyramid.height, -1, -1))
+
+    def test_path_counts_monotone_nondecreasing(self, loaded):
+        pyramid, points = loaded
+        counts = [c for _, _, c in pyramid.path_up(points[1])]
+        assert counts == sorted(counts)
+
+    def test_path_rects_contain_point(self, loaded):
+        pyramid, points = loaded
+        for _, rect, _ in pyramid.path_up(points[2]):
+            assert rect.contains_point(points[2])
+
+
+class TestLifecycle:
+    def test_duplicate_raises(self):
+        pyramid = PyramidGrid(BOUNDS, height=2)
+        pyramid.insert_point("a", Point(1, 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            pyramid.insert_point("a", Point(2, 2))
+
+    def test_outside_bounds_raises(self):
+        with pytest.raises(ValueError):
+            PyramidGrid(BOUNDS, height=2).insert_point("a", Point(-1, 0))
+
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            PyramidGrid(BOUNDS, height=2).delete("nope")
+
+    def test_non_point_insert_raises(self):
+        with pytest.raises(ValueError, match="points"):
+            PyramidGrid(BOUNDS, height=2).insert("a", Rect(0, 0, 1, 1))
+
+    def test_insert_delete_roundtrip_empties(self, loaded):
+        pyramid, points = loaded
+        for i in points:
+            pyramid.delete(i)
+        assert len(pyramid) == 0
+        assert pyramid.cell_count(0, 0, 0) == 0
+        assert pyramid.range_query(BOUNDS) == []

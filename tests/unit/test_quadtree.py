@@ -1,0 +1,139 @@
+"""Unit tests for the PR quadtree."""
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.quadtree import QuadTree
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+@pytest.fixture
+def loaded(uniform_points_500):
+    tree = QuadTree(BOUNDS, capacity=4)
+    points = dict(enumerate(uniform_points_500))
+    for i, p in points.items():
+        tree.insert_point(i, p)
+    return tree, points
+
+
+class TestConstruction:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            QuadTree(BOUNDS, capacity=0)
+        with pytest.raises(ValueError):
+            QuadTree(BOUNDS, max_depth=0)
+        with pytest.raises(ValueError):
+            QuadTree(Rect(0, 0, 0, 5))
+
+    def test_insert_outside_bounds_raises(self):
+        tree = QuadTree(BOUNDS)
+        with pytest.raises(ValueError, match="outside"):
+            tree.insert_point("a", Point(200, 0))
+
+    def test_insert_non_point_rect_raises(self):
+        tree = QuadTree(BOUNDS)
+        with pytest.raises(ValueError, match="points"):
+            tree.insert("a", Rect(0, 0, 1, 1))
+
+    def test_insert_degenerate_rect_ok(self):
+        tree = QuadTree(BOUNDS)
+        tree.insert("a", Rect.from_point(Point(5, 5)))
+        assert tree.location_of("a") == Point(5, 5)
+
+    def test_duplicate_id_raises(self):
+        tree = QuadTree(BOUNDS)
+        tree.insert_point("a", Point(1, 1))
+        with pytest.raises(ValueError, match="duplicate"):
+            tree.insert_point("a", Point(2, 2))
+
+
+class TestQueries:
+    def test_range_matches_brute_force(self, loaded):
+        tree, points = loaded
+        for window in [Rect(0, 0, 100, 100), Rect(20, 20, 40, 35), Rect(99, 99, 100, 100)]:
+            expected = sorted(i for i, p in points.items() if window.contains_point(p))
+            assert sorted(tree.range_query(window)) == expected
+
+    def test_count_matches_range(self, loaded):
+        tree, _ = loaded
+        for window in [Rect(0, 0, 50, 50), Rect(10, 80, 90, 100), Rect(-5, -5, 0, 0)]:
+            assert tree.count_in_window(window) == len(tree.range_query(window))
+
+    def test_nearest_matches_brute_force(self, loaded, rng):
+        tree, points = loaded
+        for _ in range(10):
+            q = Point(float(rng.uniform(0, 100)), float(rng.uniform(0, 100)))
+            got = tree.nearest(q, 5)
+            got_d = sorted(points[i].distance_to(q) for i in got)
+            exp_d = sorted(points[i].distance_to(q) for i in points)[:5]
+            assert got_d == pytest.approx(exp_d)
+
+    def test_nearest_invalid_k(self, loaded):
+        tree, _ = loaded
+        with pytest.raises(ValueError):
+            tree.nearest(Point(0, 0), k=0)
+
+    def test_nearest_on_empty(self):
+        assert QuadTree(BOUNDS).nearest(Point(1, 1)) == []
+
+
+class TestDelete:
+    def test_delete_missing_raises(self):
+        with pytest.raises(KeyError):
+            QuadTree(BOUNDS).delete("nope")
+
+    def test_delete_updates_counts(self, loaded):
+        tree, points = loaded
+        before = tree.count_in_window(BOUNDS)
+        tree.delete(0)
+        assert tree.count_in_window(BOUNDS) == before - 1
+        assert len(tree) == 499
+
+    def test_mass_delete_collapses_tree(self, loaded):
+        tree, points = loaded
+        for i in range(450):
+            tree.delete(i)
+        window = Rect(0, 0, 100, 100)
+        expected = sorted(range(450, 500))
+        assert sorted(tree.range_query(window)) == expected
+        # Re-insert after collapse works.
+        tree.insert_point(9999, Point(50, 50))
+        assert 9999 in tree.range_query(Rect(49, 49, 51, 51))
+
+
+class TestCoincidentPoints:
+    def test_max_depth_stops_splitting(self):
+        tree = QuadTree(BOUNDS, capacity=2, max_depth=5)
+        for i in range(20):
+            tree.insert_point(i, Point(10, 10))
+        assert tree.count_in_window(Rect(9, 9, 11, 11)) == 20
+        for i in range(20):
+            tree.delete(i)
+        assert len(tree) == 0
+
+
+class TestNodePath:
+    def test_path_starts_at_root(self, loaded):
+        tree, points = loaded
+        path = tree.node_path(points[0])
+        assert path[0] == (BOUNDS, 500)
+
+    def test_path_rects_nest_and_counts_decrease(self, loaded):
+        tree, points = loaded
+        path = tree.node_path(points[3])
+        for (outer, oc), (inner, ic) in zip(path, path[1:]):
+            assert outer.contains_rect(inner)
+            assert ic <= oc
+
+    def test_path_every_rect_contains_point(self, loaded):
+        tree, points = loaded
+        p = points[42]
+        for rect, _ in tree.node_path(p):
+            assert rect.contains_point(p)
+
+    def test_path_outside_bounds_raises(self, loaded):
+        tree, _ = loaded
+        with pytest.raises(ValueError):
+            tree.node_path(Point(-1, -1))

@@ -1,0 +1,196 @@
+"""Unit tests for repro.geometry.rect."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect, total_covered_area
+
+
+class TestConstruction:
+    def test_inverted_rect_raises(self):
+        with pytest.raises(ValueError, match="inverted"):
+            Rect(5, 0, 1, 10)
+        with pytest.raises(ValueError, match="inverted"):
+            Rect(0, 5, 10, 1)
+
+    def test_from_center(self):
+        r = Rect.from_center(Point(5, 5), 4, 2)
+        assert r == Rect(3, 4, 7, 6)
+
+    def test_from_center_negative_dims_raise(self):
+        with pytest.raises(ValueError):
+            Rect.from_center(Point(0, 0), -1, 1)
+
+    def test_from_points_is_mbr(self):
+        r = Rect.from_points([Point(1, 5), Point(-2, 0), Point(3, 3)])
+        assert r == Rect(-2, 0, 3, 5)
+
+    def test_from_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.from_points([])
+
+    def test_from_point_is_degenerate(self):
+        r = Rect.from_point(Point(2, 3))
+        assert r.area == 0.0
+        assert r.is_degenerate
+        assert r.center == Point(2, 3)
+
+    def test_bounding(self):
+        r = Rect.bounding([Rect(0, 0, 1, 1), Rect(5, -2, 6, 0)])
+        assert r == Rect(0, -2, 6, 1)
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rect.bounding([])
+
+
+class TestMeasures:
+    def test_width_height_area_perimeter(self):
+        r = Rect(0, 0, 4, 3)
+        assert (r.width, r.height, r.area, r.perimeter) == (4, 3, 12, 14)
+
+    def test_center(self):
+        assert Rect(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_corners_order(self):
+        r = Rect(0, 0, 2, 1)
+        assert r.corners == (Point(0, 0), Point(2, 0), Point(2, 1), Point(0, 1))
+
+    def test_degenerate_flags(self):
+        assert Rect(0, 0, 0, 5).is_degenerate
+        assert not Rect(0, 0, 1, 1).is_degenerate
+
+
+class TestPredicates:
+    def test_contains_point_boundary_inclusive(self):
+        r = Rect(0, 0, 2, 2)
+        assert r.contains_point(Point(0, 0))
+        assert r.contains_point(Point(2, 2))
+        assert r.contains_point(Point(1, 1))
+        assert not r.contains_point(Point(2.0001, 1))
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(1, 1, 9, 9))
+        assert outer.contains_rect(outer)
+        assert not outer.contains_rect(Rect(5, 5, 11, 9))
+
+    def test_intersects_touching_edges(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 0, 2, 1))
+
+    def test_on_boundary(self):
+        r = Rect(0, 0, 4, 4)
+        assert r.on_boundary(Point(0, 2))
+        assert r.on_boundary(Point(4, 4))
+        assert not r.on_boundary(Point(2, 2))
+        assert r.on_boundary(Point(2, 3.95), tolerance=0.1)
+
+
+class TestCombinators:
+    def test_intersection(self):
+        a, b = Rect(0, 0, 4, 4), Rect(2, 2, 6, 6)
+        assert a.intersection(b) == Rect(2, 2, 4, 4)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_intersection_area_matches_intersection(self):
+        a, b = Rect(0, 0, 4, 4), Rect(1, -1, 3, 1)
+        assert a.intersection_area(b) == a.intersection(b).area
+        assert Rect(0, 0, 1, 1).intersection_area(Rect(5, 5, 6, 6)) == 0.0
+
+    def test_union_mbr(self):
+        assert Rect(0, 0, 1, 1).union_mbr(Rect(3, -1, 4, 0)) == Rect(0, -1, 4, 1)
+
+    def test_expanded_positive(self):
+        assert Rect(1, 1, 2, 2).expanded(1) == Rect(0, 0, 3, 3)
+
+    def test_expanded_negative_shrinks(self):
+        assert Rect(0, 0, 10, 10).expanded(-2) == Rect(2, 2, 8, 8)
+
+    def test_expanded_negative_collapses_to_center(self):
+        r = Rect(0, 0, 2, 2).expanded(-5)
+        assert r.area == 0.0
+        assert r.center == Point(1, 1)
+
+    def test_clipped(self):
+        assert Rect(-5, -5, 5, 5).clipped(Rect(0, 0, 10, 10)) == Rect(0, 0, 5, 5)
+
+    def test_clipped_disjoint_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            Rect(20, 20, 30, 30).clipped(Rect(0, 0, 10, 10))
+
+    def test_translated(self):
+        assert Rect(0, 0, 1, 1).translated(5, -1) == Rect(5, -1, 6, 0)
+
+    def test_quadrants_partition_area(self):
+        r = Rect(0, 0, 8, 4)
+        quads = r.quadrants()
+        assert sum(q.area for q in quads) == pytest.approx(r.area)
+        assert quads[0] == Rect(0, 0, 4, 2)  # SW
+        assert quads[3] == Rect(4, 2, 8, 4)  # NE
+
+
+class TestScaledToArea:
+    def test_grow_preserves_aspect_ratio(self):
+        r = Rect(0, 0, 4, 1).scaled_to_area(16)
+        assert r.area == pytest.approx(16)
+        assert r.width / r.height == pytest.approx(4.0)
+
+    def test_shrink(self):
+        r = Rect(0, 0, 4, 4).scaled_to_area(4)
+        assert r.area == pytest.approx(4)
+        assert r.center == Point(2, 2)
+
+    def test_degenerate_grows_into_square(self):
+        r = Rect.from_point(Point(5, 5)).scaled_to_area(9)
+        assert r.area == pytest.approx(9)
+        assert r.width == pytest.approx(r.height)
+
+    def test_respects_bounds_by_shifting(self):
+        bounds = Rect(0, 0, 100, 100)
+        r = Rect.from_point(Point(1, 1)).scaled_to_area(100, bounds=bounds)
+        assert bounds.contains_rect(r)
+        assert r.area == pytest.approx(100)
+
+    def test_larger_than_bounds_clips(self):
+        bounds = Rect(0, 0, 10, 10)
+        r = Rect(4, 4, 6, 6).scaled_to_area(400, bounds=bounds)
+        assert bounds.contains_rect(r)
+
+    def test_negative_target_raises(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).scaled_to_area(-1)
+
+
+class TestTotalCoveredArea:
+    def test_empty(self):
+        assert total_covered_area([]) == 0.0
+
+    def test_single(self):
+        assert total_covered_area([Rect(0, 0, 2, 3)]) == pytest.approx(6.0)
+
+    def test_disjoint_sum(self):
+        rects = [Rect(0, 0, 1, 1), Rect(5, 5, 7, 6)]
+        assert total_covered_area(rects) == pytest.approx(3.0)
+
+    def test_overlap_not_double_counted(self):
+        rects = [Rect(0, 0, 2, 2), Rect(1, 1, 3, 3)]
+        assert total_covered_area(rects) == pytest.approx(7.0)
+
+    def test_nested(self):
+        rects = [Rect(0, 0, 10, 10), Rect(2, 2, 4, 4)]
+        assert total_covered_area(rects) == pytest.approx(100.0)
+
+
+def test_as_tuple_and_iter():
+    r = Rect(1, 2, 3, 4)
+    assert r.as_tuple() == (1, 2, 3, 4)
+    assert tuple(r) == (1, 2, 3, 4)
+
+
+def test_rects_hashable():
+    assert len({Rect(0, 0, 1, 1), Rect(0, 0, 1, 1)}) == 1

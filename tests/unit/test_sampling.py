@@ -1,0 +1,137 @@
+"""Unit tests for repro.geometry.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.geometry.sampling import (
+    boundary_point,
+    gaussian_cluster,
+    uniform_arrays,
+    uniform_point,
+    uniform_points,
+    weighted_choice,
+    zipf_weights,
+)
+
+R = Rect(10, 20, 30, 25)
+
+
+class TestUniformSampling:
+    def test_uniform_point_inside(self, rng):
+        for _ in range(100):
+            assert R.contains_point(uniform_point(R, rng))
+
+    def test_uniform_points_count_and_containment(self, rng):
+        pts = uniform_points(R, 250, rng)
+        assert len(pts) == 250
+        assert all(R.contains_point(p) for p in pts)
+
+    def test_uniform_points_zero(self, rng):
+        assert uniform_points(R, 0, rng) == []
+
+    def test_uniform_points_negative_raises(self, rng):
+        with pytest.raises(ValueError):
+            uniform_points(R, -1, rng)
+
+    def test_degenerate_rect_returns_the_point(self, rng):
+        deg = Rect.from_point(Point(5, 7))
+        assert uniform_point(deg, rng) == Point(5, 7)
+        assert all(p == Point(5, 7) for p in uniform_points(deg, 10, rng))
+
+    def test_uniform_arrays_match_rect(self, rng):
+        xs, ys = uniform_arrays(R, 500, rng)
+        assert xs.shape == ys.shape == (500,)
+        assert xs.min() >= R.min_x and xs.max() <= R.max_x
+        assert ys.min() >= R.min_y and ys.max() <= R.max_y
+
+    def test_uniform_covers_both_halves(self, rng):
+        xs, _ = uniform_arrays(R, 2000, rng)
+        left = np.count_nonzero(xs < R.center.x)
+        assert 800 < left < 1200  # roughly half
+
+    def test_deterministic_given_seed(self):
+        a = uniform_points(R, 5, np.random.default_rng(1))
+        b = uniform_points(R, 5, np.random.default_rng(1))
+        assert a == b
+
+
+class TestGaussianCluster:
+    def test_count(self, rng):
+        assert len(gaussian_cluster(Point(0, 0), 1.0, 50, rng)) == 50
+
+    def test_clamped_to_bounds(self, rng):
+        bounds = Rect(0, 0, 10, 10)
+        pts = gaussian_cluster(Point(0, 0), 5.0, 500, rng, bounds=bounds)
+        assert all(bounds.contains_point(p) for p in pts)
+
+    def test_concentrates_near_center(self, rng):
+        pts = gaussian_cluster(Point(50, 50), 1.0, 500, rng)
+        mean_dist = np.mean([p.distance_to(Point(50, 50)) for p in pts])
+        assert mean_dist < 3.0
+
+    def test_negative_sigma_raises(self, rng):
+        with pytest.raises(ValueError):
+            gaussian_cluster(Point(0, 0), -1.0, 10, rng)
+
+
+class TestBoundaryPoint:
+    def test_on_boundary(self, rng):
+        for _ in range(200):
+            p = boundary_point(R, rng)
+            assert R.on_boundary(p, tolerance=1e-9)
+
+    def test_degenerate_rect(self, rng):
+        deg = Rect.from_point(Point(1, 2))
+        assert boundary_point(deg, rng) == Point(1, 2)
+
+    def test_all_edges_hit(self, rng):
+        edges = set()
+        for _ in range(400):
+            p = boundary_point(R, rng)
+            if p.y == R.min_y:
+                edges.add("bottom")
+            elif p.y == R.max_y:
+                edges.add("top")
+            elif p.x == R.min_x:
+                edges.add("left")
+            elif p.x == R.max_x:
+                edges.add("right")
+        assert edges == {"bottom", "top", "left", "right"}
+
+
+class TestWeightedChoice:
+    def test_degenerate_weight_vector(self, rng):
+        assert weighted_choice([0.0, 1.0, 0.0], rng) == 1
+
+    def test_distribution_roughly_matches(self, rng):
+        counts = np.zeros(2)
+        for _ in range(1000):
+            counts[weighted_choice([3.0, 1.0], rng)] += 1
+        assert counts[0] > counts[1]
+
+    def test_invalid_weights_raise(self, rng):
+        with pytest.raises(ValueError):
+            weighted_choice([0.0, 0.0], rng)
+        with pytest.raises(ValueError):
+            weighted_choice([1.0, -0.5], rng)
+
+
+class TestZipfWeights:
+    def test_normalised(self):
+        assert sum(zipf_weights(10, 1.0)) == pytest.approx(1.0)
+
+    def test_zero_skew_is_uniform(self):
+        w = zipf_weights(4, 0.0)
+        assert all(x == pytest.approx(0.25) for x in w)
+
+    def test_monotone_decreasing(self):
+        w = zipf_weights(6, 1.2)
+        assert all(a >= b for a, b in zip(w, w[1:]))
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_weights(5, -1.0)

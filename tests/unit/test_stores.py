@@ -1,0 +1,123 @@
+"""Unit tests for the server-side data stores."""
+
+import pytest
+
+from repro.core.errors import RegistrationError
+from repro.core.stores import PrivateStore, PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+
+class TestPublicStore:
+    def test_add_and_lookup(self):
+        store = PublicStore()
+        store.add("gas", Point(3, 4))
+        assert store.point_of("gas") == Point(3, 4)
+        assert "gas" in store
+        assert len(store) == 1
+
+    def test_duplicate_add_raises(self):
+        store = PublicStore()
+        store.add("a", Point(0, 0))
+        with pytest.raises(RegistrationError):
+            store.add("a", Point(1, 1))
+
+    def test_move(self):
+        store = PublicStore()
+        store.add("car", Point(0, 0))
+        store.move("car", Point(10, 10))
+        assert store.point_of("car") == Point(10, 10)
+        assert store.range_query(Rect(9, 9, 11, 11)) == ["car"]
+        assert store.range_query(Rect(-1, -1, 1, 1)) == []
+
+    def test_move_unknown_raises(self):
+        with pytest.raises(RegistrationError):
+            PublicStore().move("ghost", Point(0, 0))
+
+    def test_remove(self):
+        store = PublicStore()
+        store.add("a", Point(0, 0))
+        store.remove("a")
+        assert len(store) == 0
+        with pytest.raises(RegistrationError):
+            store.point_of("a")
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(RegistrationError):
+            PublicStore().remove("ghost")
+
+    def test_range_and_nearest(self, uniform_points_500):
+        store = PublicStore()
+        for i, p in enumerate(uniform_points_500):
+            store.add(i, p)
+        window = Rect(25, 25, 45, 60)
+        expected = sorted(
+            i for i, p in enumerate(uniform_points_500) if window.contains_point(p)
+        )
+        assert sorted(store.range_query(window)) == expected
+        q = Point(50, 50)
+        nearest = store.nearest(q, 3)
+        brute = sorted(range(500), key=lambda i: uniform_points_500[i].distance_to(q))
+        assert set(nearest) == set(brute[:3])
+
+    def test_nearest_iter_sorted(self, uniform_points_500):
+        store = PublicStore()
+        for i, p in enumerate(uniform_points_500):
+            store.add(i, p)
+        dists = [d for _, d in zip(range(20), store.nearest_iter(Point(10, 90)))]
+        dists = [d for _, d in list(store.nearest_iter(Point(10, 90)))[:20]]
+        assert dists == sorted(dists)
+
+    def test_items_iteration(self):
+        store = PublicStore()
+        store.add("x", Point(1, 2))
+        assert list(store.items()) == [("x", Point(1, 2))]
+        assert list(store) == ["x"]
+
+
+class TestPrivateStore:
+    def test_set_region_inserts_then_replaces(self):
+        store = PrivateStore()
+        store.set_region("u", Rect(0, 0, 10, 10))
+        assert store.region_of("u") == Rect(0, 0, 10, 10)
+        store.set_region("u", Rect(20, 20, 30, 30))
+        assert store.region_of("u") == Rect(20, 20, 30, 30)
+        assert len(store) == 1
+        assert store.overlapping(Rect(0, 0, 15, 15)) == []
+        assert store.overlapping(Rect(25, 25, 26, 26)) == ["u"]
+
+    def test_overlapping_touches_count(self):
+        store = PrivateStore()
+        store.set_region("a", Rect(0, 0, 10, 10))
+        assert store.overlapping(Rect(10, 10, 20, 20)) == ["a"]  # touching corner
+
+    def test_remove(self):
+        store = PrivateStore()
+        store.set_region("a", Rect(0, 0, 1, 1))
+        store.remove("a")
+        assert "a" not in store
+        with pytest.raises(RegistrationError):
+            store.region_of("a")
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(RegistrationError):
+            PrivateStore().remove("ghost")
+
+    def test_degenerate_region_allowed(self):
+        # A k=1 user is stored as her exact point (zero-area region).
+        store = PrivateStore()
+        store.set_region("open", Rect.from_point(Point(5, 5)))
+        assert store.overlapping(Rect(4, 4, 6, 6)) == ["open"]
+
+    def test_many_regions_query(self, rng):
+        store = PrivateStore()
+        regions = {}
+        for i in range(200):
+            cx, cy = rng.uniform(10, 90, 2)
+            w, h = rng.uniform(1, 10, 2)
+            r = Rect.from_center(Point(float(cx), float(cy)), float(w), float(h))
+            regions[i] = r
+            store.set_region(i, r)
+        window = Rect(30, 30, 60, 60)
+        expected = sorted(i for i, r in regions.items() if r.intersects(window))
+        assert sorted(store.overlapping(window)) == expected

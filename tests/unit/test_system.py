@@ -1,0 +1,122 @@
+"""Unit tests for the end-to-end PrivacySystem."""
+
+import pytest
+
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.core.errors import RegistrationError
+from repro.core.profiles import PrivacyProfile
+from repro.core.system import PrivacySystem
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.mobility.users import MobileUser, UserMode
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+@pytest.fixture
+def system(uniform_points_500):
+    system = PrivacySystem(BOUNDS, PyramidCloaker(BOUNDS, height=6))
+    for i, p in enumerate(uniform_points_500):
+        system.add_user(MobileUser(i, p, PrivacyProfile.always(k=10)))
+    for j in range(50):
+        system.add_poi(("poi", j), Point(2.0 * j, (7.0 * j) % 100))
+    return system
+
+
+class TestSetup:
+    def test_duplicate_user_raises(self, system, uniform_points_500):
+        with pytest.raises(RegistrationError):
+            system.add_user(MobileUser(0, uniform_points_500[0]))
+
+    def test_passive_user_not_registered(self):
+        system = PrivacySystem(BOUNDS, PyramidCloaker(BOUNDS, height=4))
+        system.add_user(
+            MobileUser("ghost", Point(1, 1), mode=UserMode.PASSIVE)
+        )
+        assert system.anonymizer.registered_users() == []
+
+    def test_mode_switch_registers_and_unregisters(self, system, uniform_points_500):
+        system.set_mode(0, UserMode.PASSIVE)
+        assert 0 not in system.anonymizer.registered_users()
+        system.set_mode(0, UserMode.ACTIVE)
+        assert 0 in system.anonymizer.registered_users()
+
+    def test_passive_users_dont_lend_anonymity(self, uniform_points_500):
+        system = PrivacySystem(BOUNDS, PyramidCloaker(BOUNDS, height=6))
+        for i, p in enumerate(uniform_points_500):
+            mode = UserMode.PASSIVE if i % 2 else UserMode.ACTIVE
+            system.add_user(
+                MobileUser(i, p, PrivacyProfile.always(k=10), mode=mode)
+            )
+        assert system.anonymizer.cloaker.user_count() == 250
+
+
+class TestMovement:
+    def test_apply_movement_updates_everything(self, system, uniform_points_500):
+        system.apply_movement({0: Point(50, 50)}, dt=1.0)
+        assert system.users[0].location == Point(50, 50)
+        assert system.anonymizer.cloaker.location_of(0) == Point(50, 50)
+        pseudonym = system.anonymizer.pseudonym_of(0)
+        region = system.server.private.region_of(pseudonym)
+        assert region.contains_point(Point(50, 50))
+        assert system.clock == 1.0
+
+    def test_publish_all_populates_server(self, system):
+        system.publish_all()
+        assert len(system.server.private) == 500
+
+
+class TestQueries:
+    def test_range_query_is_exact_after_refinement(self, system):
+        outcome, refined = system.user_range_query(3, radius=12.0)
+        assert outcome.correct
+        assert outcome.candidates >= outcome.answer_size
+        assert outcome.overhead >= 1.0 or outcome.answer_size == 0
+
+    def test_nn_query_is_exact_after_refinement(self, system):
+        outcome, answer = system.user_nn_query(3)
+        assert outcome.correct
+        assert answer == system.server.public.nearest(
+            system.users[3].location, k=1
+        )[0]
+
+    def test_query_switches_mode(self, system):
+        system.user_nn_query(5)
+        assert system.users[5].mode is UserMode.QUERY
+
+    def test_passive_user_cannot_query(self, system):
+        system.set_mode(9, UserMode.PASSIVE)
+        with pytest.raises(RegistrationError, match="passive"):
+            system.user_range_query(9, radius=5.0)
+
+    def test_ledger_accumulates(self, system):
+        system.user_range_query(1, radius=5.0)
+        system.user_range_query(2, radius=5.0)
+        system.user_nn_query(3)
+        summary = system.ledger.summary()
+        assert summary["range_queries"] == 2
+        assert summary["nn_queries"] == 1
+        assert summary["range_accuracy"] == 1.0
+        assert summary["nn_accuracy"] == 1.0
+        assert summary["mean_cloak_area"] > 0
+
+    def test_empty_ledger_summary(self):
+        system = PrivacySystem(BOUNDS, PyramidCloaker(BOUNDS, height=4))
+        assert system.ledger.summary() == {}
+
+
+class TestPrivacyQosTension:
+    def test_higher_k_means_more_candidates(self, uniform_points_500):
+        candidate_means = []
+        for k in (2, 50):
+            system = PrivacySystem(BOUNDS, PyramidCloaker(BOUNDS, height=6))
+            for i, p in enumerate(uniform_points_500):
+                system.add_user(MobileUser(i, p, PrivacyProfile.always(k=k)))
+            for j in range(80):
+                system.add_poi(("poi", j), Point((13 * j) % 100, (29 * j) % 100))
+            for victim in range(10):
+                system.user_range_query(victim, radius=8.0)
+            candidate_means.append(
+                system.ledger.summary()["range_mean_candidates"]
+            )
+        assert candidate_means[1] > candidate_means[0]

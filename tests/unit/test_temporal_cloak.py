@@ -1,0 +1,121 @@
+"""Unit tests for spatio-temporal cloaking."""
+
+import pytest
+
+from repro.cloaking.temporal import TemporalCloaker
+from repro.core.errors import RegistrationError
+from repro.core.profiles import PrivacyRequirement
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def make(region_side=10.0, window=100.0, max_delay=None):
+    return TemporalCloaker(
+        BOUNDS, region_side=region_side, window=window, max_delay=max_delay
+    )
+
+
+class TestValidation:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            make(region_side=0)
+        with pytest.raises(ValueError):
+            make(window=0)
+        with pytest.raises(ValueError):
+            make(max_delay=-1)
+
+    def test_observe_outside_bounds(self):
+        cloaker = make()
+        with pytest.raises(RegistrationError):
+            cloaker.observe(0.0, "u", Point(200, 0))
+
+    def test_out_of_order_observation(self):
+        cloaker = make()
+        cloaker.observe(5.0, "u", Point(1, 1))
+        with pytest.raises(ValueError):
+            cloaker.observe(4.0, "u", Point(1, 1))
+
+    def test_request_unknown_user(self):
+        with pytest.raises(RegistrationError):
+            make().request(0.0, "ghost", PrivacyRequirement(k=2))
+
+
+class TestImmediateRelease:
+    def test_dense_region_releases_instantly(self):
+        cloaker = make(region_side=20.0)
+        for i in range(5):
+            cloaker.observe(0.0, i, Point(50 + i, 50))
+        result = cloaker.request(0.0, 0, PrivacyRequirement(k=5))
+        assert result is not None
+        assert result.delay == 0.0
+        assert result.visitor_count >= 5
+        assert result.region.contains_point(Point(50, 50))
+
+    def test_region_is_fixed_size(self):
+        cloaker = make(region_side=8.0)
+        cloaker.observe(0.0, "u", Point(50, 50))
+        result = cloaker.request(0.0, "u", PrivacyRequirement(k=1))
+        assert result.region.area == pytest.approx(64.0)
+
+    def test_region_shifted_into_bounds_at_corner(self):
+        cloaker = make(region_side=8.0)
+        cloaker.observe(0.0, "u", Point(1, 1))
+        result = cloaker.request(0.0, "u", PrivacyRequirement(k=1))
+        assert BOUNDS.contains_rect(result.region)
+        assert result.region.area == pytest.approx(64.0)
+        assert result.region.contains_point(Point(1, 1))
+
+
+class TestDelayedRelease:
+    def test_release_once_kth_visitor_arrives(self):
+        cloaker = make(region_side=10.0)
+        cloaker.observe(0.0, "victim", Point(50, 50))
+        pending = cloaker.request(0.0, "victim", PrivacyRequirement(k=3))
+        assert pending is None
+        assert cloaker.pending_count == 1
+        cloaker.observe(1.0, "a", Point(51, 50))
+        assert cloaker.tick(1.0) == []  # only 2 visitors so far
+        cloaker.observe(2.0, "b", Point(49, 50))
+        released = cloaker.tick(2.0)
+        assert len(released) == 1
+        assert released[0].delay == pytest.approx(2.0)
+        assert released[0].visitor_count == 3
+        assert cloaker.pending_count == 0
+
+    def test_visitors_accumulate_over_time_not_space(self):
+        """The essence of temporal cloaking: k users need not be
+        simultaneous, just within the window."""
+        cloaker = make(region_side=6.0, window=100.0)
+        cloaker.observe(0.0, "victim", Point(50, 50))
+        cloaker.request(0.0, "victim", PrivacyRequirement(k=4))
+        # One user passes through per step, each leaving afterwards.
+        for step, uid in enumerate(["a", "b", "c"], start=1):
+            cloaker.observe(float(step), uid, Point(50, 50))
+            cloaker.observe(float(step) + 0.5, uid, Point(90, 90))
+            cloaker.tick(float(step) + 0.5)
+        assert len(cloaker.released) == 1
+        assert cloaker.released[0].visitor_count >= 4
+
+    def test_window_expiry_forgets_old_visitors(self):
+        cloaker = make(region_side=6.0, window=2.0)
+        cloaker.observe(0.0, "a", Point(50, 50))
+        cloaker.observe(0.0, "b", Point(50, 51))
+        cloaker.observe(10.0, "victim", Point(50, 50))
+        # a and b are long gone from the window.
+        assert cloaker.request(10.0, "victim", PrivacyRequirement(k=3)) is None
+
+    def test_max_delay_drops_reports(self):
+        cloaker = make(region_side=2.0, max_delay=5.0)
+        cloaker.observe(0.0, "victim", Point(50, 50))
+        cloaker.request(0.0, "victim", PrivacyRequirement(k=10))
+        cloaker.tick(6.0)
+        assert cloaker.dropped == 1
+        assert cloaker.pending_count == 0
+
+    def test_visitors_in(self):
+        cloaker = make()
+        cloaker.observe(0.0, "a", Point(10, 10))
+        cloaker.observe(0.0, "b", Point(90, 90))
+        assert cloaker.visitors_in(Rect(0, 0, 20, 20)) == {"a"}
