@@ -1,6 +1,6 @@
 # Developer entry points for the privacy-aware LBS reproduction.
 
-.PHONY: install test bench examples experiments report clean
+.PHONY: install test bench bench-smoke examples experiments report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,9 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only -q
+
+bench-smoke:
+	pytest benchmarks -q -k smoke
 
 examples:
 	for f in examples/*.py; do python $$f; done

@@ -1,0 +1,131 @@
+"""Observability smoke benchmark: times the pipeline and emits BENCH_obs.json.
+
+Run via ``make bench-smoke`` (or ``pytest benchmarks -q -k smoke``).  Each
+stage of the private-query pipeline is timed with the benchmark harness
+while a telemetry-instrumented :class:`~repro.core.system.PrivacySystem`
+accumulates per-stage latency histograms and index work counters; the
+final test folds everything into ``BENCH_obs.json`` at the repo root —
+the machine-readable record CI uploads as an artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker
+from repro.geometry import Point, Rect
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
+
+N_USERS = 500
+N_POIS = 60
+N_QUERIES = 40
+
+#: Shared across the module's tests: per-experiment timings, filled in by
+#: each benchmark test and flushed to disk by the final report test.
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = np.random.default_rng(42)
+    bounds = Rect(0, 0, 1000, 1000)
+    sys_ = PrivacySystem(bounds, PyramidCloaker(bounds, height=7))
+    for j in range(N_POIS):
+        x, y = rng.uniform(0, 1000, 2)
+        sys_.add_poi(f"poi-{j}", Point(float(x), float(y)))
+    for i in range(N_USERS):
+        x, y = rng.uniform(0, 1000, 2)
+        sys_.add_user(
+            MobileUser(i, Point(float(x), float(y)), PrivacyProfile.always(k=10))
+        )
+    sys_.publish_all()
+    return sys_
+
+
+def _note(name: str, benchmark) -> None:
+    stats = benchmark.stats.stats
+    _RESULTS[name] = {
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "max_s": stats.max,
+        "rounds": stats.rounds,
+    }
+
+
+def test_obs_smoke_publish_all(benchmark, system):
+    benchmark.pedantic(system.publish_all, rounds=3, iterations=1)
+    _note("publish_all", benchmark)
+
+
+def test_obs_smoke_private_range(benchmark, system):
+    user_ids = iter(range(10_000))
+
+    def run():
+        base = next(user_ids) * N_QUERIES
+        for i in range(N_QUERIES):
+            system.user_range_query((base + i) % N_USERS, radius=60.0)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _note("private_range_x40", benchmark)
+
+
+def test_obs_smoke_private_nn(benchmark, system):
+    user_ids = iter(range(10_000))
+
+    def run():
+        base = next(user_ids) * N_QUERIES
+        for i in range(N_QUERIES):
+            system.user_nn_query((base + i * 3) % N_USERS)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _note("private_nn_x40", benchmark)
+
+
+def test_obs_smoke_public_count(benchmark, system):
+    window = Rect(200, 200, 800, 800)
+
+    def run():
+        for _ in range(N_QUERIES):
+            system.server.public_count(window)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _note("public_count_x40", benchmark)
+
+
+def test_obs_smoke_report(system):
+    """Fold the timings and the telemetry snapshot into BENCH_obs.json."""
+    snapshot = system.telemetry()
+    qos = snapshot["qos"]
+    report = {
+        "schema": "repro.obs.bench/1",
+        "python": platform.python_version(),
+        "workload": {
+            "users": N_USERS,
+            "pois": N_POIS,
+            "queries_per_round": N_QUERIES,
+            "cloaker": "pyramid",
+        },
+        "experiments": _RESULTS,
+        "stages": snapshot["stages"],
+        "indexes": snapshot["indexes"],
+        "candidate_overhead": {
+            "range_mean_candidates": qos.get("range_mean_candidates"),
+            "range_mean_overhead": qos.get("range_mean_overhead"),
+            "range_accuracy": qos.get("range_accuracy"),
+            "nn_mean_candidates": qos.get("nn_mean_candidates"),
+            "nn_accuracy": qos.get("nn_accuracy"),
+        },
+        "server": snapshot["server"],
+    }
+    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    # The file must round-trip and carry the headline sections.
+    parsed = json.loads(BENCH_PATH.read_text())
+    assert parsed["stages"]["query.private_range"]["count"] > 0
+    assert parsed["candidate_overhead"]["range_mean_overhead"] >= 1.0
+    assert parsed["indexes"]["server.public"]["node_visits"] > 0

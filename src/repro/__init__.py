@@ -40,6 +40,7 @@ from repro.core import (
 )
 from repro.geometry import Point, Rect
 from repro.mobility import MobileUser, UserMode
+from repro.obs import Telemetry, disable_tracing, enable_tracing, get_telemetry
 
 __version__ = "1.0.0"
 
@@ -65,4 +66,8 @@ __all__ = [
     "LocationAnonymizer",
     "LocationServer",
     "PrivacySystem",
+    "Telemetry",
+    "get_telemetry",
+    "enable_tracing",
+    "disable_tracing",
 ]

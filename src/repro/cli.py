@@ -6,6 +6,8 @@ Usage (after ``pip install -e .``)::
     python -m repro experiments E5 E7         # print selected tables
     python -m repro experiments all           # the full suite
     python -m repro report -o tables.md       # all tables as markdown
+    python -m repro obs                       # telemetry dashboard demo
+    python -m repro obs --json                # same snapshot, as JSON
 """
 
 from __future__ import annotations
@@ -87,6 +89,63 @@ def cmd_demo(_: argparse.Namespace) -> int:
     return 0
 
 
+def _observed_quickstart(
+    users: int = 200, pois: int = 30, queries: int = 25, seed: int = 0
+):
+    """Run a small traced pipeline workload and return the PrivacySystem."""
+    import numpy as np
+
+    from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker
+    from repro.geometry import Point, Rect
+
+    rng = np.random.default_rng(seed)
+    bounds = Rect(0, 0, 100, 100)
+    system = PrivacySystem(bounds, PyramidCloaker(bounds, height=6))
+    for j in range(pois):
+        x, y = rng.uniform(0, 100, 2)
+        system.add_poi(f"poi-{j}", Point(float(x), float(y)))
+    for i in range(users):
+        x, y = rng.uniform(0, 100, 2)
+        system.add_user(
+            MobileUser(i, Point(float(x), float(y)), PrivacyProfile.always(k=8))
+        )
+    system.publish_all()
+    moves = {
+        i: Point(
+            float(min(100.0, system.users[i].location.x + rng.uniform(0, 2))),
+            float(min(100.0, system.users[i].location.y + rng.uniform(0, 2))),
+        )
+        for i in range(min(users, 50))
+    }
+    system.apply_movement(moves)
+    for i in range(queries):
+        system.user_range_query(i % users, radius=10.0)
+        system.user_nn_query((i * 7) % users)
+        system.server.public_count(Rect(20, 20, 80, 80))
+    return system
+
+
+def cmd_obs(args: argparse.Namespace) -> int:
+    """Run a traced workload and print its telemetry snapshot."""
+    from repro.obs.export import render_dashboard, to_json, to_prometheus
+
+    if args.users < 1:
+        raise SystemExit("repro obs: error: --users must be at least 1")
+    if args.queries < 0:
+        raise SystemExit("repro obs: error: --queries must be non-negative")
+    system = _observed_quickstart(
+        users=args.users, queries=args.queries, seed=args.seed
+    )
+    snapshot = system.telemetry()
+    if args.json:
+        print(to_json(snapshot))
+    elif args.prometheus:
+        print(to_prometheus(snapshot))
+    else:
+        print(render_dashboard(snapshot))
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     for table in _run_ids(args.ids):
         print(table.to_text())
@@ -127,6 +186,23 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="write every table as markdown")
     report.add_argument("-o", "--output", default="-", help="file or '-' for stdout")
     report.set_defaults(func=cmd_report)
+
+    obs = sub.add_parser(
+        "obs", help="run a traced workload and print its telemetry snapshot"
+    )
+    fmt = obs.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json", action="store_true", help="emit the snapshot as JSON"
+    )
+    fmt.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit the snapshot in Prometheus text exposition format",
+    )
+    obs.add_argument("--users", type=int, default=200, help="workload size")
+    obs.add_argument("--queries", type=int, default=25, help="queries per kind")
+    obs.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    obs.set_defaults(func=cmd_obs)
     return parser
 
 

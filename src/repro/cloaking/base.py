@@ -168,6 +168,30 @@ class Cloaker(ABC):
         )
         return int(np.count_nonzero(inside))
 
+    def snapshot_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Read-only coordinate arrays of all registered users.
+
+        The public accessor for callers (metrics, experiments) that need
+        vectorised geometry over the population — the returned views are
+        non-writeable so the cloaker's internal cache stays consistent.
+        """
+        xs, ys = self._arrays()
+        xs_view = xs.view()
+        ys_view = ys.view()
+        xs_view.flags.writeable = False
+        ys_view.flags.writeable = False
+        return xs_view, ys_view
+
+    def spatial_index(self):
+        """The internal spatial index, when the algorithm keeps one.
+
+        Space-dependent cloakers override this so the observability layer
+        can report anonymizer-side index work next to the server stores'
+        (``PrivacySystem.telemetry()["indexes"]``).  Returns ``None`` for
+        purely array-based algorithms.
+        """
+        return None
+
     def users_in(self, region: Rect) -> list[UserId]:
         """Ids of registered users inside ``region``."""
         if not self._locations:

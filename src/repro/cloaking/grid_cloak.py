@@ -40,6 +40,9 @@ class GridCloaker(Cloaker):
         super().__init__(bounds)
         self._grid = GridIndex(bounds, cols=cols, rows=rows)
 
+    def spatial_index(self) -> GridIndex:
+        return self._grid
+
     def _on_add(self, user_id: UserId, point: Point) -> None:
         self._grid.insert_point(user_id, point)
 

@@ -92,6 +92,12 @@ class IncrementalCloaker:
     def count_in(self, region: Rect) -> int:
         return self.inner.count_in(region)
 
+    def spatial_index(self):
+        return self.inner.spatial_index()
+
+    def snapshot_arrays(self):
+        return self.inner.snapshot_arrays()
+
     def partition_key(self, user_id: UserId, point: Point, requirement: PrivacyRequirement):
         """Forward the sharing key so batch execution composes with caching.
 

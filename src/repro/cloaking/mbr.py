@@ -58,4 +58,11 @@ class MBRCloaker(Cloaker):
             idx = np.arange(len(d2))
         else:
             idx = np.argpartition(d2, k - 1)[:k]
-        return [Point(float(xs[i]), float(ys[i])) for i in idx]
+        group = [Point(float(xs[i]), float(ys[i])) for i in idx]
+        if not any(p.x == point.x and p.y == point.y for p in group):
+            # Squared distances can underflow to an exact tie (denormal
+            # coordinates), letting argpartition pick a neighbour over the
+            # user herself; swap the farthest pick for her actual point.
+            farthest = max(range(len(group)), key=lambda j: d2[idx[j]])
+            group[farthest] = point
+        return group

@@ -66,6 +66,9 @@ class PyramidCloaker(Cloaker):
         """The backing pyramid index (read-only use)."""
         return self._pyramid
 
+    def spatial_index(self) -> PyramidGrid:
+        return self._pyramid
+
     def _on_add(self, user_id: UserId, point: Point) -> None:
         self._pyramid.insert_point(user_id, point)
 

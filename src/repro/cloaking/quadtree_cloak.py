@@ -40,6 +40,9 @@ class QuadtreeCloaker(Cloaker):
         super().__init__(bounds)
         self._tree = QuadTree(bounds, capacity=capacity, max_depth=max_depth)
 
+    def spatial_index(self) -> QuadTree:
+        return self._tree
+
     def _on_add(self, user_id: UserId, point: Point) -> None:
         self._tree.insert_point(user_id, point)
 

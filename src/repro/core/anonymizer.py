@@ -32,6 +32,7 @@ from repro.core.profiles import PrivacyProfile, PrivacyRequirement
 from repro.core.server import LocationServer
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.obs import Telemetry, get_telemetry
 from repro.queries.private_nn import PrivateNNResult
 from repro.queries.private_range import PrivateRangeResult
 
@@ -52,6 +53,8 @@ class LocationAnonymizer:
         server: the downstream database server; may be attached later via
             :meth:`connect`.
         rotate_pseudonyms: retire the previous pseudonym on every publish.
+        telemetry: observability sink for the admission/cloak/publish
+            spans; the process-global telemetry is used when omitted.
     """
 
     def __init__(
@@ -59,10 +62,12 @@ class LocationAnonymizer:
         cloaker: Cloaker | IncrementalCloaker,
         server: LocationServer | None = None,
         rotate_pseudonyms: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.cloaker = cloaker
         self.server = server
         self.rotate_pseudonyms = rotate_pseudonyms
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self._registrations: dict[Hashable, _Registration] = {}
         self._pseudonym_counter = itertools.count(1)
 
@@ -80,9 +85,13 @@ class LocationAnonymizer:
         """Subscribe a user; returns her (initial) pseudonym."""
         if user_id in self._registrations:
             raise RegistrationError(f"user already registered: {user_id!r}")
-        self.cloaker.add_user(user_id, location)
-        registration = _Registration(profile=profile, pseudonym=self._fresh_pseudonym())
-        self._registrations[user_id] = registration
+        with self.telemetry.span("anonymizer.admission"):
+            self.cloaker.add_user(user_id, location)
+            registration = _Registration(
+                profile=profile, pseudonym=self._fresh_pseudonym()
+            )
+            self._registrations[user_id] = registration
+        self.telemetry.set_gauge("anonymizer.registered_users", len(self._registrations))
         return registration.pseudonym
 
     def unregister(self, user_id: Hashable) -> None:
@@ -92,11 +101,13 @@ class LocationAnonymizer:
         if self.server is not None and registration.published:
             self.server.forget_region(registration.pseudonym)
         del self._registrations[user_id]
+        self.telemetry.set_gauge("anonymizer.registered_users", len(self._registrations))
 
     def update_location(self, user_id: Hashable, location: Point) -> None:
         """Receive an exact location report (kept inside the anonymizer)."""
         self._registration_of(user_id)
-        self.cloaker.move_user(user_id, location)
+        with self.telemetry.span("user.update"):
+            self.cloaker.move_user(user_id, location)
 
     def update_profile(self, user_id: Hashable, profile: PrivacyProfile) -> None:
         """Users may change their privacy profiles at any time (Section 4)."""
@@ -127,23 +138,27 @@ class LocationAnonymizer:
         and the returned result still carries the *original* requirement,
         so ``k_satisfied`` correctly reads False.
         """
-        requirement = self.requirement_for(user_id, t)
-        if not requirement.wants_privacy:
-            point = self.cloaker.location_of(user_id)
-            return CloakResult(
-                region=Rect.from_point(point), user_count=1, requirement=requirement
-            )
-        population = self.cloaker.user_count()
-        if requirement.k > population:
-            effective = replace(requirement, k=max(1, population))
-            result = self.cloaker.cloak(user_id, effective)
-            return CloakResult(
-                region=result.region,
-                user_count=result.user_count,
-                requirement=requirement,
-                reused=result.reused,
-            )
-        return self.cloaker.cloak(user_id, requirement)
+        with self.telemetry.span("anonymizer.cloak", algo=self.cloaker.name):
+            requirement = self.requirement_for(user_id, t)
+            if not requirement.wants_privacy:
+                point = self.cloaker.location_of(user_id)
+                return CloakResult(
+                    region=Rect.from_point(point), user_count=1, requirement=requirement
+                )
+            population = self.cloaker.user_count()
+            if requirement.k > population:
+                effective = replace(requirement, k=max(1, population))
+                result = self.cloaker.cloak(user_id, effective)
+                result = CloakResult(
+                    region=result.region,
+                    user_count=result.user_count,
+                    requirement=requirement,
+                    reused=result.reused,
+                )
+            else:
+                result = self.cloaker.cloak(user_id, requirement)
+        self.telemetry.observe("cloak_area", result.area)
+        return result
 
     def publish(self, user_id: Hashable, t: float) -> CloakResult:
         """Cloak and push one user's region to the server."""
@@ -191,11 +206,12 @@ class LocationAnonymizer:
     def _push(self, user_id: Hashable, result: CloakResult) -> None:
         """Send one cloaked region to the server under the pseudonym policy."""
         registration = self._registration_of(user_id)
-        if self.rotate_pseudonyms and registration.published:
-            self.server.forget_region(registration.pseudonym)
-            registration.pseudonym = self._fresh_pseudonym()
-        self.server.receive_region(registration.pseudonym, result.region)
-        registration.published = True
+        with self.telemetry.span("anonymizer.publish"):
+            if self.rotate_pseudonyms and registration.published:
+                self.server.forget_region(registration.pseudonym)
+                registration.pseudonym = self._fresh_pseudonym()
+            self.server.receive_region(registration.pseudonym, result.region)
+            registration.published = True
 
     # ------------------------------------------------------------------
     # Trade-off previews (Section 1: "users would have the ability to
@@ -225,9 +241,12 @@ class LocationAnonymizer:
     ) -> int:
         """The largest k whose cloaked region stays within ``max_area``.
 
-        Cloaked area is non-decreasing in k for every algorithm in this
-        library, so a binary search over k is sound.  Returns at least 1
-        (an exact point always "fits").
+        Binary-searches over k, which is sound when cloaked area is
+        non-decreasing in k.  That holds for every algorithm here except
+        the Hilbert cloaker, whose bucket re-partitioning can shrink the
+        region as k grows; for Hilbert the result is a useful heuristic
+        rather than the exact maximum.  Returns at least 1 (an exact
+        point always "fits").
         """
         self._registration_of(user_id)
         if max_area < 0:

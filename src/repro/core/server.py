@@ -18,6 +18,7 @@ cloaked regions pushed by the :class:`~repro.core.anonymizer.LocationAnonymizer`
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Hashable
 
 import numpy as np
@@ -26,6 +27,7 @@ from repro.core.errors import QueryError
 from repro.core.stores import PrivateStore, PublicStore
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.obs import Telemetry, get_telemetry
 from repro.queries.continuous import ContinuousCountMonitor
 from repro.queries.private_nn import PrivateNNResult, private_nn_query
 from repro.queries.private_range import PrivateRangeResult, private_range_query
@@ -34,10 +36,49 @@ from repro.queries.public_nn import PublicNNResult, public_nn_query
 from repro.queries.public_range import naive_range_count, public_range_count
 
 
-class LocationServer:
-    """Privacy-aware location-based database server."""
+@dataclass(frozen=True)
+class ServerStats:
+    """Typed operational snapshot — counts are ints, never coerced to float.
 
-    def __init__(self) -> None:
+    Attributes:
+        public_objects / private_regions / monitors: store sizes now.
+        region_updates: cloaked-region pushes received over the lifetime.
+        queries_served: total queries, with the per-kind breakdown in
+            ``queries_by_kind``.
+    """
+
+    public_objects: int
+    private_regions: int
+    monitors: int
+    region_updates: int
+    queries_served: int
+    queries_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, int]:
+        """Flat ``{name: int}`` form (telemetry snapshots, exporters)."""
+        out = {
+            "public_objects": self.public_objects,
+            "private_regions": self.private_regions,
+            "monitors": self.monitors,
+            "region_updates": self.region_updates,
+            "queries_served": self.queries_served,
+        }
+        for kind, count in sorted(self.queries_by_kind.items()):
+            out[f"queries_{kind}"] = count
+        return out
+
+
+class LocationServer:
+    """Privacy-aware location-based database server.
+
+    Args:
+        telemetry: observability sink for spans and query metrics; the
+            process-global telemetry is used when omitted (a
+            :class:`~repro.core.system.PrivacySystem` injects its own).
+    """
+
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self.public = PublicStore()
         self.private = PrivateStore()
         self._monitors: dict[Hashable, ContinuousCountMonitor] = {}
@@ -45,22 +86,21 @@ class LocationServer:
         self.queries_by_kind: dict[str, int] = {}
         self.region_updates_received = 0
 
-    def stats(self) -> dict[str, float]:
+    def stats(self) -> ServerStats:
         """Operational snapshot: store sizes, update and query counters."""
-        out: dict[str, float] = {
-            "public_objects": float(len(self.public)),
-            "private_regions": float(len(self.private)),
-            "monitors": float(len(self._monitors)),
-            "region_updates": float(self.region_updates_received),
-            "queries_served": float(self.queries_served),
-        }
-        for kind, count in sorted(self.queries_by_kind.items()):
-            out[f"queries_{kind}"] = float(count)
-        return out
+        return ServerStats(
+            public_objects=len(self.public),
+            private_regions=len(self.private),
+            monitors=len(self._monitors),
+            region_updates=self.region_updates_received,
+            queries_served=self.queries_served,
+            queries_by_kind=dict(self.queries_by_kind),
+        )
 
     def _count_query(self, kind: str) -> None:
         self.queries_served += 1
         self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+        self.telemetry.count("server.queries", kind=kind)
 
     # ------------------------------------------------------------------
     # Public data maintenance (exact locations, no privacy)
@@ -102,12 +142,20 @@ class LocationServer:
     ) -> PrivateRangeResult:
         """Candidate set for "public objects within ``radius`` of me"."""
         self._count_query("private_range")
-        return private_range_query(self.public, region, radius, method)
+        with self.telemetry.span("server.private_range", method=method):
+            result = private_range_query(self.public, region, radius, method)
+        self.telemetry.observe(
+            "candidates", len(result.candidates), query="private_range"
+        )
+        return result
 
     def private_nn(self, region: Rect, method: str = "filter") -> PrivateNNResult:
         """Candidate set for "my nearest public object"."""
         self._count_query("private_nn")
-        return private_nn_query(self.public, region, method)
+        with self.telemetry.span("server.private_nn", method=method):
+            result = private_nn_query(self.public, region, method)
+        self.telemetry.observe("candidates", len(result.candidates), query="private_nn")
+        return result
 
     # ------------------------------------------------------------------
     # Public queries over private data (Figure 6)
@@ -116,12 +164,14 @@ class LocationServer:
     def public_count(self, window: Rect) -> CountAnswer:
         """Probabilistic count of private users inside ``window``."""
         self._count_query("public_count")
-        return public_range_count(self.private, window)
+        with self.telemetry.span("server.public_count"):
+            return public_range_count(self.private, window)
 
     def public_count_naive(self, window: Rect) -> int:
         """The paper's criticised count-every-overlap baseline."""
         self._count_query("public_count_naive")
-        return naive_range_count(self.private, window)
+        with self.telemetry.span("server.public_count_naive"):
+            return naive_range_count(self.private, window)
 
     def public_nn(
         self,
@@ -131,7 +181,8 @@ class LocationServer:
     ) -> PublicNNResult:
         """Probabilistic nearest private user to a public query point."""
         self._count_query("public_nn")
-        return public_nn_query(self.private, query, samples, rng)
+        with self.telemetry.span("server.public_nn", samples=samples):
+            return public_nn_query(self.private, query, samples, rng)
 
     # ------------------------------------------------------------------
     # Public queries over public data (the classic case, for completeness)
@@ -140,14 +191,16 @@ class LocationServer:
     def public_range_over_public(self, window: Rect) -> list[Hashable]:
         """Classic exact range query on public objects."""
         self._count_query("public_over_public_range")
-        return self.public.range_query(window)
+        with self.telemetry.span("server.public_range"):
+            return self.public.range_query(window)
 
     def public_nn_over_public(self, query: Point, k: int = 1) -> list[Hashable]:
         """Classic exact k-NN query on public objects."""
         if k < 1:
             raise QueryError("k must be positive")
         self._count_query("public_over_public_nn")
-        return self.public.nearest(query, k)
+        with self.telemetry.span("server.public_nn_exact", k=k):
+            return self.public.nearest(query, k)
 
     # ------------------------------------------------------------------
     # Continuous queries

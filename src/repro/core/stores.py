@@ -20,7 +20,7 @@ from typing import Iterator
 from repro.core.errors import RegistrationError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.index.base import ItemId
+from repro.index.base import IndexCounters, ItemId
 from repro.index.rtree import RTree
 
 
@@ -85,6 +85,11 @@ class PublicStore:
         """Incremental nearest-first iteration of ``(id, distance)``."""
         return self._rtree.nearest_iter(point)
 
+    @property
+    def index_counters(self) -> IndexCounters:
+        """Cumulative work counters of the backing R-tree (observability)."""
+        return self._rtree.counters
+
     def items(self) -> Iterator[tuple[ItemId, Point]]:
         return iter(self._points.items())
 
@@ -134,6 +139,11 @@ class PrivateStore:
     def overlapping(self, window: Rect) -> list[ItemId]:
         """Objects whose cloaked region intersects ``window``."""
         return self._rtree.range_query(window)
+
+    @property
+    def index_counters(self) -> IndexCounters:
+        """Cumulative work counters of the backing R-tree (observability)."""
+        return self._rtree.counters
 
     def items(self) -> Iterator[tuple[ItemId, Rect]]:
         return iter(self._regions.items())

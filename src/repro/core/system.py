@@ -27,6 +27,7 @@ from repro.core.server import LocationServer
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.mobility.users import MobileUser, UserMode
+from repro.obs import Telemetry
 from repro.queries.private_nn import refine_nn_candidates
 from repro.queries.private_range import exact_range_answer, refine_range_candidates
 
@@ -105,6 +106,10 @@ class PrivacySystem:
         bounds: the universe rectangle.
         cloaker: the anonymizer's cloaking algorithm.
         rotate_pseudonyms: pseudonym policy forwarded to the anonymizer.
+        telemetry: observability sink shared by the whole pipeline.  Each
+            system gets its own :class:`~repro.obs.Telemetry` by default so
+            two systems in one process never mix their metrics; pass one in
+            to aggregate across systems or to start with tracing disabled.
     """
 
     def __init__(
@@ -112,11 +117,16 @@ class PrivacySystem:
         bounds: Rect,
         cloaker: Cloaker | IncrementalCloaker,
         rotate_pseudonyms: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.bounds = bounds
-        self.server = LocationServer()
+        self.obs = telemetry if telemetry is not None else Telemetry()
+        self.server = LocationServer(telemetry=self.obs)
         self.anonymizer = LocationAnonymizer(
-            cloaker, self.server, rotate_pseudonyms=rotate_pseudonyms
+            cloaker,
+            self.server,
+            rotate_pseudonyms=rotate_pseudonyms,
+            telemetry=self.obs,
         )
         self.users: dict[Hashable, MobileUser] = {}
         self.ledger = QoSLedger()
@@ -180,10 +190,14 @@ class PrivacySystem:
         Returns the ledger entry and the refined (true) answer.
         """
         user = self._visible_user(user_id)
-        cloak, result = self.anonymizer.private_range_query(
-            user_id, radius, self.clock, method
-        )
-        refined = refine_range_candidates(self.server.public, result, user.location)
+        with self.obs.span("query.private_range", method=method):
+            cloak, result = self.anonymizer.private_range_query(
+                user_id, radius, self.clock, method
+            )
+            with self.obs.span("client.refine", query="private_range"):
+                refined = refine_range_candidates(
+                    self.server.public, result, user.location
+                )
         truth = exact_range_answer(self.server.public, user.location, radius)
         outcome = RangeQueryOutcome(
             user_id=user_id,
@@ -193,6 +207,7 @@ class PrivacySystem:
             correct=sorted(refined, key=repr) == sorted(truth, key=repr),
         )
         self.ledger.range_outcomes.append(outcome)
+        self.obs.observe("qos.range_overhead", outcome.overhead)
         return outcome, refined
 
     def user_nn_query(
@@ -200,8 +215,14 @@ class PrivacySystem:
     ) -> tuple[NNQueryOutcome, Hashable]:
         """Full pipeline for a private nearest-neighbour query."""
         user = self._visible_user(user_id)
-        cloak, result = self.anonymizer.private_nn_query(user_id, self.clock, method)
-        refined = refine_nn_candidates(self.server.public, result, user.location)
+        with self.obs.span("query.private_nn", method=method):
+            cloak, result = self.anonymizer.private_nn_query(
+                user_id, self.clock, method
+            )
+            with self.obs.span("client.refine", query="private_nn"):
+                refined = refine_nn_candidates(
+                    self.server.public, result, user.location
+                )
         truth = self.server.public.nearest(user.location, k=1)[0]
         outcome = NNQueryOutcome(
             user_id=user_id,
@@ -210,7 +231,34 @@ class PrivacySystem:
             correct=refined == truth,
         )
         self.ledger.nn_outcomes.append(outcome)
+        self.obs.observe("qos.nn_candidates", outcome.candidates)
         return outcome, refined
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def telemetry(self) -> dict:
+        """One pipeline-wide observability snapshot.
+
+        Merges the telemetry sink's view (per-stage latency quantiles,
+        counters, gauges, value histograms) with the structures the sink
+        cannot see from the outside: per-index work counters, the server's
+        operational stats, and the QoS ledger summary.  The result is
+        JSON-serialisable as-is (``repro.obs.export.to_json``).
+        """
+        snapshot = self.obs.snapshot()
+        indexes: dict[str, dict[str, int]] = {
+            "server.public": self.server.public.index_counters.snapshot(),
+            "server.private": self.server.private.index_counters.snapshot(),
+        }
+        cloak_index = self.anonymizer.cloaker.spatial_index()
+        if cloak_index is not None:
+            indexes["anonymizer.cloaker"] = cloak_index.counters.snapshot()
+        snapshot["indexes"] = indexes
+        snapshot["server"] = self.server.stats().as_dict()
+        snapshot["qos"] = self.ledger.summary()
+        return snapshot
 
     # ------------------------------------------------------------------
     # Internals

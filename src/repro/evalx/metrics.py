@@ -31,7 +31,7 @@ def smallest_k_area(cloaker: Cloaker, point: Point, k: int) -> float:
     users; the ratio of an algorithm's area to this is its *relative
     area* (1.0 = as tight as data-dependent cloaking can be).
     """
-    xs, ys = cloaker._arrays()
+    xs, ys = cloaker.snapshot_arrays()
     d2 = (xs - point.x) ** 2 + (ys - point.y) ** 2
     if k >= len(d2):
         idx = np.arange(len(d2))

@@ -1,6 +1,6 @@
 """From-scratch spatial indexes: R-tree, PR quadtree, uniform grid, pyramid."""
 
-from repro.index.base import ItemId, SpatialIndex
+from repro.index.base import IndexCounters, ItemId, SpatialIndex
 from repro.index.grid import GridIndex, square_grid_for_density
 from repro.index.kdtree import KDTree
 from repro.index.pyramid import PyramidGrid
@@ -9,6 +9,7 @@ from repro.index.rtree import RTree
 
 __all__ = [
     "ItemId",
+    "IndexCounters",
     "SpatialIndex",
     "RTree",
     "QuadTree",

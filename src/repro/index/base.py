@@ -10,6 +10,7 @@ regions) of the location-based database server.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import asdict, dataclass
 from typing import Hashable, Iterator
 
 from repro.geometry.point import Point
@@ -18,8 +19,50 @@ from repro.geometry.rect import Rect
 ItemId = Hashable
 
 
+@dataclass
+class IndexCounters:
+    """Cumulative per-index work accounting (observability layer).
+
+    Implementations accumulate into local variables during a query and
+    flush once on return, so the cost is a handful of integer adds per
+    query, not per node.
+
+    Attributes:
+        range_queries / nn_queries: number of queries answered.
+        node_visits: internal structure elements examined (tree nodes,
+            grid cells, pyramid buckets).
+        leaf_scans: stored entries tested against the query predicate.
+        distance_computations: exact point/rect distance evaluations.
+    """
+
+    range_queries: int = 0
+    nn_queries: int = 0
+    node_visits: int = 0
+    leaf_scans: int = 0
+    distance_computations: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return asdict(self)
+
+    def reset(self) -> None:
+        self.range_queries = 0
+        self.nn_queries = 0
+        self.node_visits = 0
+        self.leaf_scans = 0
+        self.distance_computations = 0
+
+
 class SpatialIndex(ABC):
     """Abstract dynamic spatial index over ``(item_id, Rect)`` entries."""
+
+    @property
+    def counters(self) -> IndexCounters:
+        """Work counters, created lazily so subclasses need no super().__init__."""
+        counters = getattr(self, "_obs_counters", None)
+        if counters is None:
+            counters = IndexCounters()
+            self._obs_counters = counters
+        return counters
 
     @abstractmethod
     def insert(self, item_id: ItemId, geom: Rect) -> None:

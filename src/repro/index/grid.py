@@ -118,10 +118,18 @@ class GridIndex(SpatialIndex):
         row_lo = min(int((clipped.min_y - self.bounds.min_y) / self._cell_h), self.rows - 1)
         row_hi = min(int((clipped.max_y - self.bounds.min_y) / self._cell_h), self.rows - 1)
         result: list[ItemId] = []
+        visits = 0
+        scans = 0
         for row in range(row_lo, row_hi + 1):
             for col in range(col_lo, col_hi + 1):
                 cell = self._cells[row * self.cols + col]
+                visits += 1
+                scans += len(cell)
                 result.extend(i for i, p in cell.items() if window.contains_point(p))
+        counters = self.counters
+        counters.range_queries += 1
+        counters.node_visits += visits
+        counters.leaf_scans += scans
         return result
 
     def nearest(self, point: Point, k: int = 1) -> list[ItemId]:
@@ -132,19 +140,27 @@ class GridIndex(SpatialIndex):
             return []
         col, row = self.cell_of(point)
         best: list[tuple[float, ItemId]] = []
+        visits = 0
         max_radius = max(self.cols, self.rows)
         for radius in range(max_radius + 1):
             for c, r in self._ring(col, row, radius):
+                visits += 1
                 for item_id, p in self._cells[r * self.cols + c].items():
                     best.append((point.distance_to(p), item_id))
             if len(best) >= k:
                 # One more ring guards against a closer point just across a
                 # cell border.
                 for c, r in self._ring(col, row, radius + 1):
+                    visits += 1
                     for item_id, p in self._cells[r * self.cols + c].items():
                         best.append((point.distance_to(p), item_id))
                 break
         best.sort(key=lambda pair: pair[0])
+        counters = self.counters
+        counters.nn_queries += 1
+        counters.node_visits += visits
+        counters.leaf_scans += len(best)
+        counters.distance_computations += len(best)
         return [item_id for _, item_id in best[:k]]
 
     def geometry_of(self, item_id: ItemId) -> Rect:

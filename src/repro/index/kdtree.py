@@ -125,11 +125,15 @@ class KDTree(SpatialIndex):
             for i, p in self._buffer.items()
             if window.contains_point(p)
         ]
+        scans = len(self._buffer)
         stack = [self._root]
+        visits = 0
         while stack:
             node = stack.pop()
             if node is None or not node.bbox.intersects(window):
                 continue
+            visits += 1
+            scans += 1
             if (
                 node.item_id not in self._tombstones
                 and node.item_id not in self._buffer
@@ -138,6 +142,10 @@ class KDTree(SpatialIndex):
                 result.append(node.item_id)
             stack.append(node.left)
             stack.append(node.right)
+        counters = self.counters
+        counters.range_queries += 1
+        counters.node_visits += visits
+        counters.leaf_scans += scans
         return result
 
     def nearest(self, point: Point, k: int = 1) -> list[ItemId]:
@@ -145,7 +153,10 @@ class KDTree(SpatialIndex):
             raise ValueError("k must be positive")
         counter = itertools.count()
         heap: list[tuple[float, int, object]] = []
+        visits = 0
+        distances = len(self._buffer)
         if self._root is not None:
+            distances += 1
             heapq.heappush(
                 heap, (min_dist(point, self._root.bbox), next(counter), self._root)
             )
@@ -155,21 +166,29 @@ class KDTree(SpatialIndex):
         while heap and len(result) < k:
             dist, _, element = heapq.heappop(heap)
             if isinstance(element, _KDNode):
+                visits += 1
                 if (
                     element.item_id not in self._tombstones
                     and element.item_id not in self._buffer
                 ):
+                    distances += 1
                     heapq.heappush(
                         heap,
                         (point.distance_to(element.point), next(counter), (element.item_id,)),
                     )
                 for child in (element.left, element.right):
                     if child is not None:
+                        distances += 1
                         heapq.heappush(
                             heap, (min_dist(point, child.bbox), next(counter), child)
                         )
             else:
                 result.append(element[0])
+        counters = self.counters
+        counters.nn_queries += 1
+        counters.node_visits += visits
+        counters.leaf_scans += visits
+        counters.distance_computations += distances
         return result
 
     def geometry_of(self, item_id: ItemId) -> Rect:

@@ -138,13 +138,21 @@ class PyramidGrid(SpatialIndex):
         col_lo, row_lo = self.cell_at(self.height, Point(clipped.min_x, clipped.min_y))
         col_hi, row_hi = self.cell_at(self.height, Point(clipped.max_x, clipped.max_y))
         result: list[ItemId] = []
+        visits = 0
+        scans = 0
         for row in range(row_lo, min(row_hi, side - 1) + 1):
             for col in range(col_lo, min(col_hi, side - 1) + 1):
+                visits += 1
                 bucket = self._buckets.get((col, row))
                 if bucket:
+                    scans += len(bucket)
                     result.extend(
                         i for i, p in bucket.items() if window.contains_point(p)
                     )
+        counters = self.counters
+        counters.range_queries += 1
+        counters.node_visits += visits
+        counters.leaf_scans += scans
         return result
 
     def count_in_window(self, window: Rect) -> int:
@@ -155,6 +163,7 @@ class PyramidGrid(SpatialIndex):
         """
         cell = self.cell_for_rect(window)
         if cell is not None:
+            self.counters.node_visits += 1
             return self.cell_count(*cell)
         return self._count_recursive(0, 0, 0, window)
 
@@ -200,6 +209,9 @@ class PyramidGrid(SpatialIndex):
             radius *= 2.0
         safe = self.range_query(Rect.from_center(point, 4 * radius, 4 * radius))
         ranked = sorted(safe, key=lambda i: point.distance_to(self._locations[i]))
+        counters = self.counters
+        counters.nn_queries += 1
+        counters.distance_computations += len(safe)
         return ranked[:k]
 
     def geometry_of(self, item_id: ItemId) -> Rect:
@@ -224,6 +236,7 @@ class PyramidGrid(SpatialIndex):
             raise ValueError(f"level {level} outside [0, {self.height}]")
 
     def _count_recursive(self, level: int, col: int, row: int, window: Rect) -> int:
+        self.counters.node_visits += 1
         count = self.cell_count(level, col, row)
         if count == 0:
             return 0

@@ -121,32 +121,47 @@ class QuadTree(SpatialIndex):
     def range_query(self, window: Rect) -> list[ItemId]:
         result: list[ItemId] = []
         stack = [self._root]
+        visits = 0
+        scans = 0
         while stack:
             node = stack.pop()
+            visits += 1
             if node.count == 0 or not node.rect.intersects(window):
                 continue
             if node.is_leaf:
+                scans += len(node.points)
                 result.extend(
                     i for i, p in node.points.items() if window.contains_point(p)
                 )
             else:
                 stack.extend(node.children)
+        counters = self.counters
+        counters.range_queries += 1
+        counters.node_visits += visits
+        counters.leaf_scans += scans
         return result
 
     def count_in_window(self, window: Rect) -> int:
         """Count points in ``window``; prunes with whole-node containment."""
         total = 0
         stack = [self._root]
+        visits = 0
+        scans = 0
         while stack:
             node = stack.pop()
+            visits += 1
             if node.count == 0 or not node.rect.intersects(window):
                 continue
             if window.contains_rect(node.rect):
                 total += node.count
             elif node.is_leaf:
+                scans += len(node.points)
                 total += sum(1 for p in node.points.values() if window.contains_point(p))
             else:
                 stack.extend(node.children)
+        counters = self.counters
+        counters.node_visits += visits
+        counters.leaf_scans += scans
         return total
 
     def nearest(self, point: Point, k: int = 1) -> list[ItemId]:
@@ -155,17 +170,24 @@ class QuadTree(SpatialIndex):
         counter = itertools.count()
         heap: list[tuple[float, int, object]] = [(0.0, next(counter), self._root)]
         result: list[ItemId] = []
+        visits = 0
+        scans = 0
+        distances = 0
         while heap and len(result) < k:
             dist, _, element = heapq.heappop(heap)
             if isinstance(element, _QNode):
+                visits += 1
                 if element.count == 0:
                     continue
                 if element.is_leaf:
+                    scans += len(element.points)
+                    distances += len(element.points)
                     for item_id, p in element.points.items():
                         heapq.heappush(
                             heap, (point.distance_to(p), next(counter), (item_id,))
                         )
                 else:
+                    distances += len(element.children)
                     for child in element.children:
                         heapq.heappush(
                             heap,
@@ -173,6 +195,11 @@ class QuadTree(SpatialIndex):
                         )
             else:
                 result.append(element[0])
+        counters = self.counters
+        counters.nn_queries += 1
+        counters.node_visits += visits
+        counters.leaf_scans += scans
+        counters.distance_computations += distances
         return result
 
     def geometry_of(self, item_id: ItemId) -> Rect:

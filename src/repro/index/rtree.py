@@ -115,14 +115,22 @@ class RTree(SpatialIndex):
     def range_query(self, window: Rect) -> list[ItemId]:
         result: list[ItemId] = []
         stack = [self._root]
+        visits = 0
+        scans = 0
         while stack:
             node = stack.pop()
+            visits += 1
             if node.mbr is None or not node.mbr.intersects(window):
                 continue
             if node.leaf:
+                scans += len(node.entries)
                 result.extend(i for i, r in node.entries if r.intersects(window))
             else:
                 stack.extend(node.entries)
+        counters = self.counters
+        counters.range_queries += 1
+        counters.node_visits += visits
+        counters.leaf_scans += scans
         return result
 
     def nearest(self, point: Point, k: int = 1) -> list[ItemId]:
@@ -137,14 +145,20 @@ class RTree(SpatialIndex):
         neighbours until its region-dependent stopping radius is reached
         without committing to a k up front.
         """
+        counters = self.counters
+        counters.nn_queries += 1
         counter = itertools.count()  # tie-breaker: heap never compares nodes
         heap: list[tuple[float, int, object]] = []
         if self._root.mbr is not None:
+            counters.distance_computations += 1
             heapq.heappush(heap, (min_dist(point, self._root.mbr), next(counter), self._root))
         while heap:
             dist, _, element = heapq.heappop(heap)
             if isinstance(element, _Node):
+                counters.node_visits += 1
                 if element.leaf:
+                    counters.leaf_scans += len(element.entries)
+                    counters.distance_computations += len(element.entries)
                     for item_id, rect in element.entries:
                         heapq.heappush(
                             heap, (min_dist(point, rect), next(counter), (item_id,))
@@ -152,6 +166,7 @@ class RTree(SpatialIndex):
                 else:
                     for child in element.entries:
                         if child.mbr is not None:
+                            counters.distance_computations += 1
                             heapq.heappush(
                                 heap, (min_dist(point, child.mbr), next(counter), child)
                             )

@@ -1,0 +1,173 @@
+"""Pipeline-wide observability: metrics, tracing, exporters.
+
+This package makes the paper's privacy/QoS dial *measurable*.  Every
+stage of the Figure 1 architecture — user update, anonymizer admission,
+cloaking, server candidate generation, client refinement, plus the
+public/probabilistic paths — is wrapped in a :func:`Telemetry.span`, and
+the spatial indexes count node visits, leaf scans and distance
+computations per query (see ``docs/observability.md`` for the complete
+span/metric -> paper-stage mapping).
+
+The :class:`Telemetry` facade bundles a :class:`~repro.obs.metrics.
+MetricsRegistry` with a :class:`~repro.obs.trace.Tracer`.  A process
+global (:func:`get_telemetry`) serves components constructed standalone;
+:class:`~repro.core.system.PrivacySystem` builds a private instance per
+system so concurrent systems never mix numbers.  Exporters for JSON,
+Prometheus text format and an ASCII dashboard live in
+:mod:`repro.obs.export` and behind ``python -m repro obs``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_key,
+)
+from repro.obs.trace import SPAN_METRIC, SpanRecord, Tracer
+
+
+class Telemetry:
+    """One registry + one tracer: the unit of observability injection.
+
+    Args:
+        enabled: whether spans are recorded; metrics counters always work
+            (they are integer adds, cheaper than the spans they'd gate).
+        keep: completed-span ring-buffer size.
+    """
+
+    def __init__(self, enabled: bool = True, keep: int = 512) -> None:
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer(self.registry, enabled=enabled, keep=keep)
+        # Bind the tracer's span() straight onto the instance: one method
+        # call instead of two on the hottest path in the package.
+        self.span = self.tracer.span
+
+    # ------------------------------------------------------------------
+    # Hot-path API
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """Time one stage; no-op fast path when tracing is disabled."""
+        return self.tracer.span(name, **attrs)
+
+    def count(self, name: str, amount: int = 1, **labels: object) -> None:
+        """Increment counter ``name`` (created on first use)."""
+        self.registry.counter(name, **labels).inc(amount)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record ``value`` into histogram ``name``."""
+        self.registry.histogram(name, **labels).observe(value)
+
+    def set_gauge(self, name: str, value: float, **labels: object) -> None:
+        self.registry.gauge(name, **labels).set(value)
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled
+
+    def enable(self) -> None:
+        self.tracer.enable()
+
+    def disable(self) -> None:
+        self.tracer.disable()
+
+    def reset(self) -> None:
+        self.registry.reset()
+        self.tracer.reset()
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+
+    def stage_latencies(self) -> dict[str, dict[str, float]]:
+        """Per-span-name latency summaries (count, mean, p50/p95/p99, ms)."""
+        stages: dict[str, dict[str, float]] = {}
+        for (name, labels), hist in self.registry.histograms():
+            if name != SPAN_METRIC:
+                continue
+            label_map = dict(labels)
+            span_name = label_map.get("span")
+            if span_name is None:
+                continue
+            stages[span_name] = {
+                "count": hist.count,
+                "total_ms": hist.total,
+                "mean_ms": hist.mean,
+                "p50_ms": hist.quantile(0.50),
+                "p95_ms": hist.quantile(0.95),
+                "p99_ms": hist.quantile(0.99),
+                "max_ms": hist.max,
+            }
+        return dict(sorted(stages.items()))
+
+    def snapshot(self) -> dict[str, object]:
+        """Plain-data snapshot: stages + raw metrics, JSON-serialisable."""
+        raw = self.registry.snapshot()
+        histograms = {
+            key: value
+            for key, value in raw["histograms"].items()
+            if not key.startswith(SPAN_METRIC + "{")
+        }
+        return {
+            "enabled": self.enabled,
+            "stages": self.stage_latencies(),
+            "counters": raw["counters"],
+            "gauges": raw["gauges"],
+            "histograms": histograms,
+        }
+
+
+_GLOBAL = Telemetry()
+
+
+def get_telemetry() -> Telemetry:
+    """The process-global telemetry used by standalone components."""
+    return _GLOBAL
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Swap the process-global telemetry; returns the previous one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = telemetry
+    return previous
+
+
+def span(name: str, **attrs: object):
+    """Span on the process-global telemetry (module-level convenience)."""
+    return _GLOBAL.span(name, **attrs)
+
+
+def enable_tracing() -> None:
+    _GLOBAL.enable()
+
+
+def disable_tracing() -> None:
+    _GLOBAL.disable()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "SPAN_METRIC",
+    "SpanRecord",
+    "Tracer",
+    "Telemetry",
+    "get_telemetry",
+    "set_telemetry",
+    "span",
+    "enable_tracing",
+    "disable_tracing",
+    "render_key",
+]

@@ -1,0 +1,189 @@
+"""Exporters for telemetry snapshots: JSON, Prometheus text, ASCII.
+
+All three exporters consume the plain-data snapshot shape produced by
+:meth:`repro.obs.Telemetry.snapshot` /
+:meth:`repro.core.system.PrivacySystem.telemetry` — a dict with optional
+sections ``stages``, ``counters``, ``gauges``, ``histograms``,
+``indexes``, ``server`` and ``qos`` — so a snapshot can be serialised,
+shipped, and re-rendered anywhere without the live objects.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Mapping
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABELLED_RE = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+
+
+def to_json(snapshot: Mapping[str, object], indent: int | None = 2) -> str:
+    """The snapshot as a JSON document (machine-readable baseline)."""
+    return json.dumps(snapshot, indent=indent, sort_keys=True)
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition format
+# ----------------------------------------------------------------------
+
+def _prom_name(name: str) -> str:
+    return _NAME_RE.sub("_", name.strip())
+
+
+def _split_rendered(key: str) -> tuple[str, dict[str, str]]:
+    """Undo :func:`repro.obs.metrics.render_key`: ``name{k=v}`` -> parts."""
+    match = _LABELLED_RE.match(key)
+    if match is None:
+        return key, {}
+    labels: dict[str, str] = {}
+    for pair in match.group("labels").split(","):
+        if "=" in pair:
+            k, v = pair.split("=", 1)
+            labels[k] = v
+    return match.group("name"), labels
+
+
+def _prom_labels(labels: Mapping[str, object]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{_prom_name(str(k))}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def to_prometheus(snapshot: Mapping[str, object], prefix: str = "repro") -> str:
+    """Prometheus text exposition of the snapshot.
+
+    Counters and gauges map directly; stage latencies and histograms are
+    emitted as summaries (``quantile`` label plus ``_count``/``_sum``).
+    """
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def emit(name: str, labels: Mapping[str, object], value: float) -> None:
+        lines.append(f"{name}{_prom_labels(labels)} {value}")
+
+    def declare(metric: str, kind: str) -> None:
+        # One TYPE line per metric family, even across labelled samples.
+        if metric not in typed:
+            typed.add(metric)
+            lines.append(f"# TYPE {metric} {kind}")
+
+    for key, value in dict(snapshot.get("counters", {})).items():
+        name, labels = _split_rendered(key)
+        metric = f"{prefix}_{_prom_name(name)}_total"
+        declare(metric, "counter")
+        emit(metric, labels, value)
+
+    for key, value in dict(snapshot.get("gauges", {})).items():
+        name, labels = _split_rendered(key)
+        metric = f"{prefix}_{_prom_name(name)}"
+        declare(metric, "gauge")
+        emit(metric, labels, value)
+
+    stage_metric = f"{prefix}_stage_latency_ms"
+    stages = dict(snapshot.get("stages", {}))
+    if stages:
+        declare(stage_metric, "summary")
+    for stage, summary in stages.items():
+        labels = {"span": stage}
+        for quantile, field_name in (("0.5", "p50_ms"), ("0.95", "p95_ms"), ("0.99", "p99_ms")):
+            emit(stage_metric, {**labels, "quantile": quantile}, summary[field_name])
+        emit(f"{stage_metric}_count", labels, summary["count"])
+        emit(f"{stage_metric}_sum", labels, summary["total_ms"])
+
+    for key, summary in dict(snapshot.get("histograms", {})).items():
+        name, labels = _split_rendered(key)
+        metric = f"{prefix}_{_prom_name(name)}"
+        declare(metric, "summary")
+        for quantile, field_name in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            emit(metric, {**labels, "quantile": quantile}, summary[field_name])
+        emit(f"{metric}_count", labels, summary["count"])
+        emit(f"{metric}_sum", labels, summary["sum"])
+
+    for index_name, counters in dict(snapshot.get("indexes", {})).items():
+        for counter_name, value in counters.items():
+            metric = f"{prefix}_index_{_prom_name(counter_name)}_total"
+            declare(metric, "counter")
+            emit(metric, {"index": index_name}, value)
+
+    for stat_name, value in dict(snapshot.get("server", {})).items():
+        if isinstance(value, (int, float)):
+            metric = f"{prefix}_server_{_prom_name(stat_name)}"
+            declare(metric, "gauge")
+            emit(metric, {}, value)
+
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# ASCII dashboard
+# ----------------------------------------------------------------------
+
+def _bar(value: float, scale: float, width: int = 24) -> str:
+    if scale <= 0:
+        return ""
+    filled = int(round(width * min(1.0, value / scale)))
+    return "#" * filled
+
+
+def render_dashboard(snapshot: Mapping[str, object], width: int = 78) -> str:
+    """A terminal dashboard of the snapshot (stages, indexes, counters)."""
+    out: list[str] = []
+
+    def rule(title: str) -> None:
+        out.append(f"== {title} " + "=" * max(0, width - len(title) - 4))
+
+    stages = dict(snapshot.get("stages", {}))
+    if stages:
+        rule("pipeline stages (wall-clock, ms)")
+        scale = max(s["p95_ms"] for s in stages.values()) or 1.0
+        name_w = max(len(n) for n in stages)
+        for name, s in stages.items():
+            out.append(
+                f"{name:<{name_w}}  n={int(s['count']):>6}  "
+                f"p50={s['p50_ms']:>8.3f}  p95={s['p95_ms']:>8.3f}  "
+                f"p99={s['p99_ms']:>8.3f}  {_bar(s['p95_ms'], scale)}"
+            )
+
+    indexes = dict(snapshot.get("indexes", {}))
+    if indexes:
+        rule("index work (cumulative)")
+        name_w = max(len(n) for n in indexes)
+        for name, counters in indexes.items():
+            parts = "  ".join(f"{k}={v}" for k, v in counters.items() if v)
+            out.append(f"{name:<{name_w}}  {parts or '(idle)'}")
+
+    histograms = dict(snapshot.get("histograms", {}))
+    if histograms:
+        rule("distributions")
+        name_w = max(len(n) for n in histograms)
+        for name, s in histograms.items():
+            out.append(
+                f"{name:<{name_w}}  n={int(s['count']):>6}  mean={s['mean']:>9.2f}  "
+                f"p50={s['p50']:>9.2f}  p95={s['p95']:>9.2f}  p99={s['p99']:>9.2f}"
+            )
+
+    counters = dict(snapshot.get("counters", {}))
+    gauges = dict(snapshot.get("gauges", {}))
+    if counters or gauges:
+        rule("counters and gauges")
+        for name, value in {**counters, **gauges}.items():
+            out.append(f"{name} = {value}")
+
+    server = dict(snapshot.get("server", {}))
+    if server:
+        rule("server")
+        for name, value in server.items():
+            out.append(f"{name} = {value}")
+
+    qos = dict(snapshot.get("qos", {}))
+    if qos:
+        rule("quality of service")
+        for name, value in qos.items():
+            formatted = f"{value:.4g}" if isinstance(value, float) else str(value)
+            out.append(f"{name} = {formatted}")
+
+    if not out:
+        out.append("(no telemetry recorded)")
+    return "\n".join(out)

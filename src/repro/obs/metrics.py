@@ -1,0 +1,235 @@
+"""Dependency-free metrics primitives: counters, gauges, histograms.
+
+The registry is the numeric half of the observability layer (the other
+half, wall-clock span tracing, lives in :mod:`repro.obs.trace`).  Design
+constraints, in order:
+
+1. no third-party dependencies — histograms estimate quantiles from
+   fixed geometric buckets instead of keeping samples;
+2. cheap enough to leave on in production paths — an increment is a dict
+   lookup plus an integer add;
+3. usable both as a process-global (``repro.obs.get_telemetry()``) and as
+   an injected per-system instance, so two :class:`~repro.core.system.
+   PrivacySystem` instances never mix their numbers.
+
+Metric identity is ``(name, labels)``; labels are free-form keyword
+arguments (``registry.counter("queries", kind="private_range")``).
+Creation is lock-guarded; updates rely on the GIL (single bytecode-level
+races can at worst drop an increment, never corrupt state).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Iterator, Mapping
+
+#: Geometric bucket ladder (powers of two from 1/1024 up to ~2 million).
+#: One ladder serves both latency-in-milliseconds and candidate-count
+#: histograms: relative resolution is a constant factor of 2 everywhere.
+DEFAULT_BUCKETS: tuple[float, ...] = tuple(2.0**e for e in range(-10, 22))
+
+MetricKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _key(name: str, labels: Mapping[str, object]) -> MetricKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_key(key: MetricKey) -> str:
+    """Flat display form: ``name{k=v,...}`` (plain ``name`` when unlabelled)."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A float that can move in both directions (population sizes, ratios)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantile estimates.
+
+    Observations land in geometric buckets; a quantile is reconstructed
+    by linear interpolation inside the bucket holding the target rank and
+    clamped to the observed ``[min, max]``.  With the default powers-of-two
+    ladder the estimate is within a factor of 2 of the true quantile, and
+    far closer in practice because the endpoints are exact.
+    """
+
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "_min", "_max")
+
+    def __init__(self, buckets: tuple[float, ...] | None = None) -> None:
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError("bucket bounds must be strictly increasing")
+        if not bounds:
+            raise ValueError("at least one bucket bound is required")
+        self.bounds = bounds
+        # One slot per bound (values <= bound) plus a final overflow slot.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile of everything observed so far."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            if cumulative + bucket_count >= rank:
+                lo = self.bounds[i - 1] if i >= 1 else self._min
+                hi = self.bounds[i] if i < len(self.bounds) else self._max
+                lo = max(lo, self._min)
+                hi = min(hi, self._max)
+                if hi <= lo:
+                    return lo
+                fraction = (rank - cumulative) / bucket_count
+                return lo + fraction * (hi - lo)
+            cumulative += bucket_count
+        return self._max  # pragma: no cover - rank <= count by construction
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Named, labelled counters/gauges/histograms with a flat snapshot."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[MetricKey, Counter] = {}
+        self._gauges: dict[MetricKey, Gauge] = {}
+        self._histograms: dict[MetricKey, Histogram] = {}
+
+    # ------------------------------------------------------------------
+    # Metric accessors (create on first use)
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = _key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._counters.setdefault(key, Counter())
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = _key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._gauges.setdefault(key, Gauge())
+        return metric
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] | None = None, **labels: object
+    ) -> Histogram:
+        key = _key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            with self._lock:
+                metric = self._histograms.setdefault(key, Histogram(buckets))
+        return metric
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counters(self) -> Iterator[tuple[MetricKey, Counter]]:
+        return iter(list(self._counters.items()))
+
+    def gauges(self) -> Iterator[tuple[MetricKey, Gauge]]:
+        return iter(list(self._gauges.items()))
+
+    def histograms(self) -> Iterator[tuple[MetricKey, Histogram]]:
+        return iter(list(self._histograms.items()))
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Plain-data snapshot: rendered metric name -> value(s)."""
+        return {
+            "counters": {
+                render_key(k): c.value for k, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                render_key(k): g.value for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                render_key(k): h.snapshot()
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Drop every metric (fresh registry semantics, same identity)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()

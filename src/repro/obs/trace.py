@@ -1,0 +1,171 @@
+"""Span-based wall-clock tracing for the private-query pipeline.
+
+A *span* wraps one pipeline stage in a context manager::
+
+    with tracer.span("anonymizer.cloak", algo="pyramid"):
+        result = cloaker.cloak(user, requirement)
+
+On exit the span's duration lands in a per-stage histogram
+(``span_ms{span=anonymizer.cloak}``) and a completed-span record — name,
+dotted path, attributes, depth, duration — joins a bounded ring buffer
+for dashboards.  Spans nest naturally: entering a span while another is
+active records the child with a ``parent/child`` path.
+
+Disabled tracing is a hard no-op fast path: ``span()`` returns a shared
+singleton whose ``__enter__``/``__exit__`` do nothing, so instrumented
+code pays one attribute check per stage and nothing else.  The overhead
+test in ``tests/unit/test_obs_overhead.py`` holds this to < 5 % on a
+10k-query microloop.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Iterator
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Histogram name under which every span duration is recorded.
+SPAN_METRIC = "span_ms"
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One completed span.
+
+    Attributes:
+        name: the stage name (``"server.private_range"``).
+        path: slash-joined ancestry (``"query.private_range/server.private_range"``).
+        depth: 0 for root spans, 1 for their children, ...
+        duration_ms: wall-clock time between enter and exit.
+        attrs: the keyword attributes passed to :meth:`Tracer.span`.
+    """
+
+    name: str
+    path: str
+    depth: int
+    duration_ms: float
+    attrs: dict[str, object] = field(default_factory=dict)
+
+
+class _NoopSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def annotate(self, **attrs: object) -> None:
+        """Accept and drop attributes (API parity with live spans)."""
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+class _LiveSpan:
+    """An active span; created only when tracing is enabled."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, object]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._start = 0.0
+
+    def annotate(self, **attrs: object) -> None:
+        """Attach attributes discovered mid-span (e.g. result sizes)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        self._tracer._stack.append(self.name)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        duration_ms = (perf_counter() - self._start) * 1000.0
+        stack = self._tracer._stack
+        path = "/".join(stack)
+        depth = len(stack) - 1
+        stack.pop()
+        self._tracer._record(self, path, depth, duration_ms)
+        return False
+
+
+class Tracer:
+    """Produces spans and aggregates their durations into a registry.
+
+    Args:
+        registry: destination for per-span histograms; a private registry
+            is created when omitted.
+        enabled: start enabled (the default) or dark.
+        keep: ring-buffer capacity for completed :class:`SpanRecord` s.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        enabled: bool = True,
+        keep: int = 512,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.enabled = enabled
+        self._stack: list[str] = []
+        self._recent: deque[SpanRecord] = deque(maxlen=keep)
+
+    # ------------------------------------------------------------------
+    # The one hot entry point
+    # ------------------------------------------------------------------
+
+    def span(self, name: str, **attrs: object):
+        """A context manager timing one pipeline stage.
+
+        When tracing is disabled this returns a shared no-op object — the
+        fast path is a single attribute check.
+        """
+        if not self.enabled:
+            return _NOOP_SPAN
+        return _LiveSpan(self, name, attrs)
+
+    # ------------------------------------------------------------------
+    # Control and introspection
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def spans(self) -> Iterator[SpanRecord]:
+        """Completed spans, oldest first (bounded by ``keep``)."""
+        return iter(list(self._recent))
+
+    def reset(self) -> None:
+        """Forget recorded spans (metrics live in the registry)."""
+        self._recent.clear()
+        self._stack.clear()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _record(
+        self, span: _LiveSpan, path: str, depth: int, duration_ms: float
+    ) -> None:
+        self.registry.histogram(SPAN_METRIC, span=span.name).observe(duration_ms)
+        self._recent.append(
+            SpanRecord(
+                name=span.name,
+                path=path,
+                depth=depth,
+                duration_ms=duration_ms,
+                attrs=span.attrs,
+            )
+        )

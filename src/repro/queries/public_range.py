@@ -23,15 +23,29 @@ from repro.geometry.rect import Rect
 from repro.queries.probabilistic import CountAnswer
 
 
+def _axis_fraction(lo: float, hi: float, window_lo: float, window_hi: float) -> float:
+    """Fraction of the uniform mass on [lo, hi] falling inside the window.
+
+    A zero-length side is an exact coordinate: fraction is 0 or 1 by
+    (inclusive) containment.
+    """
+    if hi == lo:
+        return 1.0 if window_lo <= lo <= window_hi else 0.0
+    overlap = min(hi, window_hi) - max(lo, window_lo)
+    return min(1.0, max(0.0, overlap) / (hi - lo))
+
+
 def membership_probability(region: Rect, window: Rect) -> float:
     """P(an object uniform in ``region`` lies inside ``window``).
 
-    Degenerate (zero-area) regions are exact locations: probability is 0
-    or 1 by containment.
+    Computed per axis and multiplied, which (a) equals the area ratio for
+    proper rectangles, (b) treats regions degenerate in one axis as the
+    1-D uniform segments they are (the area ratio would be 0/0), and (c)
+    survives denormal sides whose area product underflows to zero.
     """
-    if region.area == 0.0:
-        return 1.0 if window.contains_point(region.center) else 0.0
-    return region.intersection_area(window) / region.area
+    return _axis_fraction(
+        region.min_x, region.max_x, window.min_x, window.max_x
+    ) * _axis_fraction(region.min_y, region.max_y, window.min_y, window.max_y)
 
 
 def public_range_count(store: PrivateStore, window: Rect) -> CountAnswer:

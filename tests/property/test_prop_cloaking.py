@@ -61,6 +61,11 @@ def test_cloak_area_monotone_in_k(raw_points, data):
     k_large = data.draw(st.integers(min_value=k_small, max_value=len(points)))
     for factory in CLOAKER_FACTORIES:
         cloaker = factory()
+        if isinstance(cloaker, HilbertCloaker):
+            # Hilbert buckets re-partition with k: a larger k can land the
+            # user in a tighter bucket, so area monotonicity does not hold
+            # (and cannot be forced without breaking reciprocity).
+            continue
         for i, p in points.items():
             cloaker.add_user(i, p)
         small = cloaker.cloak(victim, PrivacyRequirement(k=k_small)).area

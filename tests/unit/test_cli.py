@@ -33,6 +33,10 @@ class TestHelpers:
         with pytest.raises(SystemExit, match="unknown experiment"):
             _run_ids(["E99"])
 
+    def test_unknown_experiment_message_lists_choices(self):
+        with pytest.raises(SystemExit, match="E1.*E14.*'all'"):
+            main(["experiments", "E99"])
+
     def test_registry_covers_e1_to_e14(self):
         assert set(EXPERIMENTS) == {f"E{i}" for i in range(1, 15)}
 
@@ -65,3 +69,33 @@ class TestCommands:
         content = target.read_text()
         assert "| time | k |" in content or "| time" in content
         assert "Figure 2" in content
+
+
+class TestObsCommand:
+    ARGS = ["obs", "--users", "40", "--queries", "4"]
+
+    def test_json_round_trips(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["server"]["queries_private_range"] == 4
+        assert "query.private_range" in snapshot["stages"]
+        stage = snapshot["stages"]["query.private_range"]
+        assert stage["p50_ms"] <= stage["p95_ms"] <= stage["p99_ms"]
+        assert snapshot["indexes"]["server.public"]["nn_queries"] >= 4
+
+    def test_dashboard_default(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "pipeline stages" in out
+        assert "anonymizer.cloak" in out
+
+    def test_prometheus_format(self, capsys):
+        assert main([*self.ARGS, "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_server_queries_total counter" in out
+
+    def test_json_and_prometheus_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "--json", "--prometheus"])

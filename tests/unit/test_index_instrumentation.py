@@ -1,0 +1,98 @@
+"""Per-query work counters on every spatial index (repro.index.*).
+
+Each index accumulates node visits, leaf scans and distance computations
+locally during a query and flushes once at the end, so the counters cost
+a handful of integer adds per query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.index import IndexCounters
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.pyramid import PyramidGrid
+from repro.index.quadtree import QuadTree
+from repro.index.rtree import RTree
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+FACTORIES = {
+    "rtree": RTree,
+    "grid": lambda: GridIndex(BOUNDS, cols=16),
+    "quadtree": lambda: QuadTree(BOUNDS),
+    "kdtree": KDTree,
+    "pyramid": lambda: PyramidGrid(BOUNDS, height=5),
+}
+
+
+@pytest.fixture(params=list(FACTORIES), ids=list(FACTORIES))
+def index(request):
+    return FACTORIES[request.param]()
+
+
+def _populated(index, n=60, seed=3):
+    rng = np.random.default_rng(seed)
+    for i in range(n):
+        x, y = rng.uniform(0, 100, 2)
+        index.insert_point(i, Point(float(x), float(y)))
+    return index
+
+
+class TestCountersDataclass:
+    def test_snapshot_and_reset(self):
+        counters = IndexCounters()
+        counters.node_visits += 3
+        counters.range_queries += 1
+        snap = counters.snapshot()
+        assert snap["node_visits"] == 3
+        assert snap["range_queries"] == 1
+        counters.reset()
+        assert all(v == 0 for v in counters.snapshot().values())
+
+    def test_lazy_creation_on_index(self):
+        tree = RTree()
+        assert isinstance(tree.counters, IndexCounters)
+        assert tree.counters is tree.counters
+
+
+class TestRangeInstrumentation:
+    def test_range_query_counts_work(self, index):
+        _populated(index)
+        before = dict(index.counters.snapshot())
+        index.range_query(Rect(10, 10, 60, 60))
+        after = index.counters.snapshot()
+        assert after["range_queries"] == before["range_queries"] + 1
+        assert after["node_visits"] > before["node_visits"]
+
+    def test_counts_accumulate_across_queries(self, index):
+        _populated(index)
+        index.range_query(Rect(0, 0, 50, 50))
+        once = index.counters.snapshot()["node_visits"]
+        index.range_query(Rect(0, 0, 50, 50))
+        assert index.counters.snapshot()["node_visits"] == 2 * once
+        assert index.counters.snapshot()["range_queries"] == 2
+
+
+class TestNNInstrumentation:
+    def test_nearest_counts_distance_computations(self, index):
+        _populated(index)
+        before = dict(index.counters.snapshot())
+        result = index.nearest(Point(50, 50), k=3)
+        assert len(result) == 3
+        after = index.counters.snapshot()
+        assert after["nn_queries"] == before["nn_queries"] + 1
+        assert after["distance_computations"] > before["distance_computations"]
+
+
+class TestInstrumentationDoesNotChangeAnswers:
+    def test_results_identical_across_indexes(self):
+        window = Rect(20, 20, 70, 70)
+        answers = [
+            sorted(_populated(make()).range_query(window))
+            for make in FACTORIES.values()
+        ]
+        assert all(a == answers[0] for a in answers)
+        assert answers[0]  # non-empty window

@@ -1,0 +1,125 @@
+"""Exporters (repro.obs.export) and the PrivacySystem.telemetry() snapshot."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker, Telemetry
+from repro.geometry import Point, Rect
+from repro.obs.export import render_dashboard, to_json, to_prometheus
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = np.random.default_rng(11)
+    bounds = Rect(0, 0, 100, 100)
+    sys_ = PrivacySystem(bounds, PyramidCloaker(bounds, height=5))
+    for j in range(10):
+        x, y = rng.uniform(0, 100, 2)
+        sys_.add_poi(f"poi-{j}", Point(float(x), float(y)))
+    for i in range(60):
+        x, y = rng.uniform(0, 100, 2)
+        sys_.add_user(
+            MobileUser(i, Point(float(x), float(y)), PrivacyProfile.always(k=5))
+        )
+    sys_.publish_all()
+    for i in range(5):
+        sys_.user_range_query(i, radius=15.0)
+        sys_.user_nn_query(i)
+    sys_.server.public_count(Rect(10, 10, 90, 90))
+    return sys_
+
+
+class TestSystemTelemetry:
+    def test_sections_present(self, system):
+        snap = system.telemetry()
+        assert set(snap) >= {
+            "enabled", "stages", "counters", "gauges",
+            "histograms", "indexes", "server", "qos",
+        }
+
+    def test_pipeline_stages_have_quantiles(self, system):
+        stages = system.telemetry()["stages"]
+        for stage in (
+            "anonymizer.cloak",
+            "server.private_range",
+            "server.private_nn",
+            "client.refine",
+            "query.private_range",
+            "query.private_nn",
+        ):
+            assert stage in stages, f"missing stage {stage}"
+            summary = stages[stage]
+            assert summary["count"] >= 5
+            assert 0 <= summary["p50_ms"] <= summary["p95_ms"] <= summary["p99_ms"]
+
+    def test_index_visit_counters(self, system):
+        indexes = system.telemetry()["indexes"]
+        assert indexes["server.public"]["nn_queries"] >= 5
+        assert indexes["server.public"]["node_visits"] > 0
+        assert indexes["server.private"]["range_queries"] >= 1
+        # The pyramid cloaker exposes its backing index too.
+        assert indexes["anonymizer.cloaker"]["node_visits"] > 0
+
+    def test_server_and_qos_sections(self, system):
+        snap = system.telemetry()
+        assert snap["server"]["queries_private_range"] >= 5
+        assert all(isinstance(v, int) for v in snap["server"].values())
+        assert snap["qos"]["range_accuracy"] == 1.0
+
+    def test_snapshot_is_json_serialisable(self, system):
+        round_tripped = json.loads(to_json(system.telemetry()))
+        assert round_tripped["server"]["public_objects"] == 10
+
+    def test_per_system_isolation(self):
+        bounds = Rect(0, 0, 10, 10)
+        a = PrivacySystem(bounds, PyramidCloaker(bounds, height=3))
+        b = PrivacySystem(bounds, PyramidCloaker(bounds, height=3))
+        a.add_user(MobileUser("u", Point(5, 5), PrivacyProfile.always(k=1)))
+        a.publish_all()
+        assert a.telemetry()["stages"]
+        assert not b.telemetry()["stages"]
+
+    def test_injected_telemetry_is_used(self):
+        bounds = Rect(0, 0, 10, 10)
+        obs = Telemetry(enabled=False)
+        system = PrivacySystem(bounds, PyramidCloaker(bounds, height=3), telemetry=obs)
+        system.add_user(MobileUser("u", Point(5, 5), PrivacyProfile.always(k=1)))
+        system.publish_all()
+        assert system.obs is obs
+        assert system.telemetry()["stages"] == {}  # tracing was off
+
+
+class TestPrometheus:
+    def test_exposition_format(self, system):
+        text = to_prometheus(system.telemetry())
+        assert "# TYPE repro_server_queries_total counter" in text
+        assert 'repro_server_queries_total{kind="private_nn"} ' in text
+        assert 'repro_stage_latency_ms{quantile="0.95",span="query.private_nn"}' in text
+        assert 'repro_index_node_visits_total{index="server.public"}' in text
+
+    def test_type_lines_unique(self, system):
+        lines = to_prometheus(system.telemetry()).splitlines()
+        type_lines = [l for l in lines if l.startswith("# TYPE ")]
+        assert len(type_lines) == len(set(type_lines))
+
+    def test_sample_lines_parse(self, system):
+        for line in to_prometheus(system.telemetry()).splitlines():
+            if line.startswith("#") or not line:
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample ends in a number
+            assert name_part.startswith("repro_")
+
+
+class TestDashboard:
+    def test_sections_render(self, system):
+        text = render_dashboard(system.telemetry())
+        assert "pipeline stages" in text
+        assert "index work" in text
+        assert "quality of service" in text
+        assert "query.private_nn" in text
+
+    def test_empty_snapshot(self):
+        assert "no telemetry" in render_dashboard({})

@@ -1,0 +1,122 @@
+"""Unit tests for the dependency-free metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_key,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_rejects_negative_increment(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_value_stays_int(self):
+        c = Counter()
+        c.inc(3)
+        assert isinstance(c.value, int)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(10.0)
+        g.inc(2.5)
+        g.dec(0.5)
+        assert g.value == pytest.approx(12.0)
+
+
+class TestHistogram:
+    def test_empty_snapshot(self):
+        h = Histogram()
+        snap = h.snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] == 0.0
+
+    def test_single_value_quantiles_collapse(self):
+        h = Histogram()
+        h.observe(7.0)
+        assert h.quantile(0.5) == pytest.approx(7.0)
+        assert h.quantile(0.99) == pytest.approx(7.0)
+        assert h.min == 7.0 and h.max == 7.0
+
+    def test_quantiles_are_ordered_and_bounded(self):
+        h = Histogram()
+        for v in range(1, 1001):
+            h.observe(float(v))
+        p50, p95, p99 = h.quantile(0.5), h.quantile(0.95), h.quantile(0.99)
+        assert h.min <= p50 <= p95 <= p99 <= h.max
+        # Geometric buckets give coarse but sane estimates.
+        assert 300 <= p50 <= 700
+        assert p99 >= 900 * 0.5
+
+    def test_mean_is_exact(self):
+        h = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.mean == pytest.approx(2.5)
+        assert h.count == 4
+
+    def test_values_beyond_bucket_range_are_captured(self):
+        h = Histogram()
+        h.observe(0.0)
+        h.observe(10.0**9)
+        assert h.count == 2
+        assert h.max == pytest.approx(10.0**9)
+
+    def test_default_buckets_monotone(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestRegistry:
+    def test_same_name_and_labels_is_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", kind="nn")
+        b = reg.counter("hits", kind="nn")
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", kind="nn").inc()
+        reg.counter("hits", kind="range").inc(2)
+        snap = reg.snapshot()
+        assert snap["counters"]["hits{kind=nn}"] == 1
+        assert snap["counters"]["hits{kind=range}"] == 2
+
+    def test_label_order_is_canonical(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1, b=2) is reg.counter("x", b=2, a=1)
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h").observe(3.0)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["histograms"]["h"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_render_key_plain_and_labelled(self):
+        assert render_key(("name", ())) == "name"
+        assert render_key(("name", (("a", "1"), ("b", "2")))) == "name{a=1,b=2}"

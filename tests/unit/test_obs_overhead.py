@@ -1,0 +1,84 @@
+"""Disabled tracing must be (close to) free on the query hot path.
+
+The acceptance bar for the observability layer: wrapping a 10k-query
+microloop in disabled-telemetry spans adds < 5 % over the same loop with
+no telemetry calls at all.  The fast path is a single ``enabled`` check
+returning a shared no-op span, so the real cost per query is three
+attribute lookups and two no-op calls — far below the bar for any query
+that does actual index work.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.geometry import Point, Rect
+from repro.index.rtree import RTree
+from repro.obs import Telemetry
+
+QUERIES = 10_000
+REPEATS = 5
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """An R-tree of 2000 points plus the 10k query windows to run.
+
+    Each query does tens of microseconds of real index work, so the
+    fixed ~hundreds-of-ns cost of a disabled span is well under the 5 %
+    bar even on a noisy machine.
+    """
+    rng = np.random.default_rng(7)
+    tree = RTree()
+    for i in range(2000):
+        x, y = rng.uniform(0, 100, 2)
+        tree.insert_point(i, Point(float(x), float(y)))
+    windows = []
+    for _ in range(QUERIES):
+        x, y = rng.uniform(0, 80, 2)
+        windows.append(Rect(float(x), float(y), float(x) + 20.0, float(y) + 20.0))
+    return tree, windows
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def test_disabled_tracing_overhead_under_5_percent(workload):
+    """Per-query span cost must be < 5 % of the per-query work itself.
+
+    Comparing two full end-to-end wall times head-to-head needs the
+    clock to sit still to within 5 % for ~a second, which shared CI
+    machines do not guarantee.  Measuring the two per-iteration costs
+    separately (each best-of-N) and comparing them asserts the same
+    bound with a ~6x noise margin: a disabled span costs hundreds of
+    nanoseconds, a real query tens of microseconds.
+    """
+    tree, windows = workload
+    obs = Telemetry(enabled=False)
+
+    def queries():
+        for window in windows:
+            tree.range_query(window)
+
+    def spans_only():
+        for _ in range(QUERIES):
+            with obs.span("query"):
+                pass
+
+    # Warm both paths (bytecode caches, lazy attribute creation).
+    queries()
+    spans_only()
+    query_cost = min(_timed(queries) for _ in range(REPEATS)) / QUERIES
+    span_cost = min(_timed(spans_only) for _ in range(REPEATS)) / QUERIES
+    overhead = span_cost / query_cost
+    assert overhead < 0.05, (
+        f"disabled span costs {span_cost * 1e9:.0f}ns = "
+        f"{overhead * 100:.2f}% of a {query_cost * 1e6:.1f}us query"
+    )
+    # And it really was dark: nothing recorded anywhere.
+    assert list(obs.tracer.spans()) == []
+    assert obs.snapshot()["stages"] == {}

@@ -1,0 +1,119 @@
+"""Unit tests for span tracing (repro.obs.trace) and the Telemetry facade."""
+
+import time
+
+from repro.obs import SPAN_METRIC, Telemetry
+from repro.obs.trace import Tracer, _NOOP_SPAN
+
+
+class TestTracer:
+    def test_span_records_duration(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            time.sleep(0.001)
+        (record,) = tracer.spans()
+        assert record.name == "work"
+        assert record.duration_ms >= 1.0
+        assert record.depth == 0
+        assert record.path == "work"
+
+    def test_nested_spans_build_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        records = list(tracer.spans())
+        # Children complete (and record) before their parents.
+        assert [r.name for r in records] == ["inner", "outer"]
+        inner, outer = records
+        assert inner.path == "outer/inner"
+        assert inner.depth == 1
+        assert outer.depth == 0
+
+    def test_span_durations_feed_histogram(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("stage"):
+                pass
+        hist = tracer.registry.histogram(SPAN_METRIC, span="stage")
+        assert hist.count == 3
+
+    def test_attrs_are_kept(self):
+        tracer = Tracer()
+        with tracer.span("cloak", algo="pyramid") as s:
+            s.annotate(users=7)
+        (record,) = tracer.spans()
+        assert record.attrs == {"algo": "pyramid", "users": 7}
+
+    def test_disabled_returns_shared_noop(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", big="attr")
+        assert span is _NOOP_SPAN
+        with span:
+            pass
+        assert list(tracer.spans()) == []
+        assert tracer.registry.snapshot()["histograms"] == {}
+
+    def test_exception_still_records_and_propagates(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        (record,) = tracer.spans()
+        assert record.name == "boom"
+        assert tracer._stack == []
+
+    def test_ring_buffer_bounded(self):
+        tracer = Tracer(keep=4)
+        for i in range(10):
+            with tracer.span(f"s{i}"):
+                pass
+        assert [r.name for r in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+
+
+class TestTelemetry:
+    def test_enable_disable_round_trip(self):
+        obs = Telemetry()
+        assert obs.enabled
+        obs.disable()
+        assert obs.span("x") is _NOOP_SPAN
+        obs.enable()
+        with obs.span("x"):
+            pass
+        assert obs.stage_latencies()["x"]["count"] == 1
+
+    def test_counters_work_even_when_tracing_disabled(self):
+        obs = Telemetry(enabled=False)
+        obs.count("events", kind="a")
+        assert obs.snapshot()["counters"]["events{kind=a}"] == 1
+
+    def test_snapshot_separates_stages_from_value_histograms(self):
+        obs = Telemetry()
+        with obs.span("stage.one"):
+            pass
+        obs.observe("candidates", 12, query="nn")
+        snap = obs.snapshot()
+        assert "stage.one" in snap["stages"]
+        assert "candidates{query=nn}" in snap["histograms"]
+        assert not any(k.startswith(SPAN_METRIC) for k in snap["histograms"])
+
+    def test_stage_latency_fields(self):
+        obs = Telemetry()
+        with obs.span("s"):
+            pass
+        summary = obs.stage_latencies()["s"]
+        assert set(summary) == {
+            "count", "total_ms", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"
+        }
+
+    def test_reset_clears_all(self):
+        obs = Telemetry()
+        with obs.span("s"):
+            pass
+        obs.count("c")
+        obs.reset()
+        snap = obs.snapshot()
+        assert snap["stages"] == {}
+        assert snap["counters"] == {}

@@ -105,14 +105,20 @@ class TestQueries:
         server.public_count(Rect(0, 0, 5, 5))
         server.register_count_monitor("m", Rect(0, 0, 1, 1))
         stats = server.stats()
-        assert stats["public_objects"] == 100.0
-        assert stats["private_regions"] == 1.0
-        assert stats["monitors"] == 1.0
-        assert stats["region_updates"] == 1.0
-        assert stats["queries_private_nn"] == 1.0
-        assert stats["queries_private_range"] == 1.0
-        assert stats["queries_public_count"] == 1.0
-        assert stats["queries_served"] == 3.0
+        assert stats.public_objects == 100
+        assert isinstance(stats.public_objects, int)
+        assert stats.private_regions == 1
+        assert stats.monitors == 1
+        assert stats.region_updates == 1
+        assert stats.queries_by_kind == {
+            "private_nn": 1,
+            "private_range": 1,
+            "public_count": 1,
+        }
+        assert stats.queries_served == 3
+        flat = stats.as_dict()
+        assert flat["queries_private_nn"] == 1
+        assert all(isinstance(v, int) for v in flat.values())
 
 
 class TestMonitors:
