@@ -1,6 +1,6 @@
 # Developer entry points for the privacy-aware LBS reproduction.
 
-.PHONY: install test bench bench-smoke examples experiments report clean
+.PHONY: install test conformance bench bench-smoke bench-batch examples experiments report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -13,6 +13,12 @@ bench:
 
 bench-smoke:
 	pytest benchmarks -q -k smoke
+
+bench-batch:
+	pytest benchmarks -q -k bench_batch
+
+conformance:
+	pytest tests/conformance -q
 
 examples:
 	for f in examples/*.py; do python $$f; done

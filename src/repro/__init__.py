@@ -38,6 +38,16 @@ from repro.core import (
     PrivacySystem,
     example_profile,
 )
+from repro.engine import (
+    BatchEngine,
+    BruteForceOracle,
+    PrivateNNQuery,
+    PrivateRangeQuery,
+    PublicCountQuery,
+    PublicNNQuery,
+    PublicRangeQuery,
+    ServerSnapshot,
+)
 from repro.geometry import Point, Rect
 from repro.mobility import MobileUser, UserMode
 from repro.obs import Telemetry, disable_tracing, enable_tracing, get_telemetry
@@ -66,6 +76,14 @@ __all__ = [
     "LocationAnonymizer",
     "LocationServer",
     "PrivacySystem",
+    "BatchEngine",
+    "BruteForceOracle",
+    "ServerSnapshot",
+    "PrivateRangeQuery",
+    "PrivateNNQuery",
+    "PublicRangeQuery",
+    "PublicNNQuery",
+    "PublicCountQuery",
     "Telemetry",
     "get_telemetry",
     "enable_tracing",

@@ -8,6 +8,7 @@ Usage (after ``pip install -e .``)::
     python -m repro report -o tables.md       # all tables as markdown
     python -m repro obs                       # telemetry dashboard demo
     python -m repro obs --json                # same snapshot, as JSON
+    python -m repro bench-batch               # batch vs sequential timings
 """
 
 from __future__ import annotations
@@ -146,6 +147,55 @@ def cmd_obs(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_batch(args: argparse.Namespace) -> int:
+    """Time batched vs sequential execution and print a JSON report."""
+    import json
+    import random
+    import time
+
+    from repro.core.server import LocationServer
+    from repro.engine import PublicNNQuery, PublicRangeQuery
+    from repro.geometry.point import Point
+    from repro.geometry.rect import Rect
+    from repro.core.stores import PublicStore
+    from repro.obs import Telemetry
+
+    if args.objects < 1 or args.queries < 1:
+        raise SystemExit("repro bench-batch: error: sizes must be positive")
+    rng = random.Random(args.seed)
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    server.public = PublicStore.from_points(
+        {
+            i: Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            for i in range(args.objects)
+        }
+    )
+    queries: list = []
+    for _ in range(args.queries // 2):
+        x, y = rng.uniform(0, 990), rng.uniform(0, 990)
+        queries.append(PublicRangeQuery(Rect(x, y, x + 10, y + 10)))
+        queries.append(PublicNNQuery(Point(x, y), k=8))
+
+    report: dict = {
+        "objects": args.objects,
+        "queries": len(queries),
+        "modes": {},
+    }
+    for mode, vectorize in (("batched", True), ("sequential", False)):
+        start = time.perf_counter()
+        server.execute_batch(queries, vectorize=vectorize)
+        elapsed = time.perf_counter() - start
+        report["modes"][mode] = {
+            "seconds": elapsed,
+            "queries_per_second": len(queries) / elapsed if elapsed else None,
+        }
+    batched = report["modes"]["batched"]["seconds"]
+    sequential = report["modes"]["sequential"]["seconds"]
+    report["speedup"] = sequential / batched if batched else None
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     for table in _run_ids(args.ids):
         print(table.to_text())
@@ -203,6 +253,15 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--queries", type=int, default=25, help="queries per kind")
     obs.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     obs.set_defaults(func=cmd_obs)
+
+    bench = sub.add_parser(
+        "bench-batch",
+        help="time batched vs sequential query execution (JSON report)",
+    )
+    bench.add_argument("--objects", type=int, default=20000, help="public objects")
+    bench.add_argument("--queries", type=int, default=2000, help="queries in the batch")
+    bench.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    bench.set_defaults(func=cmd_bench_batch)
     return parser
 
 

@@ -25,6 +25,8 @@ import numpy as np
 
 from repro.core.errors import QueryError
 from repro.core.stores import PrivateStore, PublicStore
+from repro.engine.batch import BatchEngine, BatchResult
+from repro.engine.queries import BatchQuery
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.obs import Telemetry, get_telemetry
@@ -82,6 +84,7 @@ class LocationServer:
         self.public = PublicStore()
         self.private = PrivateStore()
         self._monitors: dict[Hashable, ContinuousCountMonitor] = {}
+        self._engine: BatchEngine | None = None
         self.queries_served = 0
         self.queries_by_kind: dict[str, int] = {}
         self.region_updates_received = 0
@@ -201,6 +204,37 @@ class LocationServer:
         self._count_query("public_over_public_nn")
         with self.telemetry.span("server.public_nn_exact", k=k):
             return self.public.nearest(query, k)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    @property
+    def engine(self) -> BatchEngine:
+        """The server's batch executor (snapshot cache shared across calls)."""
+        if self._engine is None:
+            self._engine = BatchEngine(self)
+        return self._engine
+
+    def execute_batch(
+        self, queries: list[BatchQuery], *, vectorize: bool = True
+    ) -> list[BatchResult]:
+        """Answer a heterogeneous query batch in one vectorised pass.
+
+        Every query sees the same frozen snapshot of both stores; results
+        align with the input order and match the per-query entry points
+        (see ``docs/batch_engine.md``).  Queries are counted in
+        :meth:`stats` under their batch kind names.
+        """
+        batch = list(queries)
+        self.queries_served += len(batch)
+        kinds: dict[str, int] = {}
+        for query in batch:
+            kinds[query.kind] = kinds.get(query.kind, 0) + 1
+        for kind, n in kinds.items():
+            self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + n
+            self.telemetry.count("server.queries", amount=n, kind=kind)
+        return self.engine.execute(batch, vectorize=vectorize)
 
     # ------------------------------------------------------------------
     # Continuous queries

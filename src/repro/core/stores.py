@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Iterator
 
+import numpy as np
+
 from repro.core.errors import RegistrationError
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -30,6 +32,8 @@ class PublicStore:
     def __init__(self, max_entries: int = 16) -> None:
         self._rtree = RTree(max_entries=max_entries)
         self._points: dict[ItemId, Point] = {}
+        self._version = 0
+        self._snapshot: tuple[tuple[ItemId, ...], np.ndarray, np.ndarray] | None = None
 
     @classmethod
     def from_points(
@@ -54,6 +58,7 @@ class PublicStore:
             raise RegistrationError(f"duplicate public object: {object_id!r}")
         self._points[object_id] = point
         self._rtree.insert(object_id, Rect.from_point(point))
+        self._touch()
 
     def move(self, object_id: ItemId, point: Point) -> None:
         """Update a moving public object (e.g. a police car)."""
@@ -61,12 +66,42 @@ class PublicStore:
             raise RegistrationError(f"unknown public object: {object_id!r}")
         self._rtree.update(object_id, Rect.from_point(point))
         self._points[object_id] = point
+        self._touch()
 
     def remove(self, object_id: ItemId) -> None:
         if object_id not in self._points:
             raise RegistrationError(f"unknown public object: {object_id!r}")
         self._rtree.delete(object_id)
         del self._points[object_id]
+        self._touch()
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._snapshot = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (snapshot-cache invalidation key)."""
+        return self._version
+
+    def snapshot_arrays(
+        self,
+    ) -> tuple[tuple[ItemId, ...], np.ndarray, np.ndarray]:
+        """Point-in-time ``(ids, xs, ys)`` view of every public object.
+
+        Built once per store version via the backing index's bulk export
+        (:meth:`~repro.index.base.SpatialIndex.snapshot_rects`) and reused
+        until the next mutation, so consecutive batches over a quiescent
+        store pay nothing.  The arrays are immutable (non-writeable).
+        """
+        if self._snapshot is None:
+            ids, bounds = self._rtree.snapshot_rects()
+            xs = bounds[:, 0].copy()
+            ys = bounds[:, 1].copy()
+            xs.flags.writeable = False
+            ys.flags.writeable = False
+            self._snapshot = (tuple(ids), xs, ys)
+        return self._snapshot
 
     def point_of(self, object_id: ItemId) -> Point:
         try:
@@ -115,6 +150,8 @@ class PrivateStore:
     def __init__(self, max_entries: int = 16) -> None:
         self._rtree = RTree(max_entries=max_entries)
         self._regions: dict[ItemId, Rect] = {}
+        self._version = 0
+        self._snapshot: tuple[tuple[ItemId, ...], np.ndarray] | None = None
 
     def set_region(self, object_id: ItemId, region: Rect) -> None:
         """Insert or replace the cloaked region of ``object_id``."""
@@ -123,12 +160,36 @@ class PrivateStore:
         else:
             self._rtree.insert(object_id, region)
         self._regions[object_id] = region
+        self._touch()
 
     def remove(self, object_id: ItemId) -> None:
         if object_id not in self._regions:
             raise RegistrationError(f"unknown private object: {object_id!r}")
         self._rtree.delete(object_id)
         del self._regions[object_id]
+        self._touch()
+
+    def _touch(self) -> None:
+        self._version += 1
+        self._snapshot = None
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter (snapshot-cache invalidation key)."""
+        return self._version
+
+    def snapshot_arrays(self) -> tuple[tuple[ItemId, ...], np.ndarray]:
+        """Point-in-time ``(ids, bounds)`` view of every cloaked region.
+
+        ``bounds`` is an immutable ``(n, 4)`` array of ``(min_x, min_y,
+        max_x, max_y)`` rows aligned with ``ids``; cached per store
+        version like :meth:`PublicStore.snapshot_arrays`.
+        """
+        if self._snapshot is None:
+            ids, bounds = self._rtree.snapshot_rects()
+            bounds.flags.writeable = False
+            self._snapshot = (tuple(ids), bounds)
+        return self._snapshot
 
     def region_of(self, object_id: ItemId) -> Rect:
         try:

@@ -235,6 +235,21 @@ class PrivacySystem:
         return outcome, refined
 
     # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def execute_batch(self, queries: list, *, vectorize: bool = True) -> list:
+        """Answer a heterogeneous batch against the server's frozen snapshot.
+
+        Thin front door to :meth:`~repro.core.server.LocationServer.execute_batch`
+        for analytical workloads (dashboards, traffic studies) that mix
+        public range/NN/count queries; no QoS accounting, because batch
+        queries carry no per-user cloak to trade off.
+        """
+        with self.obs.span("system.execute_batch", size=len(queries)):
+            return self.server.execute_batch(queries, vectorize=vectorize)
+
+    # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
 

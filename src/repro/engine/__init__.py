@@ -1,0 +1,34 @@
+"""Vectorized batch query execution over frozen server snapshots.
+
+The :class:`BatchEngine` answers heterogeneous query batches against an
+immutable :class:`ServerSnapshot` using numpy kernels, with per-query
+scalar fallbacks that produce identical results; the
+:class:`BruteForceOracle` is the deliberately naive O(n * m) reference
+every faster path is differential-tested against.  See
+``docs/batch_engine.md``.
+"""
+
+from repro.engine.batch import BatchEngine, BatchResult
+from repro.engine.oracle import BruteForceOracle
+from repro.engine.queries import (
+    BatchQuery,
+    PrivateNNQuery,
+    PrivateRangeQuery,
+    PublicCountQuery,
+    PublicNNQuery,
+    PublicRangeQuery,
+)
+from repro.engine.snapshot import ServerSnapshot
+
+__all__ = [
+    "BatchEngine",
+    "BatchQuery",
+    "BatchResult",
+    "BruteForceOracle",
+    "PrivateNNQuery",
+    "PrivateRangeQuery",
+    "PublicCountQuery",
+    "PublicNNQuery",
+    "PublicRangeQuery",
+    "ServerSnapshot",
+]

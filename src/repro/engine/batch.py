@@ -1,0 +1,320 @@
+"""The vectorized batch query executor.
+
+:class:`BatchEngine` answers a heterogeneous list of queries in one
+pass: it freezes the server's object tables into a
+:class:`~repro.engine.snapshot.ServerSnapshot` (reused across batches
+while the stores are quiescent), groups the batch by query kind, and
+runs each group through a vectorised kernel where one exists —
+rectangle containment, radius membership, k-NN distance ranking,
+probabilistic count.  Kinds that resist vectorisation (private NN with
+its dominance/Voronoi filters) are routed through the existing
+per-query processors unchanged, so their batched answers are
+bit-identical to the scalar path by construction.
+
+Canonical result order: id lists follow snapshot row order (ranges,
+counts) or nearest-first with snapshot-rank tie-breaks (k-NN), in both
+the vectorised and the sequential (``vectorize=False``) modes — the
+two modes are interchangeable and differential-testable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.engine import kernels
+from repro.engine.queries import (
+    BatchQuery,
+    PrivateNNQuery,
+    PrivateRangeQuery,
+    PublicCountQuery,
+    PublicNNQuery,
+    PublicRangeQuery,
+)
+from repro.engine.snapshot import ServerSnapshot
+from repro.obs import Telemetry
+from repro.queries.private_nn import PrivateNNResult, private_nn_query
+from repro.queries.private_range import PrivateRangeResult, private_range_query
+from repro.queries.probabilistic import CountAnswer
+from repro.queries.public_range import (
+    membership_probabilities,
+    membership_probability,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import LocationServer
+
+#: Result of one batch query, by kind: ``private_range`` ->
+#: :class:`PrivateRangeResult`, ``private_nn`` -> :class:`PrivateNNResult`,
+#: ``public_range`` / ``public_nn`` -> tuple of ids, ``public_count`` ->
+#: :class:`CountAnswer`.
+BatchResult = object
+
+
+class BatchEngine:
+    """Executes query batches against a frozen snapshot of one server.
+
+    Args:
+        server: the :class:`~repro.core.server.LocationServer` to answer
+            from.  The engine reads the server's stores; it never mutates
+            them.
+        telemetry: observability sink; the server's own when omitted.
+    """
+
+    def __init__(
+        self, server: "LocationServer", telemetry: Telemetry | None = None
+    ) -> None:
+        self.server = server
+        self.telemetry = telemetry if telemetry is not None else server.telemetry
+        self._cached: ServerSnapshot | None = None
+
+    # ------------------------------------------------------------------
+    # Snapshot lifecycle
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> ServerSnapshot:
+        """The current frozen view, recaptured only after store mutations."""
+        cached = self._cached
+        if cached is not None and cached.matches(self.server):
+            self.telemetry.count("engine.snapshot", result="reused")
+            return cached
+        with self.telemetry.span("engine.snapshot"):
+            self._cached = ServerSnapshot.capture(self.server)
+        self.telemetry.count("engine.snapshot", result="captured")
+        return self._cached
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, queries: Iterable[BatchQuery], *, vectorize: bool = True
+    ) -> list[BatchResult]:
+        """Answer every query, results aligned with the input order.
+
+        Args:
+            queries: any mix of the five batch query kinds.
+            vectorize: ``False`` forces the per-query scalar path for
+                every kind (the differential-testing reference); results
+                are normalised identically in both modes.
+        """
+        batch = list(queries)
+        with self.telemetry.span(
+            "engine.batch", size=len(batch), vectorize=vectorize
+        ):
+            snapshot = self.snapshot()
+            self.telemetry.observe("engine.batch_size", len(batch))
+            results: list[BatchResult] = [None] * len(batch)
+            groups: dict[str, list[int]] = {}
+            for position, query in enumerate(batch):
+                groups.setdefault(query.kind, []).append(position)
+            for kind, positions in groups.items():
+                vectorized = vectorize and kind != "private_nn"
+                self.telemetry.count(
+                    "engine.queries",
+                    amount=len(positions),
+                    kind=kind,
+                    path="vectorized" if vectorized else "scalar",
+                )
+                handler = getattr(
+                    self, f"_{kind}_{'vec' if vectorized else 'seq'}"
+                )
+                with self.telemetry.span(f"engine.{kind}", n=len(positions)):
+                    answers = handler(snapshot, [batch[p] for p in positions])
+                for position, answer in zip(positions, answers):
+                    results[position] = answer
+        return results
+
+    # ------------------------------------------------------------------
+    # Public range over public data
+    # ------------------------------------------------------------------
+
+    def _public_range_vec(
+        self, snapshot: ServerSnapshot, queries: Sequence[PublicRangeQuery]
+    ) -> list[tuple]:
+        windows = kernels.windows_array([q.window for q in queries])
+        rows_per_query = kernels.points_in_windows_grid(
+            snapshot.public_grid, windows
+        )
+        ids = snapshot.public_ids
+        return [tuple(ids[row] for row in rows) for rows in rows_per_query]
+
+    def _public_range_seq(
+        self, snapshot: ServerSnapshot, queries: Sequence[PublicRangeQuery]
+    ) -> list[tuple]:
+        rank = snapshot.public_rank
+        fallback = snapshot.n_public
+        return [
+            tuple(
+                sorted(
+                    self.server.public.range_query(q.window),
+                    key=lambda item: rank.get(item, fallback),
+                )
+            )
+            for q in queries
+        ]
+
+    # ------------------------------------------------------------------
+    # Public k-NN over public data
+    # ------------------------------------------------------------------
+
+    def _public_nn_vec(
+        self, snapshot: ServerSnapshot, queries: Sequence[PublicNNQuery]
+    ) -> list[tuple]:
+        qx = np.array([q.point.x for q in queries])
+        qy = np.array([q.point.y for q in queries])
+        rows_per_query = kernels.knn_points_grid(
+            snapshot.public_grid, qx, qy, [q.k for q in queries]
+        )
+        ids = snapshot.public_ids
+        return [tuple(ids[row] for row in rows) for rows in rows_per_query]
+
+    def _public_nn_seq(
+        self, snapshot: ServerSnapshot, queries: Sequence[PublicNNQuery]
+    ) -> list[tuple]:
+        return [
+            tuple(self.server.public.nearest(q.point, q.k)) for q in queries
+        ]
+
+    # ------------------------------------------------------------------
+    # Public probabilistic count over private data
+    # ------------------------------------------------------------------
+
+    def _public_count_vec(
+        self, snapshot: ServerSnapshot, queries: Sequence[PublicCountQuery]
+    ) -> list[CountAnswer]:
+        windows = kernels.windows_array([q.window for q in queries])
+        rows_per_query = kernels.rects_intersecting_window(
+            snapshot.private_bounds, windows
+        )
+        answers = []
+        ids = snapshot.private_ids
+        for query, rows in zip(queries, rows_per_query):
+            probs = membership_probabilities(
+                snapshot.private_bounds[rows], query.window
+            )
+            answers.append(
+                CountAnswer(
+                    {ids[row]: float(p) for row, p in zip(rows, probs)}
+                )
+            )
+        return answers
+
+    def _public_count_seq(
+        self, snapshot: ServerSnapshot, queries: Sequence[PublicCountQuery]
+    ) -> list[CountAnswer]:
+        rank = snapshot.private_rank
+        fallback = snapshot.n_private
+        answers = []
+        for q in queries:
+            overlapping = sorted(
+                self.server.private.overlapping(q.window),
+                key=lambda item: rank.get(item, fallback),
+            )
+            answers.append(
+                CountAnswer(
+                    {
+                        item: membership_probability(
+                            self.server.private.region_of(item), q.window
+                        )
+                        for item in overlapping
+                    }
+                )
+            )
+        return answers
+
+    # ------------------------------------------------------------------
+    # Private range over public data
+    # ------------------------------------------------------------------
+
+    def _private_range_vec(
+        self, snapshot: ServerSnapshot, queries: Sequence[PrivateRangeQuery]
+    ) -> list[PrivateRangeResult]:
+        regions = kernels.windows_array([q.region for q in queries])
+        radii = np.array([q.radius for q in queries])
+        rows_per_query: list = [None] * len(queries)
+        # The exact method applies the rounded-rectangle distance test;
+        # the mbr method keeps everything inside the expanded window.
+        exact = [i for i, q in enumerate(queries) if q.method == "exact"]
+        mbr = [i for i, q in enumerate(queries) if q.method != "exact"]
+        if exact:
+            for i, rows in zip(
+                exact,
+                kernels.points_within_radius(
+                    snapshot.public_xs,
+                    snapshot.public_ys,
+                    regions[exact],
+                    radii[exact],
+                ),
+            ):
+                rows_per_query[i] = rows
+        if mbr:
+            expanded = regions[mbr].copy()
+            expanded[:, 0] -= radii[mbr]
+            expanded[:, 1] -= radii[mbr]
+            expanded[:, 2] += radii[mbr]
+            expanded[:, 3] += radii[mbr]
+            for i, rows in zip(
+                mbr,
+                kernels.points_in_windows(
+                    snapshot.public_xs, snapshot.public_ys, expanded
+                ),
+            ):
+                rows_per_query[i] = rows
+        ids = snapshot.public_ids
+        return [
+            PrivateRangeResult(
+                region=q.region,
+                radius=q.radius,
+                candidates=tuple(ids[row] for row in rows_per_query[i]),
+                method=q.method,
+            )
+            for i, q in enumerate(queries)
+        ]
+
+    def _private_range_seq(
+        self, snapshot: ServerSnapshot, queries: Sequence[PrivateRangeQuery]
+    ) -> list[PrivateRangeResult]:
+        return [
+            self._canonical_candidates(
+                snapshot,
+                private_range_query(
+                    self.server.public, q.region, q.radius, q.method
+                ),
+            )
+            for q in queries
+        ]
+
+    # ------------------------------------------------------------------
+    # Private NN over public data (non-vectorizable: scalar both modes)
+    # ------------------------------------------------------------------
+
+    def _private_nn_seq(
+        self, snapshot: ServerSnapshot, queries: Sequence[PrivateNNQuery]
+    ) -> list[PrivateNNResult]:
+        return [
+            self._canonical_candidates(
+                snapshot,
+                private_nn_query(self.server.public, q.region, q.method),
+            )
+            for q in queries
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _canonical_candidates(self, snapshot: ServerSnapshot, result):
+        """Re-order a scalar result's candidate tuple into snapshot order."""
+        rank = snapshot.public_rank
+        fallback = snapshot.n_public
+        return dataclasses.replace(
+            result,
+            candidates=tuple(
+                sorted(
+                    result.candidates, key=lambda item: rank.get(item, fallback)
+                )
+            ),
+        )

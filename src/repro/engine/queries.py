@@ -1,0 +1,87 @@
+"""Batch query descriptions.
+
+One frozen dataclass per query kind the server answers, so a
+heterogeneous workload is just a list of these values.  Each class
+carries a ``kind`` tag the :class:`~repro.engine.batch.BatchEngine` uses
+to group queries for vectorised execution; parameter validation mirrors
+the scalar entry points (bad queries fail at construction, before the
+batch runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Union
+
+from repro.core.errors import QueryError
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.queries.private_nn import NNCandidateMethod
+from repro.queries.private_range import CandidateMethod
+
+
+@dataclass(frozen=True)
+class PrivateRangeQuery:
+    """"Public objects within ``radius`` of me", asked from a cloaked region."""
+
+    region: Rect
+    radius: float
+    method: CandidateMethod = "exact"
+    kind: ClassVar[str] = "private_range"
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise QueryError(f"radius must be non-negative, got {self.radius}")
+        if self.method not in ("exact", "mbr"):
+            raise QueryError(f"unknown candidate method: {self.method!r}")
+
+
+@dataclass(frozen=True)
+class PrivateNNQuery:
+    """"My nearest public object", asked from a cloaked region."""
+
+    region: Rect
+    method: NNCandidateMethod = "filter"
+    kind: ClassVar[str] = "private_nn"
+
+    def __post_init__(self) -> None:
+        if self.method not in ("range", "filter", "exact"):
+            raise QueryError(f"unknown candidate method: {self.method!r}")
+
+
+@dataclass(frozen=True)
+class PublicRangeQuery:
+    """Classic exact range query over the public objects."""
+
+    window: Rect
+    kind: ClassVar[str] = "public_range"
+
+
+@dataclass(frozen=True)
+class PublicNNQuery:
+    """Classic exact k-NN query over the public objects."""
+
+    point: Point
+    k: int = 1
+    kind: ClassVar[str] = "public_nn"
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise QueryError("k must be positive")
+
+
+@dataclass(frozen=True)
+class PublicCountQuery:
+    """Probabilistic count of private (cloaked) users inside ``window``."""
+
+    window: Rect
+    kind: ClassVar[str] = "public_count"
+
+
+BatchQuery = Union[
+    PrivateRangeQuery,
+    PrivateNNQuery,
+    PublicRangeQuery,
+    PublicNNQuery,
+    PublicCountQuery,
+]

@@ -15,6 +15,8 @@ import heapq
 import itertools
 from typing import Iterator
 
+import numpy as np
+
 from repro.geometry.distances import min_dist
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -197,6 +199,17 @@ class KDTree(SpatialIndex):
     def location_of(self, item_id: ItemId) -> Point:
         """The exact stored point for ``item_id``."""
         return self._points[item_id]
+
+    def snapshot_rects(self) -> tuple[list[ItemId], np.ndarray]:
+        """Bulk export from the point table — the buffer and tombstones
+        are already folded into ``_points``, so no tree walk is needed."""
+        ids = list(self._points)
+        bounds = np.empty((len(ids), 4))
+        for row, item_id in enumerate(ids):
+            p = self._points[item_id]
+            bounds[row, 0] = bounds[row, 2] = p.x
+            bounds[row, 1] = bounds[row, 3] = p.y
+        return ids, bounds
 
     def __len__(self) -> int:
         return len(self._points)

@@ -14,6 +14,8 @@ import heapq
 import itertools
 from typing import Iterator
 
+import numpy as np
+
 from repro.geometry.distances import min_dist
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -175,6 +177,20 @@ class RTree(SpatialIndex):
 
     def geometry_of(self, item_id: ItemId) -> Rect:
         return self._geoms[item_id]
+
+    def snapshot_rects(self) -> tuple[list[ItemId], np.ndarray]:
+        """Bulk export from the geometry table — one pass over ``_geoms``
+        instead of a tree traversal, so the batch engine's snapshot cost
+        is independent of tree shape."""
+        ids = list(self._geoms)
+        bounds = np.empty((len(ids), 4))
+        for row, item_id in enumerate(ids):
+            geom = self._geoms[item_id]
+            bounds[row, 0] = geom.min_x
+            bounds[row, 1] = geom.min_y
+            bounds[row, 2] = geom.max_x
+            bounds[row, 3] = geom.max_y
+        return ids, bounds
 
     def __len__(self) -> int:
         return len(self._geoms)

@@ -3,9 +3,10 @@
 This package makes the paper's privacy/QoS dial *measurable*.  Every
 stage of the Figure 1 architecture — user update, anonymizer admission,
 cloaking, server candidate generation, client refinement, plus the
-public/probabilistic paths — is wrapped in a :func:`Telemetry.span`, and
-the spatial indexes count node visits, leaf scans and distance
-computations per query (see ``docs/observability.md`` for the complete
+public/probabilistic paths and the batch engine's snapshot/kernel
+stages — is wrapped in a :func:`Telemetry.span`, and the spatial
+indexes count node visits, leaf scans and distance computations per
+query (see ``docs/observability.md`` for the complete
 span/metric -> paper-stage mapping).
 
 The :class:`Telemetry` facade bundles a :class:`~repro.obs.metrics.

@@ -16,7 +16,9 @@ the probabilistic answer is 2.7).
 
 from __future__ import annotations
 
-from typing import Hashable
+from typing import Hashable, Sequence
+
+import numpy as np
 
 from repro.core.stores import PrivateStore
 from repro.geometry.rect import Rect
@@ -46,6 +48,50 @@ def membership_probability(region: Rect, window: Rect) -> float:
     return _axis_fraction(
         region.min_x, region.max_x, window.min_x, window.max_x
     ) * _axis_fraction(region.min_y, region.max_y, window.min_y, window.max_y)
+
+
+def _axis_fractions(
+    lo: np.ndarray, hi: np.ndarray, window_lo: float, window_hi: float
+) -> np.ndarray:
+    """Vectorised :func:`_axis_fraction` over aligned side arrays.
+
+    Applies the identical operation sequence (clamp, divide, clamp), so
+    each element is bit-identical to the scalar function's result.
+    """
+    length = hi - lo
+    overlap = np.minimum(hi, window_hi) - np.maximum(lo, window_lo)
+    safe_length = np.where(length > 0.0, length, 1.0)
+    proper = np.minimum(1.0, np.maximum(0.0, overlap) / safe_length)
+    degenerate = ((window_lo <= lo) & (lo <= window_hi)).astype(np.float64)
+    return np.where(length > 0.0, proper, degenerate)
+
+
+def membership_probabilities(bounds: np.ndarray, window: Rect) -> np.ndarray:
+    """Vectorised :func:`membership_probability` for many regions at once.
+
+    Args:
+        bounds: ``(n, 4)`` array of ``(min_x, min_y, max_x, max_y)`` rows
+            (the layout of :meth:`PrivateStore.snapshot_arrays` and the
+            indexes' ``snapshot_rects``).
+        window: the public query window.
+
+    Returns:
+        Array of ``n`` per-region inclusion probabilities, each equal to
+        the scalar :func:`membership_probability` of the same region.
+    """
+    fx = _axis_fractions(bounds[:, 0], bounds[:, 2], window.min_x, window.max_x)
+    fy = _axis_fractions(bounds[:, 1], bounds[:, 3], window.min_y, window.max_y)
+    return fx * fy
+
+
+def public_range_count_batch(
+    store: PrivateStore, windows: Sequence[Rect]
+) -> list[CountAnswer]:
+    """Sequential batch entry point: one :func:`public_range_count` per
+    window.  The reference loop the vectorised engine
+    (:class:`repro.engine.BatchEngine`) is checked against.
+    """
+    return [public_range_count(store, window) for window in windows]
 
 
 def public_range_count(store: PrivateStore, window: Rect) -> CountAnswer:

@@ -1,0 +1,55 @@
+"""Failure artifacts for the differential conformance suite.
+
+A failing conformance test is only useful if it can be replayed: tests
+record their generating parameters (seed, backend, query) through the
+``scenario`` fixture, and the report hook below dumps that record to
+``tests/conformance/artifacts/<test>.json`` whenever the test fails —
+a minimal repro the next developer can paste straight into a debugger.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+
+
+class ScenarioRecorder:
+    """Collects the JSON-serialisable repro data of the current test."""
+
+    def __init__(self) -> None:
+        self.data: dict | None = None
+
+    def record(self, **data: object) -> None:
+        """Overwrite the scenario; call again as the test iterates."""
+        self.data = data
+
+
+@pytest.fixture
+def scenario() -> ScenarioRecorder:
+    return ScenarioRecorder()
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    recorder = getattr(item, "funcargs", {}).get("scenario")
+    if recorder is None or recorder.data is None:
+        return
+    ARTIFACT_DIR.mkdir(exist_ok=True)
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", item.name)
+    path = ARTIFACT_DIR / f"{safe}.json"
+    path.write_text(
+        json.dumps(recorder.data, indent=2, default=str) + "\n",
+        encoding="utf-8",
+    )
+    report.sections.append(
+        ("conformance repro", f"scenario dumped to {path}")
+    )

@@ -2,11 +2,27 @@
 
 from __future__ import annotations
 
+import random
+
 import numpy as np
 import pytest
 
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+
+
+@pytest.fixture(autouse=True)
+def _seed_global_rngs() -> None:
+    """Reset both global RNGs before every test.
+
+    Code paths that draw from module-level randomness (the dummies
+    cloaker uses ``random``, workload generators use ``np.random``) must
+    behave identically on reruns regardless of which tests ran before —
+    ``pytest -p no:randomly`` alone doesn't guarantee that, because any
+    earlier test advances the shared global state.
+    """
+    random.seed(0x5EED)
+    np.random.seed(0x5EED)
 
 
 @pytest.fixture

@@ -1,0 +1,157 @@
+"""Property-based tests: batched execution ≡ sequential execution.
+
+For *any* interleaving of the five query kinds over *any* server state —
+including empty batches, duplicate queries, empty stores, coincident
+points, and cloaked regions degenerate in one axis (the PR-3
+``membership_probability`` regression surface) — the vectorised engine
+must return exactly what the sequential per-query path returns.
+
+Coordinates are drawn from small integer grids so exact distance ties
+and boundary-touching windows occur constantly; k-NN agreement is
+checked tie-aware (same ids when canonical, same distance multiset
+always) because the two paths may legally order equidistant neighbours
+differently only by rank — and the engine normalises even that away.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import QueryError
+from repro.core.server import LocationServer
+from repro.engine import (
+    BatchEngine,
+    BruteForceOracle,
+    PrivateNNQuery,
+    PrivateRangeQuery,
+    PublicCountQuery,
+    PublicNNQuery,
+    PublicRangeQuery,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.obs import Telemetry
+
+coord = st.integers(min_value=0, max_value=12).map(float)
+span = st.integers(min_value=0, max_value=6).map(float)
+
+
+@st.composite
+def rects(draw) -> Rect:
+    x0 = draw(coord)
+    y0 = draw(coord)
+    # Degenerate-in-one-axis regions are first-class citizens here.
+    return Rect(x0, y0, x0 + draw(span), y0 + draw(span))
+
+
+@st.composite
+def batch_queries(draw):
+    kind = draw(st.sampled_from(
+        ["public_range", "public_nn", "public_count", "private_range", "private_nn"]
+    ))
+    if kind == "public_range":
+        return PublicRangeQuery(draw(rects()))
+    if kind == "public_nn":
+        return PublicNNQuery(
+            Point(draw(coord), draw(coord)), k=draw(st.integers(1, 6))
+        )
+    if kind == "public_count":
+        return PublicCountQuery(draw(rects()))
+    if kind == "private_range":
+        return PrivateRangeQuery(
+            draw(rects()),
+            radius=float(draw(st.integers(0, 8))),
+            method=draw(st.sampled_from(["exact", "mbr"])),
+        )
+    return PrivateNNQuery(
+        draw(rects()), method=draw(st.sampled_from(["range", "filter", "exact"]))
+    )
+
+
+servers = st.tuples(
+    st.lists(st.tuples(coord, coord), max_size=25),   # public points
+    st.lists(rects(), max_size=15),                   # private regions
+)
+
+
+@given(
+    servers,
+    st.lists(batch_queries(), max_size=20).flatmap(
+        # Duplicate queries are part of the contract: re-append a prefix.
+        lambda qs: st.integers(0, len(qs)).map(lambda n: qs + qs[:n])
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_batched_equals_sequential(server_data, batch):
+    points, regions = server_data
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    for i, (x, y) in enumerate(points):
+        server.add_public_object(i, Point(x, y))
+    for i, region in enumerate(regions):
+        server.receive_region(f"u{i}", region)
+
+    engine = BatchEngine(server)
+    if not points and any(q.kind == "private_nn" for q in batch):
+        # NN over an empty public store raises in the scalar entry point;
+        # both engine modes must propagate the same error.
+        with pytest.raises(QueryError):
+            engine.execute(batch)
+        with pytest.raises(QueryError):
+            engine.execute(batch, vectorize=False)
+        return
+    vectorized = engine.execute(batch)
+    sequential = engine.execute(batch, vectorize=False)
+
+    assert len(vectorized) == len(sequential) == len(batch)
+    has_nn = any(q.kind == "public_nn" for q in batch)
+    oracle = BruteForceOracle.from_server(server) if has_nn else None
+    for query, vec, seq in zip(batch, vectorized, sequential):
+        if query.kind in ("public_range",):
+            assert vec == seq
+        elif query.kind == "public_count":
+            assert vec.probabilities == seq.probabilities
+        elif query.kind in ("private_range", "private_nn"):
+            assert vec.candidates == seq.candidates
+            assert vec.region == seq.region
+            assert vec.method == seq.method
+        else:  # public_nn: tie-aware — both must be valid k-NN sets with
+            # identical distance sequences; the vectorised one is canonical.
+            assert oracle.validate_knn(vec, query.point, query.k)
+            assert oracle.validate_knn(seq, query.point, query.k)
+            vec_d = [query.point.distance_to(oracle.public[i]) for i in vec]
+            seq_d = [query.point.distance_to(oracle.public[i]) for i in seq]
+            assert vec_d == seq_d
+            assert vec == tuple(oracle.public_knn(query.point, query.k))
+
+
+@given(servers)
+@settings(max_examples=30, deadline=None)
+def test_empty_batch(server_data):
+    points, regions = server_data
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    for i, (x, y) in enumerate(points):
+        server.add_public_object(i, Point(x, y))
+    for i, region in enumerate(regions):
+        server.receive_region(f"u{i}", region)
+    engine = BatchEngine(server)
+    assert engine.execute([]) == []
+    assert engine.execute([], vectorize=False) == []
+
+
+@given(rects(), st.lists(rects(), min_size=1, max_size=12))
+@settings(max_examples=60, deadline=None)
+def test_degenerate_region_counts_match_scalar_path(window, regions):
+    """Regression guard for the PR-3 degenerate-axis membership fix."""
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    for i, region in enumerate(regions):
+        # Force at least one degenerate axis on every other region.
+        if i % 2:
+            region = Rect(region.min_x, region.min_y, region.max_x, region.min_y)
+        server.receive_region(f"u{i}", region)
+    engine = BatchEngine(server)
+    [vec] = engine.execute([PublicCountQuery(window)])
+    scalar = server.public_count(window)
+    assert vec.probabilities == scalar.probabilities
+    assert vec.expected == scalar.expected
