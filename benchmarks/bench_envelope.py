@@ -1,0 +1,29 @@
+"""Shared envelope stamping for every ``BENCH_*.json`` writer.
+
+All benchmark reports go through :func:`finalize_report` so they carry
+one uniform envelope — ``schema``, ``schema_version``, ``git_sha``,
+``created_at``, ``python`` — and the bench-history subsystem
+(:mod:`repro.obs.benchhist`, ``make bench-history``) can ingest any of
+them without per-file special cases.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+from repro.obs.benchhist import wrap_report
+
+
+def finalize_report(report: Mapping, schema: str, path: Path) -> dict:
+    """Stamp the shared envelope onto ``report`` and write it to ``path``.
+
+    Returns the enveloped report (also what ``path`` now contains), so
+    callers can assert on the parsed round-trip.
+    """
+    wrapped = wrap_report(report, schema, cwd=path.parent)
+    path.write_text(
+        json.dumps(wrapped, indent=2, sort_keys=True, default=str) + "\n"
+    )
+    return wrapped

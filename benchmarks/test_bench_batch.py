@@ -17,13 +17,13 @@ gates: batched throughput must be at least 2x sequential for both
 from __future__ import annotations
 
 import json
-import platform
 import random
 import time
 from pathlib import Path
 
 import pytest
 
+from bench_envelope import finalize_report
 from repro.core.server import LocationServer
 from repro.core.stores import PublicStore
 from repro.engine import BruteForceOracle, PublicNNQuery, PublicRangeQuery
@@ -149,8 +149,6 @@ def test_batch_report_and_gate(server):
         speedups[kind] = sequential / batched if batched else None
 
     report = {
-        "schema": "repro.engine.bench/1",
-        "python": platform.python_version(),
         "workload": {
             "objects": N_OBJECTS,
             "scales": list(SCALES),
@@ -162,9 +160,11 @@ def test_batch_report_and_gate(server):
         "speedup_at_gate_scale": speedups,
         "gate": {"scale": GATE_SCALE, "min_speedup": GATE_SPEEDUP},
     }
-    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    finalize_report(report, "repro.engine.bench/1", BENCH_PATH)
     parsed = json.loads(BENCH_PATH.read_text())
     assert parsed["schema"] == "repro.engine.bench/1"
+    assert parsed["schema_version"] >= 1
+    assert parsed["git_sha"] and parsed["created_at"]
 
     for kind, speedup in speedups.items():
         assert speedup is not None and speedup >= GATE_SPEEDUP, (

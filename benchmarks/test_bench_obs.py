@@ -11,12 +11,12 @@ the machine-readable record CI uploads as an artifact.
 from __future__ import annotations
 
 import json
-import platform
 from pathlib import Path
 
 import numpy as np
 import pytest
 
+from bench_envelope import finalize_report
 from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker
 from repro.geometry import Point, Rect
 
@@ -103,8 +103,6 @@ def test_obs_smoke_report(system):
     snapshot = system.telemetry()
     qos = snapshot["qos"]
     report = {
-        "schema": "repro.obs.bench/1",
-        "python": platform.python_version(),
         "workload": {
             "users": N_USERS,
             "pois": N_POIS,
@@ -123,9 +121,12 @@ def test_obs_smoke_report(system):
         },
         "server": snapshot["server"],
     }
-    BENCH_PATH.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
-    # The file must round-trip and carry the headline sections.
+    finalize_report(report, "repro.obs.bench/1", BENCH_PATH)
+    # The file must round-trip and carry the envelope + headline sections.
     parsed = json.loads(BENCH_PATH.read_text())
+    assert parsed["schema"] == "repro.obs.bench/1"
+    assert parsed["schema_version"] >= 1
+    assert parsed["git_sha"] and parsed["created_at"]
     assert parsed["stages"]["query.private_range"]["count"] > 0
     assert parsed["candidate_overhead"]["range_mean_overhead"] >= 1.0
     assert parsed["indexes"]["server.public"]["node_visits"] > 0

@@ -8,7 +8,12 @@ Usage (after ``pip install -e .``)::
     python -m repro report -o tables.md       # all tables as markdown
     python -m repro obs                       # telemetry dashboard demo
     python -m repro obs --json                # same snapshot, as JSON
+    python -m repro obs --jsonl               # structured event log, as JSONL
+    python -m repro explain                   # EXPLAIN the Figure 6a count query
+    python -m repro explain -q private_nn     # EXPLAIN any query path
+    python -m repro audit --json              # privacy-attainment audit report
     python -m repro bench-batch               # batch vs sequential timings
+    python -m repro bench-history             # ingest BENCH_*.json, flag regressions
 """
 
 from __future__ import annotations
@@ -137,7 +142,19 @@ def cmd_obs(args: argparse.Namespace) -> int:
     system = _observed_quickstart(
         users=args.users, queries=args.queries, seed=args.seed
     )
+    if args.jsonl:
+        text = system.obs.events.dump_jsonl()
+        if not text:
+            print("repro obs: error: no events recorded", file=sys.stderr)
+            return 1
+        sys.stdout.write(text)
+        return 0
     snapshot = system.telemetry()
+    if not (
+        snapshot.get("stages") or snapshot.get("counters") or snapshot.get("events")
+    ):
+        print("repro obs: error: no telemetry recorded", file=sys.stderr)
+        return 1
     if args.json:
         print(to_json(snapshot))
     elif args.prometheus:
@@ -145,6 +162,149 @@ def cmd_obs(args: argparse.Namespace) -> int:
     else:
         print(render_dashboard(snapshot))
     return 0
+
+
+#: EXPLAIN-able query paths (plus the composite ``batch`` and the paper's
+#: Figure 6a worked example, the default).
+EXPLAIN_QUERIES = (
+    "figure6a",
+    "public_range",
+    "public_knn",
+    "public_count",
+    "public_nn",
+    "private_range",
+    "private_nn",
+    "private_knn",
+    "batch",
+)
+
+
+def cmd_explain(args: argparse.Namespace) -> int:
+    """EXPLAIN one query path: plan tree with measured index work."""
+    from repro.obs import QueryExplainer, plan_to_json, render_plan
+    from repro.obs.explain import explain_figure_6a
+
+    if args.query == "figure6a":
+        plan = explain_figure_6a()
+    else:
+        from repro.engine import PublicNNQuery, PublicRangeQuery
+        from repro.engine.queries import PrivateNNQuery, PublicCountQuery
+        from repro.geometry import Point, Rect
+
+        system = _observed_quickstart(
+            users=args.users, queries=0, seed=args.seed
+        )
+        explainer = QueryExplainer(system.server)
+        region = system.anonymizer.cloak_user(0, t=system.clock).region
+        if args.query == "public_range":
+            plan = explainer.explain_public_range(Rect(20, 20, 60, 60))
+        elif args.query == "public_knn":
+            plan = explainer.explain_public_knn(Point(50, 50), k=4)
+        elif args.query == "public_count":
+            plan = explainer.explain_public_count(Rect(20, 20, 80, 80))
+        elif args.query == "public_nn":
+            plan = explainer.explain_public_nn(Point(50, 50))
+        elif args.query == "private_range":
+            plan = explainer.explain_private_range(region, radius=10.0)
+        elif args.query == "private_nn":
+            plan = explainer.explain_private_nn(region)
+        elif args.query == "private_knn":
+            plan = explainer.explain_private_knn(region, k=4)
+        else:  # batch
+            plan = explainer.explain_batch(
+                [
+                    PublicRangeQuery(Rect(20, 20, 60, 60)),
+                    PublicNNQuery(Point(50, 50), k=4),
+                    PublicCountQuery(Rect(20, 20, 80, 80)),
+                    PrivateNNQuery(region),
+                ]
+            )
+    print(plan_to_json(plan) if args.json else render_plan(plan))
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    """Run a workload (or read a JSONL trail) and print the audit report."""
+    import json
+
+    from repro.obs import PrivacyAuditor
+
+    if args.from_jsonl:
+        auditor = PrivacyAuditor.from_jsonl(args.from_jsonl)
+    else:
+        system = _observed_quickstart(
+            users=args.users, queries=args.queries, seed=args.seed
+        )
+        auditor = PrivacyAuditor.from_log(system.obs.events)
+    report = auditor.report()
+    if report["totals"]["cloaks"] == 0:
+        print("repro audit: error: no cloak events to audit", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        totals = report["totals"]
+        print("privacy attainment audit")
+        for key, value in totals.items():
+            formatted = f"{value:.4g}" if isinstance(value, float) else str(value)
+            print(f"  {key} = {formatted}")
+        for profile, tally in report["profiles"].items():
+            print(
+                f"  profile {profile}: {tally['cloaks']} cloaks, "
+                f"attainment {tally['attainment_rate']:.2%}, "
+                f"undeclared violations {tally['undeclared_violations']}"
+            )
+        for kind, stats in report["queries"].items():
+            extra = (
+                f", mean overhead {stats['mean_overhead']:.2f}"
+                if "mean_overhead" in stats
+                else ""
+            )
+            print(
+                f"  queries {kind}: {stats['count']}, "
+                f"accuracy {stats['accuracy']:.2%}{extra}"
+            )
+    return 0 if not auditor.violations() else 2
+
+
+def cmd_bench_history(args: argparse.Namespace) -> int:
+    """Ingest BENCH_*.json into the trajectory and flag regressions."""
+    import json
+
+    from repro.obs import benchhist
+
+    if args.selftest:
+        # Synthetic trajectory: steady throughput, then a 30 % drop — the
+        # detector must flag it, or this exit code breaks the build.
+        metric = "modes.batched.public_range.10000.queries_per_second"
+        history = [
+            {"source": "BENCH_selftest.json", "metrics": {metric: qps}}
+            for qps in (1000.0, 1020.0, 980.0, 700.0)
+        ]
+        flags = benchhist.detect_regressions(history, gate=args.gate)
+        if not flags:
+            print(
+                "repro bench-history: selftest FAILED: 30% drop not flagged",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"repro bench-history: selftest ok "
+            f"(flagged {flags[0]['change']:+.1%} on {metric})"
+        )
+        return 0
+
+    summary = benchhist.run_bench_history(
+        root=args.root, gate=args.gate, append=not args.dry_run
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if not summary["ingested"] and summary["history_records"] == 0:
+        print(
+            "repro bench-history: error: no BENCH_*.json reports found",
+            file=sys.stderr,
+        )
+        return 1
+    return 0 if summary["ok"] else 3
 
 
 def cmd_bench_batch(args: argparse.Namespace) -> int:
@@ -249,10 +409,75 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the snapshot in Prometheus text exposition format",
     )
+    fmt.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="emit the structured event log as JSONL (one event per line)",
+    )
     obs.add_argument("--users", type=int, default=200, help="workload size")
     obs.add_argument("--queries", type=int, default=25, help="queries per kind")
     obs.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     obs.set_defaults(func=cmd_obs)
+
+    explain = sub.add_parser(
+        "explain",
+        help="EXPLAIN a query path: executed plan tree with index work",
+    )
+    explain.add_argument(
+        "-q",
+        "--query",
+        choices=EXPLAIN_QUERIES,
+        default="figure6a",
+        help="query path to explain (default: the paper's Figure 6a count)",
+    )
+    explain.add_argument(
+        "--json", action="store_true", help="emit the plan as JSON"
+    )
+    explain.add_argument("--users", type=int, default=200, help="workload size")
+    explain.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    explain.set_defaults(func=cmd_explain)
+
+    audit = sub.add_parser(
+        "audit", help="privacy-attainment audit report over the event log"
+    )
+    audit.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    audit.add_argument(
+        "--from-jsonl",
+        default=None,
+        metavar="PATH",
+        help="audit an existing JSONL event trail instead of a fresh workload",
+    )
+    audit.add_argument("--users", type=int, default=200, help="workload size")
+    audit.add_argument("--queries", type=int, default=25, help="queries per kind")
+    audit.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    audit.set_defaults(func=cmd_audit)
+
+    bench_history = sub.add_parser(
+        "bench-history",
+        help="ingest BENCH_*.json into BENCH_HISTORY.jsonl and flag regressions",
+    )
+    bench_history.add_argument(
+        "--root", default=".", help="directory holding the BENCH_*.json reports"
+    )
+    bench_history.add_argument(
+        "--gate",
+        type=float,
+        default=0.25,
+        help="relative move beyond which a metric is flagged (default 0.25)",
+    )
+    bench_history.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="check without appending to the history file",
+    )
+    bench_history.add_argument(
+        "--selftest",
+        action="store_true",
+        help="verify the detector flags a synthetic 30%% throughput drop",
+    )
+    bench_history.set_defaults(func=cmd_bench_history)
 
     bench = sub.add_parser(
         "bench-batch",

@@ -14,10 +14,11 @@ which is exactly the scalability gap the paper attributes to them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Hashable, Sequence
+from typing import Callable, Hashable, Sequence
 
 from repro.cloaking.base import Cloaker, CloakResult, UserId
 from repro.core.profiles import PrivacyRequirement
+from repro.obs.events import CLOAK_BATCH
 
 
 @dataclass(frozen=True, slots=True)
@@ -43,12 +44,21 @@ class BatchOutcome:
         return self.shared / total if total else 0.0
 
 
-def cloak_batch(cloaker: Cloaker, requests: Sequence[CloakRequest]) -> BatchOutcome:
+def cloak_batch(
+    cloaker: Cloaker,
+    requests: Sequence[CloakRequest],
+    emit: Callable[..., object] | None = None,
+) -> BatchOutcome:
     """Cloak a batch of requests, sharing work across same-partition users.
 
     The user count recorded on a shared result is re-measured per region
     (cheap) rather than per user, so shared results are exact copies of the
     computed one.
+
+    Args:
+        emit: optional structured-event hook (signature of
+            :meth:`repro.obs.events.EventLog.emit`); when given, one
+            ``cloak.batch`` round summary is emitted per call.
 
     Note: sharing is only sound while the population does not change inside
     the batch; callers must not interleave location updates with a batch.
@@ -73,6 +83,15 @@ def cloak_batch(cloaker: Cloaker, requests: Sequence[CloakRequest]) -> BatchOutc
         else:
             outcome.shared += 1
         outcome.results[request.user_id] = cached
+    if emit is not None:
+        emit(
+            CLOAK_BATCH,
+            algo=cloaker.name,
+            requests=len(requests),
+            computed=outcome.computed,
+            shared=outcome.shared,
+            sharing_ratio=outcome.sharing_ratio,
+        )
     return outcome
 
 

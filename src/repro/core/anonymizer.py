@@ -33,6 +33,15 @@ from repro.core.server import LocationServer
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.obs import Telemetry, get_telemetry
+from repro.obs.events import (
+    CLOAK_ATTEMPT,
+    CLOAK_DEGRADED,
+    CLOAK_ESCALATED,
+    CLOAK_RESULT,
+    REGION_PUBLISHED,
+    USER_ADMITTED,
+    USER_RETIRED,
+)
 from repro.queries.private_nn import PrivateNNResult
 from repro.queries.private_range import PrivateRangeResult
 
@@ -92,6 +101,12 @@ class LocationAnonymizer:
             )
             self._registrations[user_id] = registration
         self.telemetry.set_gauge("anonymizer.registered_users", len(self._registrations))
+        self.telemetry.emit(
+            USER_ADMITTED,
+            user=str(user_id),
+            pseudonym=registration.pseudonym,
+            population=len(self._registrations),
+        )
         return registration.pseudonym
 
     def unregister(self, user_id: Hashable) -> None:
@@ -102,6 +117,12 @@ class LocationAnonymizer:
             self.server.forget_region(registration.pseudonym)
         del self._registrations[user_id]
         self.telemetry.set_gauge("anonymizer.registered_users", len(self._registrations))
+        self.telemetry.emit(
+            USER_RETIRED,
+            user=str(user_id),
+            pseudonym=registration.pseudonym,
+            population=len(self._registrations),
+        )
 
     def update_location(self, user_id: Hashable, location: Point) -> None:
         """Receive an exact location report (kept inside the anonymizer)."""
@@ -140,14 +161,33 @@ class LocationAnonymizer:
         """
         with self.telemetry.span("anonymizer.cloak", algo=self.cloaker.name):
             requirement = self.requirement_for(user_id, t)
+            self.telemetry.emit(
+                CLOAK_ATTEMPT,
+                user=str(user_id),
+                t=t,
+                algo=self.cloaker.name,
+                k=requirement.k,
+                min_area=requirement.min_area,
+                max_area=requirement.max_area,
+            )
             if not requirement.wants_privacy:
                 point = self.cloaker.location_of(user_id)
-                return CloakResult(
+                result = CloakResult(
                     region=Rect.from_point(point), user_count=1, requirement=requirement
                 )
+                self._emit_cloak_result(user_id, t, result)
+                return result
             population = self.cloaker.user_count()
             if requirement.k > population:
                 effective = replace(requirement, k=max(1, population))
+                self.telemetry.emit(
+                    CLOAK_ESCALATED,
+                    user=str(user_id),
+                    t=t,
+                    requested_k=requirement.k,
+                    effective_k=effective.k,
+                    population=population,
+                )
                 result = self.cloaker.cloak(user_id, effective)
                 result = CloakResult(
                     region=result.region,
@@ -158,7 +198,39 @@ class LocationAnonymizer:
             else:
                 result = self.cloaker.cloak(user_id, requirement)
         self.telemetry.observe("cloak_area", result.area)
+        self._emit_cloak_result(user_id, t, result)
         return result
+
+    def _emit_cloak_result(self, user_id: Hashable, t: float, result: CloakResult) -> None:
+        """Emit the per-query privacy audit record (plus any degradation)."""
+        requirement = result.requirement
+        degraded = not result.fully_satisfied
+        seq = self.telemetry.emit(
+            CLOAK_RESULT,
+            user=str(user_id),
+            t=t,
+            algo=self.cloaker.name,
+            k=requirement.k,
+            k_achieved=result.user_count,
+            min_area=requirement.min_area,
+            max_area=requirement.max_area,
+            area=result.area,
+            k_satisfied=result.k_satisfied,
+            area_satisfied=result.area_satisfied,
+            reused=result.reused,
+            degraded=degraded,
+        )
+        if degraded and seq is not None:
+            self.telemetry.emit(
+                CLOAK_DEGRADED,
+                user=str(user_id),
+                t=t,
+                result_seq=seq,
+                k=requirement.k,
+                k_achieved=result.user_count,
+                min_area=requirement.min_area,
+                area=result.area,
+            )
 
     def publish(self, user_id: Hashable, t: float) -> CloakResult:
         """Cloak and push one user's region to the server."""
@@ -197,7 +269,11 @@ class LocationAnonymizer:
                 results[user_id] = self.cloak_user(user_id, t)
                 continue
             requests.append(CloakRequest(user_id, requirement))
-        outcome = cloak_batch(self.cloaker, requests)
+        outcome = cloak_batch(self.cloaker, requests, emit=self.telemetry.emit)
+        # Batched users bypass cloak_user, so their per-query audit
+        # records are emitted here (the others already emitted theirs).
+        for user_id, result in outcome.results.items():
+            self._emit_cloak_result(user_id, t, result)
         results.update(outcome.results)
         for user_id, result in results.items():
             self._push(user_id, result)
@@ -207,11 +283,18 @@ class LocationAnonymizer:
         """Send one cloaked region to the server under the pseudonym policy."""
         registration = self._registration_of(user_id)
         with self.telemetry.span("anonymizer.publish"):
-            if self.rotate_pseudonyms and registration.published:
+            rotated = self.rotate_pseudonyms and registration.published
+            if rotated:
                 self.server.forget_region(registration.pseudonym)
                 registration.pseudonym = self._fresh_pseudonym()
             self.server.receive_region(registration.pseudonym, result.region)
             registration.published = True
+        self.telemetry.emit(
+            REGION_PUBLISHED,
+            pseudonym=registration.pseudonym,
+            area=result.area,
+            rotated=rotated,
+        )
 
     # ------------------------------------------------------------------
     # Trade-off previews (Section 1: "users would have the ability to

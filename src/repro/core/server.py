@@ -30,6 +30,7 @@ from repro.engine.queries import BatchQuery
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.obs import Telemetry, get_telemetry
+from repro.obs.events import CANDIDATES_GENERATED
 from repro.queries.continuous import ContinuousCountMonitor
 from repro.queries.private_nn import PrivateNNResult, private_nn_query
 from repro.queries.private_range import PrivateRangeResult, private_range_query
@@ -150,6 +151,14 @@ class LocationServer:
         self.telemetry.observe(
             "candidates", len(result.candidates), query="private_range"
         )
+        self.telemetry.emit(
+            CANDIDATES_GENERATED,
+            query="private_range",
+            method=method,
+            candidates=len(result.candidates),
+            region_area=region.area,
+            radius=radius,
+        )
         return result
 
     def private_nn(self, region: Rect, method: str = "filter") -> PrivateNNResult:
@@ -158,6 +167,13 @@ class LocationServer:
         with self.telemetry.span("server.private_nn", method=method):
             result = private_nn_query(self.public, region, method)
         self.telemetry.observe("candidates", len(result.candidates), query="private_nn")
+        self.telemetry.emit(
+            CANDIDATES_GENERATED,
+            query="private_nn",
+            method=method,
+            candidates=len(result.candidates),
+            region_area=region.area,
+        )
         return result
 
     # ------------------------------------------------------------------

@@ -28,6 +28,7 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.mobility.users import MobileUser, UserMode
 from repro.obs import Telemetry
+from repro.obs.events import QUERY_COMPLETED
 from repro.queries.private_nn import refine_nn_candidates
 from repro.queries.private_range import exact_range_answer, refine_range_candidates
 
@@ -208,6 +209,16 @@ class PrivacySystem:
         )
         self.ledger.range_outcomes.append(outcome)
         self.obs.observe("qos.range_overhead", outcome.overhead)
+        self.obs.emit(
+            QUERY_COMPLETED,
+            query="private_range",
+            user=str(user_id),
+            candidates=outcome.candidates,
+            answer_size=outcome.answer_size,
+            overhead=outcome.overhead,
+            correct=outcome.correct,
+            cloak_area=outcome.cloak_area,
+        )
         return outcome, refined
 
     def user_nn_query(
@@ -232,6 +243,16 @@ class PrivacySystem:
         )
         self.ledger.nn_outcomes.append(outcome)
         self.obs.observe("qos.nn_candidates", outcome.candidates)
+        self.obs.emit(
+            QUERY_COMPLETED,
+            query="private_nn",
+            user=str(user_id),
+            candidates=outcome.candidates,
+            answer_size=1,
+            overhead=float(outcome.candidates),
+            correct=outcome.correct,
+            cloak_area=outcome.cloak_area,
+        )
         return outcome, refined
 
     # ------------------------------------------------------------------

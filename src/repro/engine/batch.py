@@ -35,6 +35,7 @@ from repro.engine.queries import (
 )
 from repro.engine.snapshot import ServerSnapshot
 from repro.obs import Telemetry
+from repro.obs.events import BATCH_EXECUTED, SNAPSHOT_CAPTURED, SNAPSHOT_REUSED
 from repro.queries.private_nn import PrivateNNResult, private_nn_query
 from repro.queries.private_range import PrivateRangeResult, private_range_query
 from repro.queries.probabilistic import CountAnswer
@@ -79,10 +80,20 @@ class BatchEngine:
         cached = self._cached
         if cached is not None and cached.matches(self.server):
             self.telemetry.count("engine.snapshot", result="reused")
+            self.telemetry.emit(
+                SNAPSHOT_REUSED,
+                n_public=cached.n_public,
+                n_private=cached.n_private,
+            )
             return cached
         with self.telemetry.span("engine.snapshot"):
             self._cached = ServerSnapshot.capture(self.server)
         self.telemetry.count("engine.snapshot", result="captured")
+        self.telemetry.emit(
+            SNAPSHOT_CAPTURED,
+            n_public=self._cached.n_public,
+            n_private=self._cached.n_private,
+        )
         return self._cached
 
     # ------------------------------------------------------------------
@@ -125,6 +136,12 @@ class BatchEngine:
                     answers = handler(snapshot, [batch[p] for p in positions])
                 for position, answer in zip(positions, answers):
                     results[position] = answer
+        self.telemetry.emit(
+            BATCH_EXECUTED,
+            size=len(batch),
+            vectorize=vectorize,
+            kinds=dict(sorted((k, len(v)) for k, v in groups.items())),
+        )
         return results
 
     # ------------------------------------------------------------------

@@ -20,6 +20,7 @@ Prometheus text format and an ASCII dashboard live in
 
 from __future__ import annotations
 
+from repro.obs.events import EVENT_KINDS, EVENT_METRIC, Event, EventLog
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -32,20 +33,35 @@ from repro.obs.trace import SPAN_METRIC, SpanRecord, Tracer
 
 
 class Telemetry:
-    """One registry + one tracer: the unit of observability injection.
+    """One registry + one tracer + one event log: the injection unit.
 
     Args:
         enabled: whether spans are recorded; metrics counters always work
             (they are integer adds, cheaper than the spans they'd gate).
         keep: completed-span ring-buffer size.
+        events_enabled: whether structured events are recorded; follows
+            ``enabled`` when omitted, so dark telemetry stays dark.
+        events_keep: event ring-buffer size.
     """
 
-    def __init__(self, enabled: bool = True, keep: int = 512) -> None:
+    def __init__(
+        self,
+        enabled: bool = True,
+        keep: int = 512,
+        events_enabled: bool | None = None,
+        events_keep: int = 2048,
+    ) -> None:
         self.registry = MetricsRegistry()
         self.tracer = Tracer(self.registry, enabled=enabled, keep=keep)
-        # Bind the tracer's span() straight onto the instance: one method
-        # call instead of two on the hottest path in the package.
+        self.events = EventLog(
+            self.registry,
+            enabled=enabled if events_enabled is None else events_enabled,
+            keep=events_keep,
+        )
+        # Bind the hot methods straight onto the instance: one method
+        # call instead of two on the hottest paths in the package.
         self.span = self.tracer.span
+        self.emit = self.events.emit
 
     # ------------------------------------------------------------------
     # Hot-path API
@@ -54,6 +70,10 @@ class Telemetry:
     def span(self, name: str, **attrs: object):
         """Time one stage; no-op fast path when tracing is disabled."""
         return self.tracer.span(name, **attrs)
+
+    def emit(self, kind: str, /, **attrs: object) -> int | None:
+        """Record one structured event; dropped while events are disabled."""
+        return self.events.emit(kind, **attrs)
 
     def count(self, name: str, amount: int = 1, **labels: object) -> None:
         """Increment counter ``name`` (created on first use)."""
@@ -83,6 +103,7 @@ class Telemetry:
     def reset(self) -> None:
         self.registry.reset()
         self.tracer.reset()
+        self.events.reset()
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -123,6 +144,7 @@ class Telemetry:
             "counters": raw["counters"],
             "gauges": raw["gauges"],
             "histograms": histograms,
+            "events": self.events.counts(),
         }
 
 
@@ -155,6 +177,16 @@ def disable_tracing() -> None:
     _GLOBAL.disable()
 
 
+# Imported after Telemetry exists: audit builds on events, explain on the
+# index counters — neither depends back on this module at import time.
+from repro.obs.audit import PrivacyAuditor  # noqa: E402
+from repro.obs.explain import (  # noqa: E402
+    PlanNode,
+    QueryExplainer,
+    plan_to_json,
+    render_plan,
+)
+
 __all__ = [
     "Counter",
     "Gauge",
@@ -165,6 +197,15 @@ __all__ = [
     "SpanRecord",
     "Tracer",
     "Telemetry",
+    "Event",
+    "EventLog",
+    "EVENT_KINDS",
+    "EVENT_METRIC",
+    "PrivacyAuditor",
+    "PlanNode",
+    "QueryExplainer",
+    "plan_to_json",
+    "render_plan",
     "get_telemetry",
     "set_telemetry",
     "span",

@@ -1,0 +1,235 @@
+"""Privacy-attainment auditing over the structured event log.
+
+The anonymizer's contract (paper, Section 5) is per-query: every cloaked
+region must hold at least ``k`` subscribed users and at least ``A_min``
+area, or the degradation must be explicit (best-effort clamping).  The
+:class:`PrivacyAuditor` replays ``cloak.result`` / ``cloak.degraded`` /
+``query.completed`` events (:mod:`repro.obs.events`) and rolls them into
+per-user and per-profile attainment reports, flagging any *undeclared*
+violation — a region that missed its requirement without a matching
+``cloak.degraded`` event.  ``tests/property/test_prop_obs_events.py``
+holds the pipeline to zero undeclared violations on arbitrary workloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.obs.events import (
+    CLOAK_DEGRADED,
+    CLOAK_RESULT,
+    QUERY_COMPLETED,
+    Event,
+    EventLog,
+    read_jsonl,
+)
+
+
+def _profile_key(attrs: dict) -> str:
+    """Canonical label of the (k, A_min, A_max) profile behind an event."""
+    max_area = attrs.get("max_area")
+    return (
+        f"k={attrs.get('k', 1)},"
+        f"a_min={attrs.get('min_area', 0.0):g},"
+        f"a_max={'inf' if max_area is None else format(max_area, 'g')}"
+    )
+
+
+@dataclass
+class _Tally:
+    """Attainment counters for one user or one profile."""
+
+    cloaks: int = 0
+    k_attained: int = 0
+    area_attained: int = 0
+    fully_attained: int = 0
+    degraded_declared: int = 0
+    undeclared_violations: int = 0
+    areas: list = field(default_factory=list)
+    k_achieved: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        out = {
+            "cloaks": self.cloaks,
+            "k_attained": self.k_attained,
+            "area_attained": self.area_attained,
+            "fully_attained": self.fully_attained,
+            "degraded_declared": self.degraded_declared,
+            "undeclared_violations": self.undeclared_violations,
+            "attainment_rate": (
+                self.fully_attained / self.cloaks if self.cloaks else 1.0
+            ),
+        }
+        if self.areas:
+            out["mean_area"] = sum(self.areas) / len(self.areas)
+            out["min_area"] = min(self.areas)
+        if self.k_achieved:
+            out["mean_k_achieved"] = sum(self.k_achieved) / len(self.k_achieved)
+            out["min_k_achieved"] = min(self.k_achieved)
+        return out
+
+
+class PrivacyAuditor:
+    """Rolls audit events into per-user / per-profile attainment reports.
+
+    Feed it events from a live :class:`~repro.obs.events.EventLog`
+    (:meth:`from_log`), a JSONL trail on disk (:meth:`from_jsonl`), or
+    any iterable of :class:`~repro.obs.events.Event` (:meth:`consume`);
+    then read :meth:`report` or :meth:`violations`.
+    """
+
+    def __init__(self) -> None:
+        self._users: dict[str, _Tally] = {}
+        self._profiles: dict[str, _Tally] = {}
+        self._results: list[Event] = []
+        self._degraded_seqs: set[int] = set()
+        self._degraded_result_seqs: set[int] = set()
+        self._query_overheads: dict[str, list[float]] = {}
+        self._query_counts: dict[str, int] = {}
+        self._query_correct: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_log(cls, log: EventLog) -> "PrivacyAuditor":
+        return cls().consume(log.events())
+
+    @classmethod
+    def from_jsonl(cls, path: str) -> "PrivacyAuditor":
+        return cls().consume(read_jsonl(path))
+
+    def consume(self, events: Iterable[Event]) -> "PrivacyAuditor":
+        """Fold a stream of events into the running tallies; returns self."""
+        for event in events:
+            if event.kind == CLOAK_RESULT:
+                self._consume_result(event)
+            elif event.kind == CLOAK_DEGRADED:
+                self._degraded_seqs.add(event.seq)
+                result_seq = event.attrs.get("result_seq")
+                if result_seq is not None:
+                    self._degraded_result_seqs.add(int(result_seq))
+            elif event.kind == QUERY_COMPLETED:
+                self._consume_query(event)
+        # Declarations may arrive after their results within one batch of
+        # events; settle the undeclared counts once the stream is folded.
+        self._settle()
+        return self
+
+    def _consume_result(self, event: Event) -> None:
+        self._results.append(event)
+        attrs = event.attrs
+        user = str(attrs.get("user"))
+        for tally in (
+            self._users.setdefault(user, _Tally()),
+            self._profiles.setdefault(_profile_key(attrs), _Tally()),
+        ):
+            tally.cloaks += 1
+            tally.k_attained += bool(attrs.get("k_satisfied"))
+            tally.area_attained += bool(attrs.get("area_satisfied"))
+            tally.fully_attained += bool(
+                attrs.get("k_satisfied") and attrs.get("area_satisfied")
+            )
+            if "area" in attrs:
+                tally.areas.append(float(attrs["area"]))
+            if "k_achieved" in attrs:
+                tally.k_achieved.append(int(attrs["k_achieved"]))
+
+    def _consume_query(self, event: Event) -> None:
+        kind = str(event.attrs.get("query", "query"))
+        self._query_counts[kind] = self._query_counts.get(kind, 0) + 1
+        self._query_correct[kind] = self._query_correct.get(kind, 0) + bool(
+            event.attrs.get("correct", True)
+        )
+        overhead = event.attrs.get("overhead")
+        if overhead is not None:
+            self._query_overheads.setdefault(kind, []).append(float(overhead))
+
+    def _settle(self) -> None:
+        for tally in list(self._users.values()) + list(self._profiles.values()):
+            tally.degraded_declared = 0
+            tally.undeclared_violations = 0
+        for event in self._results:
+            attrs = event.attrs
+            satisfied = bool(
+                attrs.get("k_satisfied") and attrs.get("area_satisfied")
+            )
+            declared = (
+                bool(attrs.get("degraded"))
+                or event.seq in self._degraded_result_seqs
+            )
+            user = str(attrs.get("user"))
+            for tally in (self._users[user], self._profiles[_profile_key(attrs)]):
+                if satisfied:
+                    continue
+                if declared:
+                    tally.degraded_declared += 1
+                else:
+                    tally.undeclared_violations += 1
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+
+    def violations(self, declared: bool = False) -> list[Event]:
+        """``cloak.result`` events that missed their requirement.
+
+        With ``declared=False`` (the default) only *undeclared* misses —
+        no ``degraded`` marker anywhere — are returned; those are
+        contract breaches.  ``declared=True`` returns every miss.
+        """
+        out = []
+        for event in self._results:
+            attrs = event.attrs
+            if attrs.get("k_satisfied") and attrs.get("area_satisfied"):
+                continue
+            is_declared = (
+                bool(attrs.get("degraded"))
+                or event.seq in self._degraded_result_seqs
+            )
+            if declared or not is_declared:
+                out.append(event)
+        return out
+
+    def report(self) -> dict:
+        """Plain-data attainment report (JSON-serialisable as-is)."""
+        totals = _Tally()
+        for tally in self._users.values():
+            totals.cloaks += tally.cloaks
+            totals.k_attained += tally.k_attained
+            totals.area_attained += tally.area_attained
+            totals.fully_attained += tally.fully_attained
+            totals.degraded_declared += tally.degraded_declared
+            totals.undeclared_violations += tally.undeclared_violations
+            totals.areas.extend(tally.areas)
+            totals.k_achieved.extend(tally.k_achieved)
+        queries = {
+            kind: {
+                "count": count,
+                "accuracy": self._query_correct.get(kind, 0) / count,
+                **(
+                    {
+                        "mean_overhead": sum(overheads) / len(overheads),
+                        "max_overhead": max(overheads),
+                    }
+                    if (overheads := self._query_overheads.get(kind))
+                    else {}
+                ),
+            }
+            for kind, count in sorted(self._query_counts.items())
+        }
+        return {
+            "schema": "repro.obs.audit/1",
+            "totals": totals.as_dict(),
+            "users": {
+                user: tally.as_dict()
+                for user, tally in sorted(self._users.items())
+            },
+            "profiles": {
+                profile: tally.as_dict()
+                for profile, tally in sorted(self._profiles.items())
+            },
+            "queries": queries,
+        }

@@ -1,0 +1,284 @@
+"""Benchmark history: shared envelope, trajectory file, regression flags.
+
+The repo's benchmarks each write a ``BENCH_*.json`` at the root, but
+until now nothing consumed them — a silent 30 % throughput drop would
+ship.  This module closes the loop:
+
+* :func:`make_envelope` / :func:`wrap_report` put every bench report
+  under one shared envelope (schema version, git sha, UTC timestamp) so
+  heterogeneous reports ingest without per-file special cases;
+* :func:`ingest_reports` flattens each report's throughput/latency
+  leaves into dotted metric names and :func:`append_history` appends
+  one record per report to ``BENCH_HISTORY.jsonl``;
+* :func:`detect_regressions` compares each metric's latest value
+  against the median of its prior history, direction-aware (queries per
+  second: higher is better; seconds: lower is better), and flags moves
+  beyond the gate (default 25 %, so a 30 % drop flags).
+
+``python -m repro bench-history`` (and ``make bench-history`` / CI)
+runs the whole pipeline and exits nonzero on any flagged regression.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import subprocess
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Iterable, Mapping
+
+#: One more schema under the house convention (``repro.<area>/<version>``).
+HISTORY_SCHEMA = "repro.obs.benchhist/1"
+
+#: Envelope layout version, bumped only on incompatible envelope changes.
+ENVELOPE_VERSION = 1
+
+#: Default trajectory file, at the repo root next to the BENCH_*.json files.
+HISTORY_FILENAME = "BENCH_HISTORY.jsonl"
+
+#: Relative move beyond which a metric's latest value is flagged.
+DEFAULT_GATE = 0.25
+
+#: Prior records considered when computing a metric's baseline median.
+BASELINE_WINDOW = 5
+
+#: Metric-name suffixes that identify throughput (higher is better).
+_HIGHER_SUFFIXES = ("queries_per_second", "speedup")
+
+#: Metric-name suffixes that identify latency (lower is better).
+_LOWER_SUFFIXES = ("seconds", "mean_s", "min_s", "max_s", "p50", "p95", "p99")
+
+
+# ----------------------------------------------------------------------
+# Envelope
+# ----------------------------------------------------------------------
+
+def git_sha(cwd: str | Path | None = None) -> str:
+    """The current short commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=str(cwd) if cwd is not None else None,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def make_envelope(schema: str, cwd: str | Path | None = None) -> dict:
+    """The shared report envelope every bench writer stamps on its output."""
+    import platform
+
+    return {
+        "schema": schema,
+        "schema_version": ENVELOPE_VERSION,
+        "git_sha": git_sha(cwd),
+        "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+    }
+
+
+def wrap_report(report: Mapping, schema: str, cwd: str | Path | None = None) -> dict:
+    """``{**envelope, **report}`` — the report's own keys win on clash."""
+    return {**make_envelope(schema, cwd), **dict(report)}
+
+
+# ----------------------------------------------------------------------
+# Metric extraction
+# ----------------------------------------------------------------------
+
+def metric_direction(name: str) -> str | None:
+    """``"higher"`` / ``"lower"`` for tracked metrics, ``None`` otherwise.
+
+    Only throughput and latency leaves are tracked; counts, parameters
+    and ratios with no better-direction are ignored on purpose.
+    """
+    leaf = name.rsplit(".", 1)[-1]
+    if leaf in _HIGHER_SUFFIXES:
+        return "higher"
+    # speedup_at_gate_scale.<kind> leaves are throughput ratios.
+    if any(part.startswith("speedup") for part in name.split(".")):
+        return "higher"
+    if leaf in _LOWER_SUFFIXES:
+        return "lower"
+    return None
+
+
+def extract_metrics(report: Mapping) -> dict[str, float]:
+    """Flatten a report's tracked numeric leaves into dotted metric names.
+
+    ``{"modes": {"batched": {"public_nn": {"10000": {"queries_per_second":
+    81234.5}}}}}`` becomes
+    ``{"modes.batched.public_nn.10000.queries_per_second": 81234.5}``.
+    """
+    metrics: dict[str, float] = {}
+
+    def walk(node: object, prefix: str) -> None:
+        if isinstance(node, Mapping):
+            for key, value in node.items():
+                walk(value, f"{prefix}.{key}" if prefix else str(key))
+            return
+        if isinstance(node, bool) or not isinstance(node, (int, float)):
+            return
+        if not math.isfinite(node):
+            return
+        if metric_direction(prefix) is not None:
+            metrics[prefix] = float(node)
+
+    walk(dict(report), "")
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# History file
+# ----------------------------------------------------------------------
+
+def ingest_reports(paths: Iterable[str | Path]) -> list[dict]:
+    """One history record per readable ``BENCH_*.json`` report."""
+    records = []
+    for path in paths:
+        path = Path(path)
+        try:
+            report = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            continue
+        if not isinstance(report, dict):
+            continue
+        records.append(
+            {
+                "schema": HISTORY_SCHEMA,
+                "source": path.name,
+                "report_schema": report.get("schema", "unknown"),
+                "schema_version": report.get("schema_version", 0),
+                "git_sha": report.get("git_sha", git_sha(path.parent)),
+                "created_at": report.get(
+                    "created_at",
+                    datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                ),
+                "metrics": extract_metrics(report),
+            }
+        )
+    return records
+
+
+def append_history(records: Iterable[Mapping], path: str | Path) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(dict(record), sort_keys=True) + "\n")
+
+
+def load_history(path: str | Path) -> list[dict]:
+    """All history records, oldest-first; missing file reads as empty."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    records = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+# ----------------------------------------------------------------------
+# Regression detection
+# ----------------------------------------------------------------------
+
+def _median(values: list[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def detect_regressions(
+    history: Iterable[Mapping], gate: float = DEFAULT_GATE
+) -> list[dict]:
+    """Flag metrics whose latest value moved beyond ``gate`` the wrong way.
+
+    Per ``(source, metric)`` series: the latest value is compared to the
+    median of up to :data:`BASELINE_WINDOW` prior values.  Throughput
+    metrics flag when ``latest < baseline * (1 - gate)``; latency metrics
+    when ``latest > baseline * (1 + gate)``.  Series with fewer than two
+    points never flag (no trajectory yet — the empty-history case).
+    """
+    series: dict[tuple[str, str], list[float]] = {}
+    for record in history:
+        source = str(record.get("source", "unknown"))
+        for metric, value in (record.get("metrics") or {}).items():
+            series.setdefault((source, metric), []).append(float(value))
+
+    flags = []
+    for (source, metric), values in sorted(series.items()):
+        if len(values) < 2:
+            continue
+        latest = values[-1]
+        baseline = _median(values[-1 - BASELINE_WINDOW : -1])
+        if baseline == 0:
+            continue
+        change = (latest - baseline) / abs(baseline)
+        direction = metric_direction(metric) or "higher"
+        regressed = (
+            change < -gate if direction == "higher" else change > gate
+        )
+        if regressed:
+            flags.append(
+                {
+                    "source": source,
+                    "metric": metric,
+                    "direction": direction,
+                    "baseline": baseline,
+                    "latest": latest,
+                    "change": change,
+                    "gate": gate,
+                }
+            )
+    return flags
+
+
+# ----------------------------------------------------------------------
+# End-to-end
+# ----------------------------------------------------------------------
+
+def run_bench_history(
+    root: str | Path = ".",
+    history_path: str | Path | None = None,
+    gate: float = DEFAULT_GATE,
+    append: bool = True,
+) -> dict:
+    """Ingest ``BENCH_*.json`` under ``root``, extend the trajectory, flag.
+
+    Returns a plain-data summary: the reports ingested, the history
+    length, the flagged regressions, and ``ok`` (no flags).  With
+    ``append=False`` the check runs against history + fresh records
+    without persisting (dry run).
+    """
+    root = Path(root)
+    if history_path is None:
+        history_path = root / HISTORY_FILENAME
+    reports = sorted(
+        p for p in root.glob("BENCH_*.json") if p.name != HISTORY_FILENAME
+    )
+    records = ingest_reports(reports)
+    if append and records:
+        append_history(records, history_path)
+        history = load_history(history_path)
+    else:
+        history = load_history(history_path) + records
+    flags = detect_regressions(history, gate)
+    return {
+        "schema": HISTORY_SCHEMA,
+        "ingested": [r["source"] for r in records],
+        "history_path": str(history_path),
+        "history_records": len(history),
+        "gate": gate,
+        "regressions": flags,
+        "ok": not flags,
+    }

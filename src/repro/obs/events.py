@@ -1,0 +1,240 @@
+"""Bounded structured event log: the pipeline's per-query evidence trail.
+
+Where :mod:`repro.obs.metrics` aggregates and :mod:`repro.obs.trace`
+times, this module *records decisions*: one typed event per pipeline
+action — a user admitted, a cloak attempted/escalated/degraded, a region
+published, a candidate list generated, a batch snapshot reused — each
+carrying the numbers an auditor needs to judge it (requested vs achieved
+k, cloaked area vs A_min, candidate overhead).  The paper's anonymizer
+silently trades region area against each user's (k, A_min) profile;
+events make that trade inspectable per query instead of only in
+aggregate (:mod:`repro.obs.audit` rolls them into attainment reports).
+
+Design constraints match the rest of the package: dependency-free, a
+bounded ring buffer so a long-lived system cannot grow without bound,
+and an optional JSONL sink for durable trails.  Disabled emission is a
+single attribute check; with the ring buffer on and the sink off, the
+cost per event is one dict build plus a ``deque.append`` — held under
+5 % of a real query by ``tests/unit/test_obs_events_overhead.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass, field
+from typing import IO, Iterable, Iterator, Mapping
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Counter family under which every emission is tallied (per kind).
+EVENT_METRIC = "events.emitted"
+
+# ----------------------------------------------------------------------
+# Event taxonomy (see docs/observability.md for the paper-stage mapping)
+# ----------------------------------------------------------------------
+
+#: A user subscribed to the anonymizer with a privacy profile.
+USER_ADMITTED = "user.admitted"
+#: A user unsubscribed; her server-side region was retired.
+USER_RETIRED = "user.retired"
+#: A cloak was requested (requirement in force at time ``t``).
+CLOAK_ATTEMPT = "cloak.attempt"
+#: Best-effort escalation: requested k exceeded the population and was clamped.
+CLOAK_ESCALATED = "cloak.escalated"
+#: A cloaked region was produced; the per-query privacy audit record.
+CLOAK_RESULT = "cloak.result"
+#: Explicit declaration that a produced region missed its requirement.
+CLOAK_DEGRADED = "cloak.degraded"
+#: Shared-execution round summary (Section 5.3 batch cloaking).
+CLOAK_BATCH = "cloak.batch"
+#: A cloaked region reached the server under a pseudonym.
+REGION_PUBLISHED = "region.published"
+#: The server generated a candidate set for a private query.
+CANDIDATES_GENERATED = "candidates.generated"
+#: An end-to-end private query finished; carries the overhead ratio.
+QUERY_COMPLETED = "query.completed"
+#: The batch engine froze a fresh server snapshot (cache invalidation).
+SNAPSHOT_CAPTURED = "snapshot.captured"
+#: The batch engine answered from the cached snapshot (stores quiescent).
+SNAPSHOT_REUSED = "snapshot.reused"
+#: One heterogeneous batch was executed.
+BATCH_EXECUTED = "batch.executed"
+
+#: Every kind this package emits, for validation and documentation.
+EVENT_KINDS: tuple[str, ...] = (
+    USER_ADMITTED,
+    USER_RETIRED,
+    CLOAK_ATTEMPT,
+    CLOAK_ESCALATED,
+    CLOAK_RESULT,
+    CLOAK_DEGRADED,
+    CLOAK_BATCH,
+    REGION_PUBLISHED,
+    CANDIDATES_GENERATED,
+    QUERY_COMPLETED,
+    SNAPSHOT_CAPTURED,
+    SNAPSHOT_REUSED,
+    BATCH_EXECUTED,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One recorded pipeline decision.
+
+    Attributes:
+        seq: monotonically increasing per-log sequence number (the join
+            key between related events, e.g. a ``cloak.degraded`` names
+            its ``cloak.result`` via the ``result_seq`` attribute).
+        kind: one of the ``EVENT_KINDS`` constants.
+        attrs: the decision's payload (plain JSON-serialisable values).
+    """
+
+    seq: int
+    kind: str
+    attrs: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """Flat JSONL-ready form: ``{"seq": ..., "kind": ..., **attrs}``."""
+        return {"seq": self.seq, "kind": self.kind, **self.attrs}
+
+    @classmethod
+    def from_dict(cls, record: Mapping) -> "Event":
+        """Inverse of :meth:`to_dict` (JSONL ingestion)."""
+        attrs = {k: v for k, v in record.items() if k not in ("seq", "kind")}
+        return cls(seq=int(record["seq"]), kind=str(record["kind"]), attrs=attrs)
+
+
+class EventLog:
+    """Bounded ring buffer of :class:`Event` s with an optional JSONL sink.
+
+    Args:
+        registry: destination for the per-kind ``events.emitted`` counters;
+            emission is not tallied when omitted.
+        enabled: start recording (the default) or dark.  A disabled log's
+            :meth:`emit` is a single attribute check.
+        keep: ring-buffer capacity; older events fall off the front.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        enabled: bool = True,
+        keep: int = 2048,
+    ) -> None:
+        self.registry = registry
+        self.enabled = enabled
+        self._ring: deque[Event] = deque(maxlen=keep)
+        self._seq = 0
+        self._sink: IO[str] | None = None
+        self._sink_owned = False
+
+    # ------------------------------------------------------------------
+    # The one hot entry point
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, /, **attrs: object) -> int | None:
+        """Record one event (dropped entirely while disabled).
+
+        Returns the event's sequence number so related events can carry
+        a join key (e.g. ``cloak.degraded`` naming its ``cloak.result``
+        via ``result_seq``); ``None`` while disabled.
+        """
+        if not self.enabled:
+            return None
+        self._seq += 1
+        event = Event(self._seq, kind, attrs)
+        self._ring.append(event)
+        if self.registry is not None:
+            self.registry.counter(EVENT_METRIC, kind=kind).inc()
+        if self._sink is not None:
+            self._sink.write(
+                json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n"
+            )
+        return event.seq
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def attach_jsonl(self, target: str | IO[str]) -> None:
+        """Stream every future event to ``target`` (path or open text file).
+
+        A path is opened in append mode and owned (closed by
+        :meth:`detach_jsonl` / a later ``attach``); a file object is
+        borrowed and left open.
+        """
+        self.detach_jsonl()
+        if isinstance(target, str):
+            self._sink = open(target, "a", encoding="utf-8")
+            self._sink_owned = True
+        else:
+            self._sink = target
+            self._sink_owned = False
+
+    def detach_jsonl(self) -> None:
+        """Stop streaming; closes the sink only if this log opened it."""
+        sink, owned = self._sink, self._sink_owned
+        self._sink = None
+        self._sink_owned = False
+        if sink is not None:
+            if owned:
+                sink.close()
+            else:
+                sink.flush()
+
+    def reset(self) -> None:
+        """Forget buffered events (sequence numbers keep increasing)."""
+        self._ring.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> Iterator[Event]:
+        """Buffered events oldest-first, optionally filtered by kind."""
+        if kind is None:
+            return iter(list(self._ring))
+        return iter([e for e in self._ring if e.kind == kind])
+
+    def counts(self) -> dict[str, int]:
+        """Buffered events per kind (ring-buffer view, not lifetime)."""
+        out: dict[str, int] = {}
+        for event in self._ring:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return dict(sorted(out.items()))
+
+    def dump_jsonl(self, stream: IO[str] | None = None) -> str:
+        """Serialise the buffered events as JSONL; also returns the text."""
+        lines = [
+            json.dumps(e.to_dict(), sort_keys=True, default=str)
+            for e in self._ring
+        ]
+        text = "\n".join(lines) + ("\n" if lines else "")
+        if stream is not None:
+            stream.write(text)
+        return text
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def read_jsonl(source: str | IO[str] | Iterable[str]) -> list[Event]:
+    """Parse a JSONL event trail back into :class:`Event` values.
+
+    Accepts a path, an open text file, or any iterable of lines; blank
+    lines are skipped, so concatenated sink files ingest cleanly.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = list(source)
+    return [Event.from_dict(json.loads(line)) for line in lines if line.strip()]

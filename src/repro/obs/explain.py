@@ -1,0 +1,415 @@
+"""Per-query EXPLAIN: structured plan trees for every query path.
+
+``EXPLAIN`` answers *why this answer cost what it cost*: which index was
+chosen, how many nodes it visited, which pruning decisions fired, and
+whether the batch engine took a vectorised kernel or the scalar
+fallback.  A :class:`QueryExplainer` **executes the query for real**
+against its server — the reported index counters are measured deltas of
+the stores' :class:`~repro.index.base.IndexCounters`, not estimates, so
+a plan's ``node_visits`` equals exactly the work a plain call would
+have done (held by ``tests/property/test_prop_obs_events.py``).
+
+Plans are :class:`PlanNode` trees rendered two ways: machine-readable
+JSON (:func:`plan_to_json`) and an ASCII tree (:func:`render_plan`),
+both behind ``python -m repro explain``.  The default CLI plan is the
+paper's own Figure 6a count query, whose leaves carry the worked
+example's membership probabilities 1.0 / 0.75 / 0.5 / 0.2 / 0.25.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.base import IndexCounters
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import LocationServer
+    from repro.engine.queries import BatchQuery
+
+#: Vectorised kernel behind each batch kind (``None``: inherently scalar).
+BATCH_KERNELS: dict[str, str | None] = {
+    "public_range": "points_in_windows_grid",
+    "public_nn": "knn_points_grid",
+    "public_count": "rects_intersecting_window + membership_probabilities",
+    "private_range": "points_within_radius / points_in_windows",
+    "private_nn": None,
+}
+
+#: Canonical result-order policy per batch kind (docs/batch_engine.md).
+TIE_BREAK: dict[str, str] = {
+    "public_range": "snapshot row order",
+    "public_nn": "distance, then snapshot rank",
+    "public_count": "snapshot row order",
+    "private_range": "snapshot row order",
+    "private_nn": "snapshot row order",
+}
+
+
+@dataclass
+class PlanNode:
+    """One operator of an executed query plan.
+
+    Attributes:
+        op: operator name (``"index.range_query"``, ``"filter.exact"``...).
+        detail: the operator's measured facts (counts, parameters,
+            decisions) — plain JSON-serialisable values.
+        children: sub-operators in execution order.
+    """
+
+    op: str
+    detail: dict = field(default_factory=dict)
+    children: list["PlanNode"] = field(default_factory=list)
+
+    def add(self, op: str, **detail: object) -> "PlanNode":
+        """Append and return a child node (builder convenience)."""
+        child = PlanNode(op, dict(detail))
+        self.children.append(child)
+        return child
+
+    def find(self, op: str) -> list["PlanNode"]:
+        """All nodes (depth-first, self included) with operator ``op``."""
+        found = [self] if self.op == op else []
+        for child in self.children:
+            found.extend(child.find(op))
+        return found
+
+    def leaves(self) -> list["PlanNode"]:
+        """Nodes with no children, depth-first."""
+        if not self.children:
+            return [self]
+        out: list[PlanNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "op": self.op,
+            "detail": dict(self.detail),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+# ----------------------------------------------------------------------
+# Exporters
+# ----------------------------------------------------------------------
+
+def plan_to_json(plan: PlanNode, indent: int | None = 2) -> str:
+    """The plan tree as a JSON document."""
+    return json.dumps(plan.to_dict(), indent=indent, sort_keys=True, default=str)
+
+
+def _fmt_value(value: object) -> str:
+    if isinstance(value, float):
+        return format(value, "g")
+    if isinstance(value, (list, tuple)):
+        return "[" + ",".join(_fmt_value(v) for v in value) + "]"
+    return str(value)
+
+
+def render_plan(plan: PlanNode) -> str:
+    """ASCII tree rendering: one line per operator, details inline."""
+    lines: list[str] = []
+
+    def walk(node: PlanNode, prefix: str, is_last: bool, is_root: bool) -> None:
+        detail = "  ".join(f"{k}={_fmt_value(v)}" for k, v in node.detail.items())
+        if is_root:
+            lines.append(f"{node.op}" + (f"  {detail}" if detail else ""))
+            child_prefix = ""
+        else:
+            branch = "└─ " if is_last else "├─ "
+            lines.append(prefix + branch + node.op + (f"  {detail}" if detail else ""))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        for i, child in enumerate(node.children):
+            walk(child, child_prefix, i == len(node.children) - 1, False)
+
+    walk(plan, "", True, True)
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The explainer
+# ----------------------------------------------------------------------
+
+def _rect_list(rect: Rect) -> list[float]:
+    return [rect.min_x, rect.min_y, rect.max_x, rect.max_y]
+
+
+class QueryExplainer:
+    """EXPLAIN for every query path of one :class:`LocationServer`.
+
+    Each ``explain_*`` method runs the query through the server's normal
+    entry point, measures the index-counter delta it caused, and returns
+    the plan tree with the answer summary on the root node.
+    """
+
+    def __init__(self, server: "LocationServer") -> None:
+        self.server = server
+
+    @contextmanager
+    def _measured(self, counters: IndexCounters, sink: dict) -> Iterator[None]:
+        """Fill ``sink`` with the counter delta of the enclosed execution."""
+        before = counters.snapshot()
+        yield
+        after = counters.snapshot()
+        sink.update({name: after[name] - before[name] for name in after})
+
+    # ------------------------------------------------------------------
+    # Public queries over public data
+    # ------------------------------------------------------------------
+
+    def explain_public_range(self, window: Rect) -> PlanNode:
+        """Classic exact range query over the public store."""
+        delta: dict = {}
+        with self._measured(self.server.public.index_counters, delta):
+            ids = self.server.public_range_over_public(window)
+        plan = PlanNode(
+            "public_range",
+            {"window": _rect_list(window), "matched": len(ids),
+             "order": TIE_BREAK["public_range"]},
+        )
+        plan.add("index.range_query", index="rtree", store="public", **delta)
+        return plan
+
+    def explain_public_knn(self, point: Point, k: int = 1) -> PlanNode:
+        """Classic exact k-NN query over the public store."""
+        delta: dict = {}
+        with self._measured(self.server.public.index_counters, delta):
+            ids = self.server.public_nn_over_public(point, k)
+        plan = PlanNode(
+            "public_knn",
+            {"point": [point.x, point.y], "k": k, "answered": len(ids),
+             "tie_break": TIE_BREAK["public_nn"]},
+        )
+        plan.add("index.nearest", index="rtree", store="public", **delta)
+        return plan
+
+    # ------------------------------------------------------------------
+    # Public queries over private data (Figure 6)
+    # ------------------------------------------------------------------
+
+    def explain_public_count(self, window: Rect) -> PlanNode:
+        """Probabilistic count (Figure 6a): one leaf per possible member."""
+        delta: dict = {}
+        with self._measured(self.server.private.index_counters, delta):
+            answer = self.server.public_count(window)
+        lo, hi = answer.interval
+        plan = PlanNode(
+            "public_count",
+            {"window": _rect_list(window), "expected": answer.expected,
+             "interval": [lo, hi], "possible": len(answer.probabilities)},
+        )
+        plan.add("index.range_query", index="rtree", store="private", **delta)
+        # Leaves in store insertion order: deterministic regardless of the
+        # backing index's internal layout (the Figure 6a golden relies on
+        # this reading D, A, B, E, F).
+        for object_id, region in self.server.private.items():
+            probability = answer.probabilities.get(object_id)
+            if probability is None:
+                continue
+            plan.add(
+                "region.probability",
+                object=object_id,
+                probability=float(probability),
+                region_area=region.area,
+            )
+        return plan
+
+    def explain_public_nn(self, point: Point, samples: int = 4096) -> PlanNode:
+        """Probabilistic NN over private data (Figure 6b)."""
+        delta: dict = {}
+        with self._measured(self.server.private.index_counters, delta):
+            result = self.server.public_nn(point, samples)
+        plan = PlanNode(
+            "public_nn",
+            {"point": [point.x, point.y],
+             "candidates": len(result.answer.probabilities),
+             "samples": result.samples},
+        )
+        plan.add("index.nearest_iter", index="rtree", store="private", **delta)
+        plan.add(
+            "pruning.bound",
+            m=result.pruning_bound,
+            rule="keep o with min_dist(q, R_o) <= min_o' max_dist(q, R_o')",
+        )
+        plan.add(
+            "estimate.monte_carlo",
+            samples=result.samples,
+            skipped=result.samples == 0,
+        )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Private queries over public data (Figure 5)
+    # ------------------------------------------------------------------
+
+    def explain_private_range(
+        self, region: Rect, radius: float, method: str = "exact"
+    ) -> PlanNode:
+        """Candidate-set range query from a cloaked region (Figure 5a)."""
+        delta: dict = {}
+        with self._measured(self.server.public.index_counters, delta):
+            result = self.server.private_range(region, radius, method)
+        plan = PlanNode(
+            "private_range",
+            {"region": _rect_list(region), "radius": radius, "method": method,
+             "candidates": len(result.candidates)},
+        )
+        plan.add(
+            "expand.window",
+            window=_rect_list(region.expanded(radius)),
+            locus="rounded rectangle (Minkowski sum), prefiltered by its MBR",
+        )
+        plan.add("index.range_query", index="rtree", store="public", **delta)
+        if method == "exact":
+            plan.add(
+                "filter.exact",
+                kept=len(result.candidates),
+                predicate="min_dist(point, region) <= radius",
+            )
+        else:
+            plan.add(
+                "filter.mbr",
+                kept=len(result.candidates),
+                predicate="none (MBR superset shipped as-is)",
+            )
+        return plan
+
+    def explain_private_nn(self, region: Rect, method: str = "filter") -> PlanNode:
+        """Candidate-set NN query from a cloaked region (Figure 5b)."""
+        delta: dict = {}
+        with self._measured(self.server.public.index_counters, delta):
+            result = self.server.private_nn(region, method)
+        plan = PlanNode(
+            "private_nn",
+            {"region": _rect_list(region), "method": method,
+             "candidates": len(result.candidates)},
+        )
+        plan.add("index.nearest_iter", index="rtree", store="public", **delta)
+        plan.add(
+            "pruning.radius",
+            m=result.pruning_radius,
+            rule="m = min_o max_dist(region, o); farther objects never win",
+        )
+        if method in ("filter", "exact"):
+            plan.add(
+                "filter.dominance",
+                rule="prune o when one competitor beats it over all of region",
+                survivors=len(result.candidates) if method == "filter" else None,
+            )
+        if method == "exact":
+            plan.add(
+                "voronoi.clip",
+                rule="keep o iff its Voronoi cell intersects region",
+                survivors=len(result.candidates),
+            )
+        return plan
+
+    def explain_private_knn(
+        self, region: Rect, k: int, method: str = "filter"
+    ) -> PlanNode:
+        """Candidate-set k-NN query from a cloaked region (extension)."""
+        from repro.queries.private_knn import private_knn_query
+
+        delta: dict = {}
+        with self._measured(self.server.public.index_counters, delta):
+            result = private_knn_query(self.server.public, region, k, method)
+        plan = PlanNode(
+            "private_knn",
+            {"region": _rect_list(region), "k": k, "method": method,
+             "candidates": len(result.candidates)},
+        )
+        plan.add("index.nearest_iter", index="rtree", store="public", **delta)
+        plan.add(
+            "pruning.radius",
+            m=result.pruning_radius,
+            rule="max over corners of d_k(corner) + in_radius (1-Lipschitz bound)",
+        )
+        if method == "filter":
+            plan.add(
+                "filter.corner_dominance",
+                rule="prune o when k competitors beat it at all four corners",
+                survivors=len(result.candidates),
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def explain_batch(
+        self, queries: Iterable["BatchQuery"], *, vectorize: bool = True
+    ) -> PlanNode:
+        """One heterogeneous batch through the engine, per-kind groups."""
+        batch = list(queries)
+        engine = self.server.engine
+        cached = engine._cached
+        reused = cached is not None and cached.matches(self.server)
+        self.server.execute_batch(batch, vectorize=vectorize)
+        snapshot = engine._cached
+        plan = PlanNode("batch", {"size": len(batch), "vectorize": vectorize})
+        plan.add(
+            "snapshot",
+            result="reused" if reused else "captured",
+            n_public=snapshot.n_public if snapshot is not None else 0,
+            n_private=snapshot.n_private if snapshot is not None else 0,
+        )
+        groups: dict[str, int] = {}
+        for query in batch:
+            groups[query.kind] = groups.get(query.kind, 0) + 1
+        for kind, n in groups.items():
+            vectorized = vectorize and kind != "private_nn"
+            plan.add(
+                f"engine.{kind}",
+                n=n,
+                path="vectorized" if vectorized else "scalar",
+                kernel=(BATCH_KERNELS[kind] or "per-query processor")
+                if vectorized
+                else "per-query processor",
+                tie_break=TIE_BREAK[kind],
+            )
+        return plan
+
+    # ------------------------------------------------------------------
+    # Dispatch by batch-query value
+    # ------------------------------------------------------------------
+
+    def explain(self, query: "BatchQuery") -> PlanNode:
+        """EXPLAIN one batch-query value through its scalar path."""
+        kind = query.kind
+        if kind == "public_range":
+            return self.explain_public_range(query.window)
+        if kind == "public_nn":
+            return self.explain_public_knn(query.point, query.k)
+        if kind == "public_count":
+            return self.explain_public_count(query.window)
+        if kind == "private_range":
+            return self.explain_private_range(
+                query.region, query.radius, query.method
+            )
+        if kind == "private_nn":
+            return self.explain_private_nn(query.region, query.method)
+        raise ValueError(f"no EXPLAIN for query kind {kind!r}")
+
+
+def explain_figure_6a() -> PlanNode:
+    """The paper's Figure 6a count query as an executed plan.
+
+    Builds the worked-example store (six cloaked objects A..F) and
+    explains the count over its query window; the ``region.probability``
+    leaves read exactly 1.0 (D), 0.75 (A), 0.5 (B), 0.2 (E), 0.25 (F) —
+    the expected answer is 2.7 against the naive baseline's 5.
+    """
+    from repro.core.server import LocationServer
+    from repro.evalx.experiments import figure_6a_store
+    from repro.obs import Telemetry
+
+    store, window = figure_6a_store()
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    server.private = store
+    return QueryExplainer(server).explain_public_count(window)

@@ -15,7 +15,7 @@ import re
 from typing import Mapping
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
-_LABELLED_RE = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$")
+_LABELLED_RE = re.compile(r"^(?P<name>[^{]+)\{(?P<labels>.*)\}$", re.DOTALL)
 
 
 def to_json(snapshot: Mapping[str, object], indent: int | None = 2) -> str:
@@ -44,10 +44,23 @@ def _split_rendered(key: str) -> tuple[str, dict[str, str]]:
     return match.group("name"), labels
 
 
+def _prom_label_value(value: object) -> str:
+    """Escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _prom_labels(labels: Mapping[str, object]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{_prom_name(str(k))}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{_prom_name(str(k))}="{_prom_label_value(v)}"'
+        for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
@@ -95,9 +108,22 @@ def to_prometheus(snapshot: Mapping[str, object], prefix: str = "repro") -> str:
     for key, summary in dict(snapshot.get("histograms", {})).items():
         name, labels = _split_rendered(key)
         metric = f"{prefix}_{_prom_name(name)}"
-        declare(metric, "summary")
-        for quantile, field_name in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
-            emit(metric, {**labels, "quantile": quantile}, summary[field_name])
+        buckets = summary.get("buckets")
+        if buckets:
+            # Proper histogram exposition: cumulative _bucket{le=...}
+            # samples ending at +Inf, plus _count and _sum.
+            declare(metric, "histogram")
+            for le, cumulative in buckets:
+                le_text = le if isinstance(le, str) else format(le, "g")
+                emit(f"{metric}_bucket", {**labels, "le": le_text}, cumulative)
+        else:
+            declare(metric, "summary")
+            for quantile, field_name in (
+                ("0.5", "p50"),
+                ("0.95", "p95"),
+                ("0.99", "p99"),
+            ):
+                emit(metric, {**labels, "quantile": quantile}, summary[field_name])
         emit(f"{metric}_count", labels, summary["count"])
         emit(f"{metric}_sum", labels, summary["sum"])
 

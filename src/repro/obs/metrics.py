@@ -147,6 +147,23 @@ class Histogram:
             cumulative += bucket_count
         return self._max  # pragma: no cover - rank <= count by construction
 
+    def buckets(self) -> list[tuple[float, int]]:
+        """Cumulative ``(le, count)`` pairs, Prometheus-style.
+
+        The ladder is truncated at the first bound at or above the
+        observed maximum (the long empty tail carries no information)
+        and always ends with the ``+Inf`` bucket equal to ``count``.
+        """
+        out: list[tuple[float, int]] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket_count
+            out.append((bound, cumulative))
+            if self.count and bound >= self._max:
+                break
+        out.append((math.inf, self.count))
+        return out
+
     def snapshot(self) -> dict[str, float]:
         return {
             "count": self.count,
@@ -157,6 +174,12 @@ class Histogram:
             "p50": self.quantile(0.50),
             "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
+            # +Inf rendered as a string: strict-JSON safe, and already the
+            # exact ``le`` label value Prometheus exposition expects.
+            "buckets": [
+                [le if math.isfinite(le) else "+Inf", n]
+                for le, n in self.buckets()
+            ],
         }
 
 

@@ -1,0 +1,178 @@
+"""Benchmark history: envelope, metric extraction, regression flags."""
+
+import json
+
+import pytest
+
+from repro.obs.benchhist import (
+    DEFAULT_GATE,
+    ENVELOPE_VERSION,
+    HISTORY_SCHEMA,
+    append_history,
+    detect_regressions,
+    extract_metrics,
+    ingest_reports,
+    load_history,
+    make_envelope,
+    metric_direction,
+    run_bench_history,
+    wrap_report,
+)
+
+
+class TestEnvelope:
+    def test_make_envelope_keys(self):
+        envelope = make_envelope("repro.test/1")
+        assert envelope["schema"] == "repro.test/1"
+        assert envelope["schema_version"] == ENVELOPE_VERSION
+        assert envelope["git_sha"]
+        assert "T" in envelope["created_at"]  # ISO timestamp
+        assert envelope["python"].count(".") == 2
+
+    def test_wrap_report_report_keys_win(self):
+        wrapped = wrap_report({"git_sha": "pinned", "n": 3}, "repro.test/1")
+        assert wrapped["git_sha"] == "pinned"
+        assert wrapped["n"] == 3
+        assert wrapped["schema"] == "repro.test/1"
+
+    def test_git_sha_unknown_outside_checkout(self, tmp_path):
+        assert make_envelope("s", cwd=tmp_path)["git_sha"] == "unknown"
+
+
+class TestMetricExtraction:
+    def test_direction_classification(self):
+        assert metric_direction("modes.batched.nn.queries_per_second") == "higher"
+        assert metric_direction("speedup_at_gate_scale.public_range") == "higher"
+        assert metric_direction("span_overhead.mean_s") == "lower"
+        assert metric_direction("timings.seconds") == "lower"
+        assert metric_direction("latency.p95") == "lower"
+        assert metric_direction("params.objects") is None
+        assert metric_direction("sharing_ratio") is None
+
+    def test_extract_dotted_names(self):
+        report = {
+            "modes": {"batched": {"nn": {"10000": {"queries_per_second": 8000.0}}}},
+            "overhead": {"mean_s": 0.002},
+            "params": {"objects": 10000},
+            "label": "x",
+        }
+        metrics = extract_metrics(report)
+        assert metrics == {
+            "modes.batched.nn.10000.queries_per_second": 8000.0,
+            "overhead.mean_s": 0.002,
+        }
+
+    def test_extract_skips_bools_and_nonfinite(self):
+        report = {"ok": {"queries_per_second": True}, "t": {"mean_s": float("inf")}}
+        assert extract_metrics(report) == {}
+
+
+def series(values, metric="modes.batched.public_range.10000.queries_per_second"):
+    return [
+        {"source": "BENCH_x.json", "metrics": {metric: value}} for value in values
+    ]
+
+
+class TestRegressionDetection:
+    def test_thirty_percent_throughput_drop_flags(self):
+        flags = detect_regressions(series([1000.0, 1020.0, 980.0, 700.0]))
+        assert len(flags) == 1
+        flag = flags[0]
+        assert flag["direction"] == "higher"
+        assert flag["change"] == pytest.approx(-0.3)
+        assert flag["gate"] == DEFAULT_GATE
+
+    def test_small_moves_do_not_flag(self):
+        assert detect_regressions(series([1000.0, 1020.0, 980.0, 950.0])) == []
+
+    def test_latency_direction_flags_increases(self):
+        assert detect_regressions(series([0.01, 0.011, 0.02], metric="t.mean_s"))
+        assert detect_regressions(series([0.02, 0.019, 0.01], metric="t.mean_s")) == []
+
+    def test_improvements_never_flag(self):
+        assert detect_regressions(series([1000.0, 1010.0, 2000.0])) == []
+
+    def test_fewer_than_two_points_never_flag(self):
+        assert detect_regressions(series([1000.0])) == []
+        assert detect_regressions([]) == []
+
+    def test_baseline_is_median_of_recent_window(self):
+        # One ancient slow run must not drag the baseline down.
+        values = [100.0] + [1000.0, 1010.0, 990.0, 1005.0, 995.0] + [700.0]
+        flags = detect_regressions(series(values))
+        assert len(flags) == 1
+        assert flags[0]["baseline"] == pytest.approx(1000.0)
+
+    def test_series_separated_by_source(self):
+        history = [
+            {"source": "BENCH_a.json", "metrics": {"x.queries_per_second": 1000.0}},
+            {"source": "BENCH_b.json", "metrics": {"x.queries_per_second": 500.0}},
+        ]
+        assert detect_regressions(history) == []
+
+
+class TestHistoryFile:
+    def test_ingest_append_load_round_trip(self, tmp_path):
+        report = wrap_report(
+            {"modes": {"nn": {"queries_per_second": 5000.0}}}, "repro.test/1"
+        )
+        bench = tmp_path / "BENCH_test.json"
+        bench.write_text(json.dumps(report))
+        records = ingest_reports([bench])
+        assert len(records) == 1
+        record = records[0]
+        assert record["schema"] == HISTORY_SCHEMA
+        assert record["source"] == "BENCH_test.json"
+        assert record["report_schema"] == "repro.test/1"
+        assert record["metrics"] == {"modes.nn.queries_per_second": 5000.0}
+        history_path = tmp_path / "BENCH_HISTORY.jsonl"
+        append_history(records, history_path)
+        append_history(records, history_path)
+        assert load_history(history_path) == records * 2
+
+    def test_ingest_skips_unreadable_reports(self, tmp_path):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{not json")
+        listy = tmp_path / "BENCH_list.json"
+        listy.write_text("[1, 2]")
+        assert ingest_reports([bad, listy, tmp_path / "BENCH_missing.json"]) == []
+
+    def test_load_missing_history_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "nope.jsonl") == []
+
+
+class TestEndToEnd:
+    def write_bench(self, root, qps):
+        report = wrap_report(
+            {"modes": {"nn": {"queries_per_second": qps}}}, "repro.test/1"
+        )
+        (root / "BENCH_test.json").write_text(json.dumps(report))
+
+    def test_stable_trajectory_stays_ok(self, tmp_path):
+        for qps in (1000.0, 1020.0, 990.0):
+            self.write_bench(tmp_path, qps)
+            summary = run_bench_history(tmp_path)
+        assert summary["ok"] is True
+        assert summary["ingested"] == ["BENCH_test.json"]
+        assert summary["history_records"] == 3
+
+    def test_injected_drop_fails_the_check(self, tmp_path):
+        for qps in (1000.0, 1020.0, 990.0):
+            self.write_bench(tmp_path, qps)
+            run_bench_history(tmp_path)
+        self.write_bench(tmp_path, 650.0)
+        summary = run_bench_history(tmp_path)
+        assert summary["ok"] is False
+        assert summary["regressions"][0]["metric"] == "modes.nn.queries_per_second"
+
+    def test_dry_run_does_not_persist(self, tmp_path):
+        self.write_bench(tmp_path, 1000.0)
+        summary = run_bench_history(tmp_path, append=False)
+        assert summary["history_records"] == 1
+        assert load_history(tmp_path / "BENCH_HISTORY.jsonl") == []
+
+    def test_history_file_not_reingested(self, tmp_path):
+        self.write_bench(tmp_path, 1000.0)
+        run_bench_history(tmp_path)
+        summary = run_bench_history(tmp_path)
+        assert summary["ingested"] == ["BENCH_test.json"]

@@ -99,3 +99,123 @@ class TestObsCommand:
     def test_json_and_prometheus_exclusive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["obs", "--json", "--prometheus"])
+
+    def test_format_flags_all_mutually_exclusive(self):
+        for pair in (["--json", "--jsonl"], ["--jsonl", "--prometheus"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(["obs", *pair])
+
+    def test_unknown_flag_exits_with_code_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main([*self.ARGS, "--no-such-flag"])
+        assert excinfo.value.code == 2
+        assert "unrecognized arguments" in capsys.readouterr().err
+
+    def test_jsonl_passthrough_parses_as_events(self, capsys):
+        from repro.obs.events import read_jsonl
+
+        assert main([*self.ARGS, "--jsonl"]) == 0
+        events = read_jsonl(capsys.readouterr().out.splitlines())
+        assert events
+        kinds = {e.kind for e in events}
+        assert "cloak.result" in kinds
+        assert "query.completed" in kinds
+
+    def test_empty_telemetry_exits_nonzero(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro import PrivacySystem, PyramidCloaker, Telemetry
+        from repro.geometry import Rect
+
+        bounds = Rect(0, 0, 10, 10)
+
+        def dark_quickstart(**_):
+            return PrivacySystem(
+                bounds, PyramidCloaker(bounds, height=3),
+                telemetry=Telemetry(enabled=False),
+            )
+
+        monkeypatch.setattr(cli, "_observed_quickstart", dark_quickstart)
+        assert main(["obs"]) == 1
+        assert main(["obs", "--jsonl"]) == 1
+        assert "no " in capsys.readouterr().err
+
+
+class TestExplainCommand:
+    def test_default_reproduces_figure_6a(self, capsys):
+        assert main(["explain"]) == 0
+        out = capsys.readouterr().out
+        for probability in ("probability=1", "probability=0.75", "probability=0.5",
+                            "probability=0.2", "probability=0.25"):
+            assert probability in out
+        assert "expected=2.7" in out
+
+    def test_json_plan_parses(self, capsys):
+        import json
+
+        assert main(["explain", "-q", "batch", "--json", "--users", "40"]) == 0
+        plan = json.loads(capsys.readouterr().out)
+        assert plan["op"] == "batch"
+        assert any(c["op"] == "snapshot" for c in plan["children"])
+
+    def test_every_query_choice_renders(self, capsys):
+        for query in ("public_range", "private_nn"):
+            assert main(["explain", "-q", query, "--users", "40"]) == 0
+            assert "index." in capsys.readouterr().out
+
+
+class TestAuditCommand:
+    ARGS = ["audit", "--users", "40", "--queries", "4"]
+
+    def test_json_report_structure(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.obs.audit/1"
+        assert report["totals"]["cloaks"] > 0
+        assert report["totals"]["undeclared_violations"] == 0
+
+    def test_text_summary(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "privacy attainment audit" in out
+        assert "profile k=8" in out
+
+    def test_from_jsonl_round_trip(self, tmp_path, capsys):
+        assert main(["obs", "--users", "40", "--queries", "4", "--jsonl"]) == 0
+        trail = tmp_path / "trail.jsonl"
+        trail.write_text(capsys.readouterr().out)
+        assert main(["audit", "--from-jsonl", str(trail), "--json"]) == 0
+
+    def test_empty_trail_exits_nonzero(self, tmp_path, capsys):
+        trail = tmp_path / "empty.jsonl"
+        trail.write_text("")
+        assert main(["audit", "--from-jsonl", str(trail)]) == 1
+        assert "no cloak events" in capsys.readouterr().err
+
+
+class TestBenchHistoryCommand:
+    def test_selftest_passes(self, capsys):
+        assert main(["bench-history", "--selftest"]) == 0
+        assert "selftest ok" in capsys.readouterr().out
+
+    def test_injected_drop_exits_3(self, tmp_path, capsys):
+        import json
+
+        def write(qps):
+            (tmp_path / "BENCH_x.json").write_text(
+                json.dumps({"modes": {"nn": {"queries_per_second": qps}}})
+            )
+
+        for qps in (1000.0, 1010.0, 990.0):
+            write(qps)
+            assert main(["bench-history", "--root", str(tmp_path)]) == 0
+            capsys.readouterr()
+        write(650.0)
+        assert main(["bench-history", "--root", str(tmp_path)]) == 3
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"] is False
+
+    def test_empty_root_exits_1(self, tmp_path, capsys):
+        assert main(["bench-history", "--root", str(tmp_path)]) == 1
+        assert "no BENCH_" in capsys.readouterr().err

@@ -1,0 +1,124 @@
+"""The PrivacyAuditor's attainment accounting (repro.obs.audit)."""
+
+import json
+
+from repro.obs import EventLog, PrivacyAuditor
+from repro.obs.events import CLOAK_DEGRADED, CLOAK_RESULT, QUERY_COMPLETED
+
+
+def emit_result(log, user="u1", k=5, k_achieved=5, min_area=0.0, area=10.0,
+                max_area=None, degraded=None, reused=False):
+    k_satisfied = k_achieved >= k
+    area_satisfied = area >= min_area and (max_area is None or area <= max_area)
+    return log.emit(
+        CLOAK_RESULT,
+        user=user,
+        t=0.0,
+        algo="test",
+        k=k,
+        k_achieved=k_achieved,
+        min_area=min_area,
+        max_area=max_area,
+        area=area,
+        k_satisfied=k_satisfied,
+        area_satisfied=area_satisfied,
+        reused=reused,
+        degraded=(not (k_satisfied and area_satisfied))
+        if degraded is None
+        else degraded,
+    )
+
+
+class TestAttainment:
+    def test_all_satisfied(self):
+        log = EventLog()
+        for user in ("a", "b", "a"):
+            emit_result(log, user=user)
+        report = PrivacyAuditor.from_log(log).report()
+        totals = report["totals"]
+        assert totals["cloaks"] == 3
+        assert totals["fully_attained"] == 3
+        assert totals["attainment_rate"] == 1.0
+        assert totals["undeclared_violations"] == 0
+        assert report["users"]["a"]["cloaks"] == 2
+
+    def test_declared_degradation_is_not_a_violation(self):
+        log = EventLog()
+        emit_result(log, k=10, k_achieved=4)  # degraded=True by construction
+        auditor = PrivacyAuditor.from_log(log)
+        totals = auditor.report()["totals"]
+        assert totals["fully_attained"] == 0
+        assert totals["degraded_declared"] == 1
+        assert totals["undeclared_violations"] == 0
+        assert auditor.violations() == []
+        assert len(auditor.violations(declared=True)) == 1
+
+    def test_undeclared_violation_is_flagged(self):
+        log = EventLog()
+        emit_result(log, k=10, k_achieved=4, degraded=False)  # lies
+        auditor = PrivacyAuditor.from_log(log)
+        assert auditor.report()["totals"]["undeclared_violations"] == 1
+        assert len(auditor.violations()) == 1
+
+    def test_separate_degraded_event_also_declares(self):
+        log = EventLog()
+        seq = emit_result(log, k=10, k_achieved=4, degraded=False)
+        log.emit(CLOAK_DEGRADED, user="u1", result_seq=seq)
+        auditor = PrivacyAuditor.from_log(log)
+        assert auditor.violations() == []
+        assert auditor.report()["totals"]["degraded_declared"] == 1
+
+    def test_profiles_keyed_by_requirement(self):
+        log = EventLog()
+        emit_result(log, user="a", k=5)
+        emit_result(log, user="b", k=20, k_achieved=20, min_area=2.0)
+        profiles = PrivacyAuditor.from_log(log).report()["profiles"]
+        assert set(profiles) == {"k=5,a_min=0,a_max=inf", "k=20,a_min=2,a_max=inf"}
+
+    def test_area_and_k_summaries(self):
+        log = EventLog()
+        emit_result(log, area=4.0, k_achieved=5)
+        emit_result(log, area=8.0, k_achieved=9)
+        totals = PrivacyAuditor.from_log(log).report()["totals"]
+        assert totals["mean_area"] == 6.0
+        assert totals["min_area"] == 4.0
+        assert totals["mean_k_achieved"] == 7.0
+        assert totals["min_k_achieved"] == 5
+
+
+class TestQueries:
+    def test_query_stats_rolled_up(self):
+        log = EventLog()
+        log.emit(QUERY_COMPLETED, query="private_range", overhead=2.0, correct=True)
+        log.emit(QUERY_COMPLETED, query="private_range", overhead=4.0, correct=True)
+        log.emit(QUERY_COMPLETED, query="private_nn", overhead=3.0, correct=False)
+        queries = PrivacyAuditor.from_log(log).report()["queries"]
+        assert queries["private_range"]["count"] == 2
+        assert queries["private_range"]["mean_overhead"] == 3.0
+        assert queries["private_range"]["max_overhead"] == 4.0
+        assert queries["private_range"]["accuracy"] == 1.0
+        assert queries["private_nn"]["accuracy"] == 0.0
+
+
+class TestIngestion:
+    def test_from_jsonl(self, tmp_path):
+        log = EventLog()
+        emit_result(log, user="a")
+        emit_result(log, user="b", k=9, k_achieved=2)
+        path = tmp_path / "trail.jsonl"
+        path.write_text(log.dump_jsonl())
+        report = PrivacyAuditor.from_jsonl(str(path)).report()
+        assert report["totals"]["cloaks"] == 2
+        assert report["totals"]["degraded_declared"] == 1
+
+    def test_report_is_json_serialisable(self):
+        log = EventLog()
+        emit_result(log)
+        report = PrivacyAuditor.from_log(log).report()
+        assert json.loads(json.dumps(report)) == report
+        assert report["schema"] == "repro.obs.audit/1"
+
+    def test_empty_log_reports_cleanly(self):
+        report = PrivacyAuditor.from_log(EventLog()).report()
+        assert report["totals"]["cloaks"] == 0
+        assert report["totals"]["attainment_rate"] == 1.0

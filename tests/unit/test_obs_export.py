@@ -113,6 +113,51 @@ class TestPrometheus:
             assert name_part.startswith("repro_")
 
 
+class TestPrometheusEdgeCases:
+    def test_label_values_escaped(self):
+        obs = Telemetry()
+        obs.registry.counter('odd', label='a"b\\c\nd').inc()
+        text = to_prometheus(obs.snapshot())
+        assert 'label="a\\"b\\\\c\\nd"' in text
+
+    def test_dotted_event_counter_names(self):
+        obs = Telemetry()
+        obs.emit("cloak.result", user="u")
+        obs.emit("cloak.result", user="v")
+        obs.emit("query.completed", query="private_nn")
+        text = to_prometheus(obs.snapshot())
+        assert 'repro_events_emitted_total{kind="cloak.result"} 2' in text
+        assert 'repro_events_emitted_total{kind="query.completed"} 1' in text
+        # One TYPE line for the whole labelled family.
+        assert text.count("# TYPE repro_events_emitted_total counter") == 1
+
+    def test_histogram_buckets_cumulative_and_monotone(self):
+        obs = Telemetry()
+        hist = obs.registry.histogram("explain.visits")
+        for value in (0.5, 3.0, 7.0, 40.0, 900.0):
+            hist.observe(value)
+        text = to_prometheus(obs.snapshot())
+        assert "# TYPE repro_explain_visits histogram" in text
+        bucket_lines = [
+            l for l in text.splitlines() if l.startswith("repro_explain_visits_bucket")
+        ]
+        counts = [float(l.rsplit(" ", 1)[1]) for l in bucket_lines]
+        assert counts == sorted(counts), "cumulative buckets must be monotone"
+        assert bucket_lines[-1].startswith('repro_explain_visits_bucket{le="+Inf"}')
+        assert counts[-1] == 5.0
+        assert "repro_explain_visits_count 5" in text
+
+    def test_histogram_without_buckets_falls_back_to_summary(self):
+        snapshot = {
+            "histograms": {
+                "legacy": {"count": 2, "sum": 3.0, "p50": 1.0, "p95": 2.0, "p99": 2.0}
+            }
+        }
+        text = to_prometheus(snapshot)
+        assert "# TYPE repro_legacy summary" in text
+        assert 'repro_legacy{quantile="0.95"} 2.0' in text
+
+
 class TestDashboard:
     def test_sections_render(self, system):
         text = render_dashboard(system.telemetry())
