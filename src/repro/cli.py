@@ -176,6 +176,7 @@ EXPLAIN_QUERIES = (
     "private_nn",
     "private_knn",
     "batch",
+    "bulk_cloak",
 )
 
 
@@ -210,6 +211,10 @@ def cmd_explain(args: argparse.Namespace) -> int:
             plan = explainer.explain_private_nn(region)
         elif args.query == "private_knn":
             plan = explainer.explain_private_knn(region, k=4)
+        elif args.query == "bulk_cloak":
+            plan = explainer.explain_bulk_cloak(
+                system.anonymizer, t=system.clock
+            )
         else:  # batch
             plan = explainer.explain_batch(
                 [
@@ -356,6 +361,68 @@ def cmd_bench_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_cloak(args: argparse.Namespace) -> int:
+    """Time bulk vs per-user population cloaking and print a JSON report."""
+    import json
+    import time
+
+    import numpy as np
+
+    from repro.cloaking.grid_cloak import GridCloaker
+    from repro.core.profiles import PrivacyProfile
+    from repro.core.system import PrivacySystem
+    from repro.geometry.point import Point
+    from repro.geometry.rect import Rect
+    from repro.mobility.users import MobileUser
+    from repro.obs import Telemetry
+
+    if args.users < 1:
+        raise SystemExit("repro bench-cloak: error: --users must be positive")
+    world = Rect(0.0, 0.0, 1000.0, 1000.0)
+    # One seeded draw shared by both modes: identical workloads by
+    # construction, not by parallel re-seeding.
+    rng = np.random.default_rng(args.seed)
+    xs = rng.uniform(0.0, 1000.0, args.users)
+    ys = rng.uniform(0.0, 1000.0, args.users)
+    ks = rng.integers(1, 33, args.users)
+    areas = rng.choice(np.array([0.0, 25.0, 100.0]), args.users)
+
+    def build() -> PrivacySystem:
+        system = PrivacySystem(
+            bounds=world,
+            cloaker=GridCloaker(world, cols=64, rows=64),
+            telemetry=Telemetry(enabled=False),
+        )
+        for i in range(args.users):
+            system.add_user(
+                MobileUser(
+                    f"u{i}",
+                    Point(float(xs[i]), float(ys[i])),
+                    PrivacyProfile.always(
+                        k=int(ks[i]), min_area=float(areas[i])
+                    ),
+                )
+            )
+        return system
+
+    report: dict = {"users": args.users, "algo": "grid", "modes": {}}
+    for mode, bulk in (("bulk", True), ("per_user", False)):
+        system = build()
+        system.publish_all(bulk=bulk)  # steady state: time the republish
+        start = time.perf_counter()
+        system.publish_all(bulk=bulk)
+        elapsed = time.perf_counter() - start
+        report["modes"][mode] = {
+            "seconds": elapsed,
+            "users_per_second": args.users / elapsed if elapsed else None,
+        }
+    bulk_s = report["modes"]["bulk"]["seconds"]
+    per_user_s = report["modes"]["per_user"]["seconds"]
+    report["speedup"] = per_user_s / bulk_s if bulk_s else None
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def cmd_experiments(args: argparse.Namespace) -> int:
     for table in _run_ids(args.ids):
         print(table.to_text())
@@ -487,6 +554,18 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--queries", type=int, default=2000, help="queries in the batch")
     bench.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     bench.set_defaults(func=cmd_bench_batch)
+
+    bench_cloak = sub.add_parser(
+        "bench-cloak",
+        help="time bulk vs per-user population cloaking (JSON report)",
+    )
+    bench_cloak.add_argument(
+        "--users", type=int, default=10000, help="population size"
+    )
+    bench_cloak.add_argument(
+        "--seed", type=int, default=0, help="workload RNG seed"
+    )
+    bench_cloak.set_defaults(func=cmd_bench_cloak)
     return parser
 
 

@@ -182,6 +182,15 @@ class Cloaker(ABC):
         ys_view.flags.writeable = False
         return xs_view, ys_view
 
+    def snapshot_ids(self) -> list[UserId]:
+        """User ids aligned row-for-row with :meth:`snapshot_arrays`.
+
+        The bulk cloaking kernels (:mod:`repro.engine.cloak`) use this to
+        map requested users onto population-array rows.
+        """
+        self._arrays()
+        return list(self._ids)
+
     def spatial_index(self):
         """The internal spatial index, when the algorithm keeps one.
 

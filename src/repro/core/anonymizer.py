@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, replace
-from typing import Hashable
+from typing import TYPE_CHECKING, Hashable
 
 from repro.cloaking.base import CloakResult, Cloaker
 from repro.cloaking.incremental import IncrementalCloaker
@@ -35,15 +35,20 @@ from repro.geometry.rect import Rect
 from repro.obs import Telemetry, get_telemetry
 from repro.obs.events import (
     CLOAK_ATTEMPT,
+    CLOAK_BULK,
     CLOAK_DEGRADED,
     CLOAK_ESCALATED,
     CLOAK_RESULT,
     REGION_PUBLISHED,
+    REGIONS_PUBLISHED_BULK,
     USER_ADMITTED,
     USER_RETIRED,
 )
 from repro.queries.private_nn import PrivateNNResult
 from repro.queries.private_range import PrivateRangeResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.cloak import BulkCloakOutcome
 
 
 @dataclass
@@ -79,6 +84,9 @@ class LocationAnonymizer:
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self._registrations: dict[Hashable, _Registration] = {}
         self._pseudonym_counter = itertools.count(1)
+        #: Outcome of the most recent :meth:`publish_all_bulk` round, kept
+        #: for observability (EXPLAIN reads its path/group summaries).
+        self.last_bulk_outcome: "BulkCloakOutcome | None" = None
 
     def connect(self, server: LocationServer) -> None:
         """Attach the downstream server."""
@@ -278,6 +286,68 @@ class LocationAnonymizer:
         for user_id, result in results.items():
             self._push(user_id, result)
         return results
+
+    def publish_all_bulk(self, t: float) -> dict[Hashable, CloakResult]:
+        """Cloak and push every registered user in one vectorized pass.
+
+        The write-path counterpart of the server's batch engine: the whole
+        population is cloaked by the numpy kernels of
+        :mod:`repro.engine.cloak` (scalar fallback for algorithms without
+        one) and published to the server as a single bulk region batch.
+        Escalation and degradation semantics match :meth:`cloak_user`
+        exactly — the per-user path remains the differential-testing
+        oracle — but auditing is aggregated: one ``cloak.bulk`` event per
+        distinct requirement replaces the per-user event stream, with
+        every degradation declared in-band, and one
+        ``regions.published_bulk`` event covers the push.
+        """
+        if self.server is None:
+            raise RegistrationError("anonymizer is not connected to a server")
+        from repro.engine.cloak import bulk_cloak
+
+        with self.telemetry.span(
+            "anonymizer.publish_bulk", algo=self.cloaker.name
+        ):
+            requests = [
+                (user_id, registration.profile.requirement_at(t))
+                for user_id, registration in self._registrations.items()
+            ]
+            outcome = bulk_cloak(self.cloaker, requests)
+            self.last_bulk_outcome = outcome
+            for group in outcome.groups:
+                self.telemetry.emit(
+                    CLOAK_BULK,
+                    t=t,
+                    algo=outcome.algo,
+                    path=outcome.path,
+                    **group,
+                )
+            regions: dict[str, Rect] = {}
+            area_sum = 0.0
+            rotated = 0
+            rotate = self.rotate_pseudonyms
+            for user_id, result in outcome.results.items():
+                registration = self._registrations[user_id]
+                if rotate and registration.published:
+                    self.server.forget_region(registration.pseudonym)
+                    registration.pseudonym = self._fresh_pseudonym()
+                    rotated += 1
+                regions[registration.pseudonym] = result.region
+                registration.published = True
+                area_sum += result.region.area
+            self.server.receive_regions(regions)
+        self.telemetry.count("anonymizer.bulk_cloaks", amount=len(requests))
+        self.telemetry.emit(
+            REGIONS_PUBLISHED_BULK,
+            n=len(regions),
+            rotated=rotated,
+            area_sum=area_sum,
+            path=outcome.path,
+            algo=outcome.algo,
+            escalated=outcome.escalated,
+            degraded=outcome.degraded,
+        )
+        return outcome.results
 
     def _push(self, user_id: Hashable, result: CloakResult) -> None:
         """Send one cloaked region to the server under the pseudonym policy."""

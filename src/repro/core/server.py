@@ -131,6 +131,24 @@ class LocationServer:
         for monitor in self._monitors.values():
             monitor.on_region_update(pseudonym, region)
 
+    def receive_regions(self, regions: "dict[Hashable, Rect]") -> None:
+        """Store/refresh a whole batch of cloaked regions at once.
+
+        The bulk counterpart of :meth:`receive_region` for the vectorized
+        anonymizer path: one store-level batch insert (which may rebuild
+        the backing R-tree by STR packing), one snapshot invalidation,
+        and the same monitor wake-ups per region.
+        """
+        if not regions:
+            return
+        self.region_updates_received += len(regions)
+        with self.telemetry.span("server.receive_regions", n=len(regions)):
+            self.private.set_regions(regions)
+        if self._monitors:
+            for pseudonym, region in regions.items():
+                for monitor in self._monitors.values():
+                    monitor.on_region_update(pseudonym, region)
+
     def forget_region(self, pseudonym: Hashable) -> None:
         """Drop a pseudonym (user unsubscribed or pseudonym rotated)."""
         self.private.remove(pseudonym)

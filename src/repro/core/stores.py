@@ -15,7 +15,9 @@ iteration hooks the query processors need.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections import deque
+from itertools import islice
+from typing import Iterator, Mapping
 
 import numpy as np
 
@@ -24,6 +26,14 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.index.base import IndexCounters, ItemId
 from repro.index.rtree import RTree
+
+#: Mutations each store remembers for incremental snapshot deltas; gaps
+#: wider than this force a full snapshot re-capture (bounded memory).
+CHANGELOG_KEEP = 4096
+
+#: A batch covering at least this fraction of the resulting private store
+#: rebuilds the R-tree by STR bulk loading instead of per-item updates.
+REBUILD_FRACTION = 0.5
 
 
 class PublicStore:
@@ -34,6 +44,9 @@ class PublicStore:
         self._points: dict[ItemId, Point] = {}
         self._version = 0
         self._snapshot: tuple[tuple[ItemId, ...], np.ndarray, np.ndarray] | None = None
+        self._changelog: deque[tuple[ItemId, Point | None]] = deque(
+            maxlen=CHANGELOG_KEEP
+        )
 
     @classmethod
     def from_points(
@@ -58,7 +71,7 @@ class PublicStore:
             raise RegistrationError(f"duplicate public object: {object_id!r}")
         self._points[object_id] = point
         self._rtree.insert(object_id, Rect.from_point(point))
-        self._touch()
+        self._touch(object_id, point)
 
     def move(self, object_id: ItemId, point: Point) -> None:
         """Update a moving public object (e.g. a police car)."""
@@ -66,23 +79,32 @@ class PublicStore:
             raise RegistrationError(f"unknown public object: {object_id!r}")
         self._rtree.update(object_id, Rect.from_point(point))
         self._points[object_id] = point
-        self._touch()
+        self._touch(object_id, point)
 
     def remove(self, object_id: ItemId) -> None:
         if object_id not in self._points:
             raise RegistrationError(f"unknown public object: {object_id!r}")
         self._rtree.delete(object_id)
         del self._points[object_id]
-        self._touch()
+        self._touch(object_id, None)
 
-    def _touch(self) -> None:
+    def _touch(self, object_id: ItemId, payload: Point | None) -> None:
         self._version += 1
         self._snapshot = None
+        self._changelog.append((object_id, payload))
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter (snapshot-cache invalidation key)."""
         return self._version
+
+    def changes_since(
+        self, version: int
+    ) -> list[tuple[ItemId, Point | None]] | None:
+        """Mutations after ``version``, oldest-first (``None`` payload =
+        removal); ``None`` when the changelog no longer covers the gap
+        and callers must re-capture."""
+        return _changes_since(self._changelog, self._version, version)
 
     def snapshot_arrays(
         self,
@@ -148,10 +170,14 @@ class PrivateStore:
     """
 
     def __init__(self, max_entries: int = 16) -> None:
+        self._max_entries = max_entries
         self._rtree = RTree(max_entries=max_entries)
         self._regions: dict[ItemId, Rect] = {}
         self._version = 0
         self._snapshot: tuple[tuple[ItemId, ...], np.ndarray] | None = None
+        self._changelog: deque[tuple[ItemId, Rect | None]] = deque(
+            maxlen=CHANGELOG_KEEP
+        )
 
     def set_region(self, object_id: ItemId, region: Rect) -> None:
         """Insert or replace the cloaked region of ``object_id``."""
@@ -160,23 +186,67 @@ class PrivateStore:
         else:
             self._rtree.insert(object_id, region)
         self._regions[object_id] = region
-        self._touch()
+        self._touch(object_id, region)
+
+    def set_regions(self, regions: Mapping[ItemId, Rect]) -> None:
+        """Insert or replace many cloaked regions in one batch.
+
+        The bulk publication step of the vectorized anonymizer path.  When
+        the batch covers at least :data:`REBUILD_FRACTION` of the
+        resulting store, the backing R-tree is rebuilt by STR bulk loading
+        (near-100 % fill, tight MBRs) instead of churned item by item —
+        the dominant case, since a reporting round republishes everybody.
+        The changelog stays one entry per version bump either way, so
+        incremental snapshot deltas keep working across bulk rounds.
+        """
+        if not regions:
+            return
+        fresh = sum(
+            1 for object_id in regions if object_id not in self._regions
+        )
+        total = len(self._regions) + fresh
+        if len(regions) >= REBUILD_FRACTION * total:
+            self._regions.update(regions)
+            rebuilt = RTree.bulk_load(
+                self._regions, max_entries=self._max_entries
+            )
+            rebuilt._obs_counters = self._rtree.counters
+            self._rtree = rebuilt
+        else:
+            for object_id, region in regions.items():
+                if object_id in self._regions:
+                    self._rtree.update(object_id, region)
+                else:
+                    self._rtree.insert(object_id, region)
+                self._regions[object_id] = region
+        self._version += len(regions)
+        self._snapshot = None
+        self._changelog.extend(regions.items())
 
     def remove(self, object_id: ItemId) -> None:
         if object_id not in self._regions:
             raise RegistrationError(f"unknown private object: {object_id!r}")
         self._rtree.delete(object_id)
         del self._regions[object_id]
-        self._touch()
+        self._touch(object_id, None)
 
-    def _touch(self) -> None:
+    def _touch(self, object_id: ItemId, payload: Rect | None) -> None:
         self._version += 1
         self._snapshot = None
+        self._changelog.append((object_id, payload))
 
     @property
     def version(self) -> int:
         """Monotonic mutation counter (snapshot-cache invalidation key)."""
         return self._version
+
+    def changes_since(
+        self, version: int
+    ) -> list[tuple[ItemId, Rect | None]] | None:
+        """Mutations after ``version``, oldest-first (``None`` payload =
+        removal); ``None`` when the changelog no longer covers the gap
+        and callers must re-capture."""
+        return _changes_since(self._changelog, self._version, version)
 
     def snapshot_arrays(self) -> tuple[tuple[ItemId, ...], np.ndarray]:
         """Point-in-time ``(ids, bounds)`` view of every cloaked region.
@@ -217,3 +287,22 @@ class PrivateStore:
 
     def __contains__(self, object_id: ItemId) -> bool:
         return object_id in self._regions
+
+
+def _changes_since(
+    changelog: deque, current_version: int, version: int
+) -> list | None:
+    """Tail of ``changelog`` covering ``current_version - version`` entries.
+
+    Versions advance by exactly one per logged mutation, so the gap *is*
+    the entry count.  Returns ``None`` for gaps the bounded log no longer
+    covers (or nonsensical future versions), signalling a full re-capture.
+    """
+    delta = current_version - version
+    if delta < 0:
+        return None
+    if delta == 0:
+        return []
+    if delta > len(changelog):
+        return None
+    return list(islice(changelog, len(changelog) - delta, None))

@@ -175,9 +175,17 @@ class PrivacySystem:
             if self._user(user_id).is_visible:
                 self.anonymizer.publish(user_id, self.clock)
 
-    def publish_all(self) -> None:
-        """Push fresh cloaked regions for every visible user."""
-        self.anonymizer.publish_all(self.clock)
+    def publish_all(self, *, bulk: bool = False) -> None:
+        """Push fresh cloaked regions for every visible user.
+
+        ``bulk=True`` routes through the vectorized one-pass population
+        cloaker (:meth:`LocationAnonymizer.publish_all_bulk`) — same
+        regions, one numpy pass plus a single server batch push.
+        """
+        if bulk:
+            self.anonymizer.publish_all_bulk(self.clock)
+        else:
+            self.anonymizer.publish_all(self.clock)
 
     # ------------------------------------------------------------------
     # End-to-end queries with QoS accounting

@@ -9,6 +9,7 @@ every faster path is differential-tested against.  See
 """
 
 from repro.engine.batch import BatchEngine, BatchResult
+from repro.engine.cloak import BulkCloakOutcome, bulk_cloak
 from repro.engine.oracle import BruteForceOracle
 from repro.engine.queries import (
     BatchQuery,
@@ -25,6 +26,8 @@ __all__ = [
     "BatchQuery",
     "BatchResult",
     "BruteForceOracle",
+    "BulkCloakOutcome",
+    "bulk_cloak",
     "PrivateNNQuery",
     "PrivateRangeQuery",
     "PublicCountQuery",

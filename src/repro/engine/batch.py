@@ -35,7 +35,12 @@ from repro.engine.queries import (
 )
 from repro.engine.snapshot import ServerSnapshot
 from repro.obs import Telemetry
-from repro.obs.events import BATCH_EXECUTED, SNAPSHOT_CAPTURED, SNAPSHOT_REUSED
+from repro.obs.events import (
+    BATCH_EXECUTED,
+    SNAPSHOT_CAPTURED,
+    SNAPSHOT_DELTA,
+    SNAPSHOT_REUSED,
+)
 from repro.queries.private_nn import PrivateNNResult, private_nn_query
 from repro.queries.private_range import PrivateRangeResult, private_range_query
 from repro.queries.probabilistic import CountAnswer
@@ -86,6 +91,22 @@ class BatchEngine:
                 n_private=cached.n_private,
             )
             return cached
+        if cached is not None:
+            with self.telemetry.span("engine.snapshot_delta"):
+                absorbed = cached.absorb(self.server)
+            if absorbed is not None:
+                self._cached = absorbed
+                self.telemetry.count("engine.snapshot", result="delta")
+                self.telemetry.emit(
+                    SNAPSHOT_DELTA,
+                    n_public=absorbed.n_public,
+                    n_private=absorbed.n_private,
+                    public_gap=absorbed.public_version - cached.public_version,
+                    private_gap=(
+                        absorbed.private_version - cached.private_version
+                    ),
+                )
+                return absorbed
         with self.telemetry.span("engine.snapshot"):
             self._cached = ServerSnapshot.capture(self.server)
         self.telemetry.count("engine.snapshot", result="captured")

@@ -93,6 +93,30 @@ def points_in_windows(
     return out
 
 
+def count_points_in_windows(
+    xs: np.ndarray, ys: np.ndarray, windows: np.ndarray
+) -> np.ndarray:
+    """Point counts per closed query window (same test, counts only).
+
+    The counting form of :func:`points_in_windows` — identical inclusive
+    comparisons, so the counts equal ``len(points_in_windows(...)[i])``
+    and, by extension, :meth:`repro.cloaking.base.Cloaker.count_in` over
+    the same arrays.  Used by the bulk cloaking kernels, where only the
+    achieved ``k`` is needed, never the member rows.
+    """
+    out = np.empty(len(windows), dtype=np.int64)
+    for lo, hi in _row_chunks(len(windows), xs.size):
+        w = windows[lo:hi]
+        inside = (
+            (xs >= w[:, 0:1])
+            & (xs <= w[:, 2:3])
+            & (ys >= w[:, 1:2])
+            & (ys <= w[:, 3:4])
+        )
+        out[lo:hi] = inside.sum(axis=1)
+    return out
+
+
 def points_within_radius(
     xs: np.ndarray,
     ys: np.ndarray,

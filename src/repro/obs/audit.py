@@ -3,8 +3,9 @@
 The anonymizer's contract (paper, Section 5) is per-query: every cloaked
 region must hold at least ``k`` subscribed users and at least ``A_min``
 area, or the degradation must be explicit (best-effort clamping).  The
-:class:`PrivacyAuditor` replays ``cloak.result`` / ``cloak.degraded`` /
-``query.completed`` events (:mod:`repro.obs.events`) and rolls them into
+:class:`PrivacyAuditor` replays ``cloak.result`` / ``cloak.bulk`` /
+``cloak.degraded`` / ``query.completed`` events
+(:mod:`repro.obs.events`) and rolls them into
 per-user and per-profile attainment reports, flagging any *undeclared*
 violation — a region that missed its requirement without a matching
 ``cloak.degraded`` event.  ``tests/property/test_prop_obs_events.py``
@@ -17,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Iterable
 
 from repro.obs.events import (
+    CLOAK_BULK,
     CLOAK_DEGRADED,
     CLOAK_RESULT,
     QUERY_COMPLETED,
@@ -48,6 +50,14 @@ class _Tally:
     undeclared_violations: int = 0
     areas: list = field(default_factory=list)
     k_achieved: list = field(default_factory=list)
+    # Aggregate moments contributed by ``cloak.bulk`` group events, which
+    # carry sums/minima over many users instead of per-user samples.
+    area_agg_sum: float = 0.0
+    area_agg_n: int = 0
+    area_agg_min: float | None = None
+    k_agg_sum: int = 0
+    k_agg_n: int = 0
+    k_agg_min: int | None = None
 
     def as_dict(self) -> dict:
         out = {
@@ -61,12 +71,20 @@ class _Tally:
                 self.fully_attained / self.cloaks if self.cloaks else 1.0
             ),
         }
-        if self.areas:
-            out["mean_area"] = sum(self.areas) / len(self.areas)
-            out["min_area"] = min(self.areas)
-        if self.k_achieved:
-            out["mean_k_achieved"] = sum(self.k_achieved) / len(self.k_achieved)
-            out["min_k_achieved"] = min(self.k_achieved)
+        if self.areas or self.area_agg_n:
+            n = len(self.areas) + self.area_agg_n
+            out["mean_area"] = (sum(self.areas) + self.area_agg_sum) / n
+            mins = [min(self.areas)] if self.areas else []
+            if self.area_agg_min is not None:
+                mins.append(self.area_agg_min)
+            out["min_area"] = min(mins)
+        if self.k_achieved or self.k_agg_n:
+            n = len(self.k_achieved) + self.k_agg_n
+            out["mean_k_achieved"] = (sum(self.k_achieved) + self.k_agg_sum) / n
+            mins = [min(self.k_achieved)] if self.k_achieved else []
+            if self.k_agg_min is not None:
+                mins.append(self.k_agg_min)
+            out["min_k_achieved"] = min(mins)
         return out
 
 
@@ -83,6 +101,8 @@ class PrivacyAuditor:
         self._users: dict[str, _Tally] = {}
         self._profiles: dict[str, _Tally] = {}
         self._results: list[Event] = []
+        self._bulk_events: list[Event] = []
+        self._bulk_totals = _Tally()
         self._degraded_seqs: set[int] = set()
         self._degraded_result_seqs: set[int] = set()
         self._query_overheads: dict[str, list[float]] = {}
@@ -106,6 +126,8 @@ class PrivacyAuditor:
         for event in events:
             if event.kind == CLOAK_RESULT:
                 self._consume_result(event)
+            elif event.kind == CLOAK_BULK:
+                self._consume_bulk(event)
             elif event.kind == CLOAK_DEGRADED:
                 self._degraded_seqs.add(event.seq)
                 result_seq = event.attrs.get("result_seq")
@@ -137,6 +159,41 @@ class PrivacyAuditor:
             if "k_achieved" in attrs:
                 tally.k_achieved.append(int(attrs["k_achieved"]))
 
+    def _consume_bulk(self, event: Event) -> None:
+        """Fold one ``cloak.bulk`` requirement-group aggregate.
+
+        Bulk rounds carry no per-user identity (one event per distinct
+        requirement, not per user), so they contribute to the profile
+        tallies and the report totals but leave the per-user section
+        untouched.  Degradations are declared in-band via the event's
+        ``degraded`` count, settled alongside per-result declarations.
+        """
+        self._bulk_events.append(event)
+        attrs = event.attrs
+        n = int(attrs.get("n", 0))
+        for tally in (
+            self._profiles.setdefault(_profile_key(attrs), _Tally()),
+            self._bulk_totals,
+        ):
+            tally.cloaks += n
+            tally.k_attained += int(attrs.get("k_attained", 0))
+            tally.area_attained += int(attrs.get("area_attained", 0))
+            tally.fully_attained += int(attrs.get("fully_attained", 0))
+            if "area_sum" in attrs:
+                tally.area_agg_sum += float(attrs["area_sum"])
+                tally.area_agg_n += n
+            if "area_min" in attrs:
+                low = float(attrs["area_min"])
+                if tally.area_agg_min is None or low < tally.area_agg_min:
+                    tally.area_agg_min = low
+            if "k_sum" in attrs:
+                tally.k_agg_sum += int(attrs["k_sum"])
+                tally.k_agg_n += n
+            if "k_min" in attrs:
+                low = int(attrs["k_min"])
+                if tally.k_agg_min is None or low < tally.k_agg_min:
+                    tally.k_agg_min = low
+
     def _consume_query(self, event: Event) -> None:
         kind = str(event.attrs.get("query", "query"))
         self._query_counts[kind] = self._query_counts.get(kind, 0) + 1
@@ -148,9 +205,25 @@ class PrivacyAuditor:
             self._query_overheads.setdefault(kind, []).append(float(overhead))
 
     def _settle(self) -> None:
-        for tally in list(self._users.values()) + list(self._profiles.values()):
+        tallies = (
+            list(self._users.values())
+            + list(self._profiles.values())
+            + [self._bulk_totals]
+        )
+        for tally in tallies:
             tally.degraded_declared = 0
             tally.undeclared_violations = 0
+        for event in self._bulk_events:
+            attrs = event.attrs
+            declared = int(attrs.get("degraded", 0))
+            missed = int(attrs.get("n", 0)) - int(attrs.get("fully_attained", 0))
+            undeclared = max(0, missed - declared)
+            for tally in (
+                self._profiles[_profile_key(attrs)],
+                self._bulk_totals,
+            ):
+                tally.degraded_declared += declared
+                tally.undeclared_violations += undeclared
         for event in self._results:
             attrs = event.attrs
             satisfied = bool(
@@ -179,6 +252,10 @@ class PrivacyAuditor:
         With ``declared=False`` (the default) only *undeclared* misses —
         no ``degraded`` marker anywhere — are returned; those are
         contract breaches.  ``declared=True`` returns every miss.
+
+        Bulk rounds participate too: a ``cloak.bulk`` group event is a
+        declared miss when its ``degraded`` count covers every user that
+        missed, and an undeclared violation otherwise.
         """
         out = []
         for event in self._results:
@@ -191,6 +268,15 @@ class PrivacyAuditor:
             )
             if declared or not is_declared:
                 out.append(event)
+        for event in self._bulk_events:
+            attrs = event.attrs
+            missed = int(attrs.get("n", 0)) - int(attrs.get("fully_attained", 0))
+            if missed <= 0:
+                continue
+            is_declared = int(attrs.get("degraded", 0)) >= missed
+            if declared or not is_declared:
+                out.append(event)
+        out.sort(key=lambda e: e.seq)
         return out
 
     def report(self) -> dict:
@@ -205,6 +291,19 @@ class PrivacyAuditor:
             totals.undeclared_violations += tally.undeclared_violations
             totals.areas.extend(tally.areas)
             totals.k_achieved.extend(tally.k_achieved)
+        bulk = self._bulk_totals
+        totals.cloaks += bulk.cloaks
+        totals.k_attained += bulk.k_attained
+        totals.area_attained += bulk.area_attained
+        totals.fully_attained += bulk.fully_attained
+        totals.degraded_declared += bulk.degraded_declared
+        totals.undeclared_violations += bulk.undeclared_violations
+        totals.area_agg_sum = bulk.area_agg_sum
+        totals.area_agg_n = bulk.area_agg_n
+        totals.area_agg_min = bulk.area_agg_min
+        totals.k_agg_sum = bulk.k_agg_sum
+        totals.k_agg_n = bulk.k_agg_n
+        totals.k_agg_min = bulk.k_agg_min
         queries = {
             kind: {
                 "count": count,

@@ -48,8 +48,14 @@ CLOAK_RESULT = "cloak.result"
 CLOAK_DEGRADED = "cloak.degraded"
 #: Shared-execution round summary (Section 5.3 batch cloaking).
 CLOAK_BATCH = "cloak.batch"
+#: One requirement-group aggregate of a vectorized bulk cloaking round;
+#: carries the attainment counts a per-user ``cloak.result`` stream would,
+#: with every degradation declared in-band (the ``degraded`` count).
+CLOAK_BULK = "cloak.bulk"
 #: A cloaked region reached the server under a pseudonym.
 REGION_PUBLISHED = "region.published"
+#: A whole population's regions reached the server in one bulk push.
+REGIONS_PUBLISHED_BULK = "regions.published_bulk"
 #: The server generated a candidate set for a private query.
 CANDIDATES_GENERATED = "candidates.generated"
 #: An end-to-end private query finished; carries the overhead ratio.
@@ -58,6 +64,8 @@ QUERY_COMPLETED = "query.completed"
 SNAPSHOT_CAPTURED = "snapshot.captured"
 #: The batch engine answered from the cached snapshot (stores quiescent).
 SNAPSHOT_REUSED = "snapshot.reused"
+#: The cached snapshot absorbed a store delta instead of re-freezing.
+SNAPSHOT_DELTA = "snapshot.delta"
 #: One heterogeneous batch was executed.
 BATCH_EXECUTED = "batch.executed"
 
@@ -70,11 +78,14 @@ EVENT_KINDS: tuple[str, ...] = (
     CLOAK_RESULT,
     CLOAK_DEGRADED,
     CLOAK_BATCH,
+    CLOAK_BULK,
     REGION_PUBLISHED,
+    REGIONS_PUBLISHED_BULK,
     CANDIDATES_GENERATED,
     QUERY_COMPLETED,
     SNAPSHOT_CAPTURED,
     SNAPSHOT_REUSED,
+    SNAPSHOT_DELTA,
     BATCH_EXECUTED,
 )
 

@@ -376,6 +376,42 @@ class QueryExplainer:
         return plan
 
     # ------------------------------------------------------------------
+    # Bulk cloaking (the vectorized write path)
+    # ------------------------------------------------------------------
+
+    def explain_bulk_cloak(self, anonymizer, t: float = 0.0) -> PlanNode:
+        """One vectorized population cloaking round end to end.
+
+        Runs ``anonymizer.publish_all_bulk(t)`` against this explainer's
+        server, measuring the private-store index work the bulk push
+        caused, and renders the round's kernel path plus one
+        ``cloak.group`` leaf per distinct requirement (the same
+        aggregates the ``cloak.bulk`` events carry).
+        """
+        delta: dict = {}
+        with self._measured(self.server.private.index_counters, delta):
+            results = anonymizer.publish_all_bulk(t)
+        outcome = anonymizer.last_bulk_outcome
+        plan = PlanNode(
+            "bulk_cloak",
+            {"users": len(results), "t": t,
+             "algo": outcome.algo, "path": outcome.path,
+             "escalated": outcome.escalated, "degraded": outcome.degraded},
+        )
+        plan.add(
+            "cloak.kernel",
+            path=outcome.path,
+            algo=outcome.algo,
+            groups=len(outcome.groups),
+            rule="one numpy pass per structure level; per-user cloaker is "
+            "the differential oracle",
+        )
+        for group in outcome.groups:
+            plan.add("cloak.group", **group)
+        plan.add("store.set_regions", index="rtree", store="private", **delta)
+        return plan
+
+    # ------------------------------------------------------------------
     # Dispatch by batch-query value
     # ------------------------------------------------------------------
 

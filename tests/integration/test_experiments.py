@@ -97,6 +97,11 @@ class TestE4:
         assert rates["incremental"] > 0.3
         assert rates["shared-batch"] > 0.3
         assert rates["mbr-incremental"] > 0.2
+        # The vectorized bulk write path is the default headline strategy
+        # (and run_e4_scalability itself audits it for undeclared
+        # privacy violations, raising on any).
+        assert "bulk-vectorized" in throughput
+        assert throughput["bulk-vectorized"] > 0
 
 
 class TestE5:

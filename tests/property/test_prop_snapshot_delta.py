@@ -1,0 +1,156 @@
+"""Property-based tests: incremental snapshot deltas ≡ full re-freeze.
+
+For *any* sequence of store mutation batches — public adds/moves/removes,
+private single and bulk region publications, removals, re-additions of a
+previously removed id — a snapshot evolved by
+:meth:`ServerSnapshot.absorb` must describe exactly the same world as a
+fresh :meth:`ServerSnapshot.capture`: same id sets, same per-id
+coordinates and region bounds, same store version counters, and the same
+public-grid occupancy (the delta path may legally order rows differently,
+so equality is id-aligned, not positional).  When the bounded changelog
+no longer covers the gap, ``absorb`` must refuse (return ``None``) rather
+than guess.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.server import LocationServer
+from repro.core.stores import CHANGELOG_KEEP
+from repro.engine.snapshot import ServerSnapshot
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.obs import Telemetry
+
+coord = st.integers(min_value=0, max_value=20).map(float)
+public_pool = [f"p{i}" for i in range(8)]
+private_pool = [f"r{i}" for i in range(8)]
+
+
+@st.composite
+def small_rects(draw) -> Rect:
+    x0 = draw(coord)
+    y0 = draw(coord)
+    return Rect(x0, y0, x0 + draw(coord), y0 + draw(coord))
+
+
+@st.composite
+def mutations(draw) -> tuple:
+    kind = draw(
+        st.sampled_from(
+            ["pub_set", "pub_remove", "priv_set", "priv_bulk", "priv_remove"]
+        )
+    )
+    if kind == "pub_set":
+        return kind, draw(st.sampled_from(public_pool)), Point(
+            draw(coord), draw(coord)
+        )
+    if kind == "pub_remove":
+        return kind, draw(st.sampled_from(public_pool)), None
+    if kind == "priv_set":
+        return kind, draw(st.sampled_from(private_pool)), draw(small_rects())
+    if kind == "priv_bulk":
+        ids = draw(
+            st.lists(
+                st.sampled_from(private_pool), min_size=1, max_size=6, unique=True
+            )
+        )
+        return kind, ids, [draw(small_rects()) for _ in ids]
+    return kind, draw(st.sampled_from(private_pool)), None
+
+
+def apply_mutation(server: LocationServer, mutation: tuple) -> None:
+    kind, target, payload = mutation
+    if kind == "pub_set":
+        if target in server.public:
+            server.move_public_object(target, payload)
+        else:
+            server.add_public_object(target, payload)
+    elif kind == "pub_remove":
+        if target in server.public:
+            server.remove_public_object(target)
+    elif kind == "priv_set":
+        server.receive_region(target, payload)
+    elif kind == "priv_bulk":
+        server.receive_regions(dict(zip(target, payload)))
+    elif kind == "priv_remove":
+        if target in server.private:
+            server.forget_region(target)
+
+
+def assert_equivalent(absorbed: ServerSnapshot, fresh: ServerSnapshot) -> None:
+    assert absorbed.public_version == fresh.public_version
+    assert absorbed.private_version == fresh.private_version
+    assert set(absorbed.public_ids) == set(fresh.public_ids)
+    assert set(absorbed.private_ids) == set(fresh.private_ids)
+    for object_id in fresh.public_ids:
+        row_a = absorbed.public_rank[object_id]
+        row_f = fresh.public_rank[object_id]
+        assert absorbed.public_xs[row_a] == fresh.public_xs[row_f]
+        assert absorbed.public_ys[row_a] == fresh.public_ys[row_f]
+    for object_id in fresh.private_ids:
+        row_a = absorbed.private_rank[object_id]
+        row_f = fresh.private_rank[object_id]
+        assert np.array_equal(
+            absorbed.private_bounds[row_a], fresh.private_bounds[row_f]
+        )
+    # Same point multiset => same grid occupancy, regardless of row order.
+    keys_a = np.sort(absorbed.public_xs + 1e6 * absorbed.public_ys)
+    keys_f = np.sort(fresh.public_xs + 1e6 * fresh.public_ys)
+    assert np.array_equal(keys_a, keys_f)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    setup=st.lists(mutations(), max_size=10),
+    batches=st.lists(
+        st.lists(mutations(), min_size=1, max_size=8), min_size=1, max_size=5
+    ),
+)
+def test_absorb_equals_refreeze(setup, batches):
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    for mutation in setup:
+        apply_mutation(server, mutation)
+    snapshot = ServerSnapshot.capture(server)
+    _ = snapshot.public_grid  # exercise grid sharing on quiet public sides
+    for batch in batches:
+        for mutation in batch:
+            apply_mutation(server, mutation)
+        absorbed = snapshot.absorb(server)
+        fresh = ServerSnapshot.capture(server)
+        assert absorbed is not None
+        assert_equivalent(absorbed, fresh)
+        for array in (
+            absorbed.public_xs, absorbed.public_ys, absorbed.private_bounds
+        ):
+            assert not array.flags.writeable
+        snapshot = absorbed
+
+
+def test_absorb_refuses_truncated_gap():
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    server.receive_region("r0", Rect(0.0, 0.0, 1.0, 1.0))
+    snapshot = ServerSnapshot.capture(server)
+    for _ in range(CHANGELOG_KEEP + 1):
+        server.receive_region("r0", Rect(0.0, 0.0, 2.0, 2.0))
+    assert snapshot.absorb(server) is None
+
+
+def test_absorb_shares_grid_when_public_quiet():
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    server.add_public_object("p0", Point(1.0, 1.0))
+    server.receive_region("r0", Rect(0.0, 0.0, 1.0, 1.0))
+    snapshot = ServerSnapshot.capture(server)
+    grid = snapshot.public_grid
+    server.receive_region("r0", Rect(0.0, 0.0, 2.0, 2.0))
+    absorbed = snapshot.absorb(server)
+    assert absorbed is not None
+    assert absorbed.public_grid is grid
+    # A public mutation must invalidate the shared grid.
+    server.move_public_object("p0", Point(5.0, 5.0))
+    absorbed2 = absorbed.absorb(server)
+    assert absorbed2 is not None
+    assert "public_grid" not in absorbed2.__dict__
