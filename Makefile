@@ -1,6 +1,6 @@
 # Developer entry points for the privacy-aware LBS reproduction.
 
-.PHONY: install test conformance bench bench-smoke bench-batch bench-cloak bench-history examples experiments report clean
+.PHONY: install test conformance bench bench-smoke bench-batch bench-cloak bench-planner bench-history examples experiments report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -19,6 +19,9 @@ bench-batch:
 
 bench-cloak:
 	pytest benchmarks -q -k bench_cloak
+
+bench-planner:
+	pytest benchmarks -q -k bench_planner
 
 # Selftest pins 30%-drop detection at the default 25% gate; the real
 # trajectory runs with a looser gate because CI runners and dev machines

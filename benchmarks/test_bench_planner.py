@@ -1,0 +1,184 @@
+"""Cost-based planner benchmark: emits BENCH_planner.json with a gate.
+
+Run via ``make bench-planner`` (or ``pytest benchmarks -q -k bench_planner``).
+One mixed declarative workload — public range windows, exact k-NN probes,
+probabilistic counts over degenerate cloaks, and private candidate-set
+ranges — is executed three ways over the same server:
+
+* ``planned``          — the cost-based planner chooses backend + route
+                         per query (``QueryPlanner.execute_batch``),
+* ``static_<backend>`` — every query forced to one index backend on the
+                         scalar route (the five static baselines a
+                         planner-less system would hard-code),
+* ``vectorized``       — every query forced down the kernel route.
+
+The gate is the planner's reason to exist: planned execution must be
+strictly faster than the WORST static backend choice on the same
+workload.  The report lands in ``BENCH_planner.json`` at the repo root
+(CI uploads it; ``make bench-history`` folds it into the trajectory with
+direction-aware regression flags on the tracked leaves).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from bench_envelope import finalize_report
+from repro.core.server import LocationServer
+from repro.core.stores import PublicStore
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.obs import Telemetry
+from repro.planner import BACKEND_NAMES, QueryPlanner
+from repro.queries.spec import CountSpec, KNNSpec, RangeSpec
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+N_PUBLIC = 8_000
+N_PRIVATE = 3_000
+N_SPECS = 400
+WORLD = Rect(0.0, 0.0, 1000.0, 1000.0)
+SIDE = 25.0
+K = 8
+
+#: mode -> seconds; flushed into the report by the gate test.
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def planner() -> QueryPlanner:
+    rng = random.Random(20_060_402)
+    server = LocationServer(telemetry=Telemetry(enabled=False))
+    server.public = PublicStore.from_points(
+        {
+            i: Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            for i in range(N_PUBLIC)
+        }
+    )
+    # Degenerate cloaks: every backend's point replica is eligible for
+    # the count quadrant, so all five static baselines are forceable.
+    server.receive_regions(
+        {
+            f"u{i}": Rect(x, y, x, y)
+            for i in range(N_PRIVATE)
+            for x in (rng.uniform(0, 1000),)
+            for y in (rng.uniform(0, 1000),)
+        }
+    )
+    return QueryPlanner(server, universe=WORLD)
+
+
+def mixed_specs(n: int = N_SPECS) -> list:
+    """The benchmark's mixed workload (private NN/k-NN are pinned to one
+    execution, so they carry no planning signal and stay out)."""
+    rng = random.Random("planner-bench")
+    specs: list = []
+    for _ in range(n):
+        x = rng.uniform(0, 1000 - SIDE)
+        y = rng.uniform(0, 1000 - SIDE)
+        choice = rng.randrange(4)
+        if choice == 0:
+            specs.append(RangeSpec(window=Rect(x, y, x + SIDE, y + SIDE)))
+        elif choice == 1:
+            specs.append(KNNSpec(point=Point(x, y), k=K))
+        elif choice == 2:
+            specs.append(CountSpec(window=Rect(x, y, x + SIDE, y + SIDE)))
+        else:
+            specs.append(
+                RangeSpec(
+                    flavor="private",
+                    region=Rect(x, y, x + SIDE / 2, y + SIDE / 2),
+                    radius=10.0,
+                    method="exact",
+                )
+            )
+    return specs
+
+
+def run_mode(planner: QueryPlanner, mode: str) -> float:
+    specs = mixed_specs()
+    kwargs: dict = {}
+    if mode.startswith("static_"):
+        kwargs = {"backend": mode.removeprefix("static_"), "route": "scalar"}
+    elif mode == "vectorized":
+        kwargs = {"route": "vectorized"}
+    planner.execute_batch(specs, **kwargs)  # warmup: calibration + replicas
+    start = time.perf_counter()
+    out = planner.execute_batch(specs, **kwargs)
+    elapsed = time.perf_counter() - start
+    assert len(out) == len(specs)
+    return elapsed
+
+
+MODES = ["planned", "vectorized"] + [f"static_{b}" for b in BACKEND_NAMES]
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_planner_vs_static(benchmark, planner, mode):
+    laps: list[float] = []
+
+    def run():
+        laps.append(run_mode(planner, mode))
+
+    # Self-timed so the report also works under ``--benchmark-disable``.
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[mode] = min(laps)
+
+
+def test_planner_report_and_gate(planner):
+    """Fold timings into BENCH_planner.json; planned must beat the worst
+    static backend strictly."""
+    for mode in MODES:
+        if mode not in _RESULTS:  # timing tests deselected: time inline
+            _RESULTS[mode] = run_mode(planner, mode)
+
+    modes = {
+        mode: {
+            "seconds": seconds,
+            "queries_per_second": N_SPECS / seconds if seconds else None,
+        }
+        for mode, seconds in sorted(_RESULTS.items())
+    }
+    statics = {
+        mode: seconds
+        for mode, seconds in _RESULTS.items()
+        if mode.startswith("static_")
+    }
+    worst_mode = max(statics, key=statics.get)
+    best_mode = min(statics, key=statics.get)
+    planned = _RESULTS["planned"]
+
+    report = {
+        "workload": {
+            "public_objects": N_PUBLIC,
+            "private_regions": N_PRIVATE,
+            "specs": N_SPECS,
+            "window_side": SIDE,
+            "k": K,
+        },
+        "modes": modes,
+        "worst_static": worst_mode,
+        "best_static": best_mode,
+        "speedup_vs_worst_static": (
+            statics[worst_mode] / planned if planned else None
+        ),
+        "speedup_vs_best_static": (
+            statics[best_mode] / planned if planned else None
+        ),
+        "gate": {"planned_beats_worst_static": True},
+    }
+    finalize_report(report, "repro.planner.bench/1", BENCH_PATH)
+    parsed = json.loads(BENCH_PATH.read_text())
+    assert parsed["schema"] == "repro.planner.bench/1"
+    assert parsed["git_sha"] and parsed["created_at"]
+
+    assert planned < statics[worst_mode], (
+        f"planned execution ({planned:.3f}s) does not beat the worst "
+        f"static choice {worst_mode} ({statics[worst_mode]:.3f}s); "
+        f"see {BENCH_PATH.name}"
+    )

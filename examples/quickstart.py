@@ -15,10 +15,13 @@ Run with:  python examples/quickstart.py
 import numpy as np
 
 from repro import (
+    CountSpec,
     MobileUser,
+    NNSpec,
     PrivacyProfile,
     PrivacySystem,
     PyramidCloaker,
+    RangeSpec,
 )
 from repro.geometry import Point, Rect
 
@@ -46,7 +49,11 @@ def main() -> None:
     system.publish_all()  # anonymizer pushes cloaked regions to the server
 
     # --- Private range query over public data (Figure 5a) -------------
-    outcome, stations = system.user_range_query("user-42", radius=15.0)
+    # Queries are declarative specs; the cost-based planner picks the
+    # index backend and execution route for each one.
+    outcome, stations = system.query(
+        RangeSpec(flavor="private", user="user-42", radius=15.0)
+    )
     print("Private range query (gas stations within 15 units):")
     print(f"  cloaked region area : {outcome.cloak_area:8.2f}")
     print(f"  candidates shipped  : {outcome.candidates}")
@@ -55,7 +62,7 @@ def main() -> None:
     print(f"  stations            : {sorted(stations)[:5]} ...")
 
     # --- Private NN query over public data (Figure 5b) ----------------
-    nn_outcome, nearest = system.user_nn_query("user-42")
+    nn_outcome, nearest = system.query(NNSpec(flavor="private", user="user-42"))
     print("\nPrivate nearest-neighbour query:")
     print(f"  candidates shipped  : {nn_outcome.candidates}")
     print(f"  nearest station     : {nearest}")
@@ -63,7 +70,7 @@ def main() -> None:
 
     # --- Public count query over private data (Figure 6a) -------------
     downtown = Rect(30, 30, 70, 70)
-    answer = system.server.public_count(downtown)
+    answer = system.query(CountSpec(window=downtown))
     truth = sum(
         1 for u in system.users.values() if downtown.contains_point(u.location)
     )
@@ -74,7 +81,9 @@ def main() -> None:
     print(f"  naive overlap count : {system.server.public_count_naive(downtown)}")
 
     # --- Public NN query over private data (Figure 6b) ----------------
-    result = system.server.public_nn(Point(50, 50), samples=4096)
+    result = system.query(
+        NNSpec(dataset="private", point=Point(50, 50), samples=4096, seed=7)
+    )
     top, prob = result.answer.ranked()[0]
     print("\nPublic NN query (nearest user to the mall at (50, 50)):")
     print(f"  candidate users     : {len(result.candidates)}")

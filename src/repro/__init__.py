@@ -51,6 +51,15 @@ from repro.engine import (
 from repro.geometry import Point, Rect
 from repro.mobility import MobileUser, UserMode
 from repro.obs import Telemetry, disable_tracing, enable_tracing, get_telemetry
+from repro.queries.spec import (
+    CountSpec,
+    KNNSpec,
+    NNSpec,
+    QuerySpec,
+    RangeSpec,
+    dump_specs,
+    load_specs,
+)
 
 __version__ = "1.0.0"
 
@@ -88,4 +97,11 @@ __all__ = [
     "get_telemetry",
     "enable_tracing",
     "disable_tracing",
+    "QuerySpec",
+    "RangeSpec",
+    "NNSpec",
+    "KNNSpec",
+    "CountSpec",
+    "dump_specs",
+    "load_specs",
 ]

@@ -11,6 +11,8 @@ Usage (after ``pip install -e .``)::
     python -m repro obs --jsonl               # structured event log, as JSONL
     python -m repro explain                   # EXPLAIN the Figure 6a count query
     python -m repro explain -q private_nn     # EXPLAIN any query path
+    python -m repro plan                      # cost-based planner decision table
+    python -m repro plan --json               # same decisions, as JSON
     python -m repro audit --json              # privacy-attainment audit report
     python -m repro bench-batch               # batch vs sequential timings
     python -m repro bench-history             # ingest BENCH_*.json, flag regressions
@@ -68,7 +70,15 @@ def cmd_demo(_: argparse.Namespace) -> int:
     """A compact end-to-end pipeline demonstration."""
     import numpy as np
 
-    from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker
+    from repro import (
+        CountSpec,
+        MobileUser,
+        NNSpec,
+        PrivacyProfile,
+        PrivacySystem,
+        PyramidCloaker,
+        RangeSpec,
+    )
     from repro.geometry import Point, Rect
 
     rng = np.random.default_rng(0)
@@ -83,9 +93,9 @@ def cmd_demo(_: argparse.Namespace) -> int:
             MobileUser(i, Point(float(x), float(y)), PrivacyProfile.always(k=10))
         )
     system.publish_all()
-    outcome, _ = system.user_range_query(0, radius=12.0)
-    nn_outcome, nearest = system.user_nn_query(0)
-    answer = system.server.public_count(Rect(25, 25, 75, 75))
+    outcome, _ = system.query(RangeSpec(flavor="private", user=0, radius=12.0))
+    nn_outcome, nearest = system.query(NNSpec(flavor="private", user=0))
+    answer = system.query(CountSpec(window=Rect(25, 25, 75, 75)))
     print("privacy-aware LBS demo (400 users, k = 10)")
     print(f"  range query: {outcome.candidates} candidates shipped for "
           f"{outcome.answer_size} true answers (correct: {outcome.correct})")
@@ -101,7 +111,15 @@ def _observed_quickstart(
     """Run a small traced pipeline workload and return the PrivacySystem."""
     import numpy as np
 
-    from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker
+    from repro import (
+        CountSpec,
+        MobileUser,
+        NNSpec,
+        PrivacyProfile,
+        PrivacySystem,
+        PyramidCloaker,
+        RangeSpec,
+    )
     from repro.geometry import Point, Rect
 
     rng = np.random.default_rng(seed)
@@ -125,9 +143,9 @@ def _observed_quickstart(
     }
     system.apply_movement(moves)
     for i in range(queries):
-        system.user_range_query(i % users, radius=10.0)
-        system.user_nn_query((i * 7) % users)
-        system.server.public_count(Rect(20, 20, 80, 80))
+        system.query(RangeSpec(flavor="private", user=i % users, radius=10.0))
+        system.query(NNSpec(flavor="private", user=(i * 7) % users))
+        system.query(CountSpec(window=Rect(20, 20, 80, 80)))
     return system
 
 
@@ -177,6 +195,7 @@ EXPLAIN_QUERIES = (
     "private_knn",
     "batch",
     "bulk_cloak",
+    "planned",
 )
 
 
@@ -215,6 +234,10 @@ def cmd_explain(args: argparse.Namespace) -> int:
             plan = explainer.explain_bulk_cloak(
                 system.anonymizer, t=system.clock
             )
+        elif args.query == "planned":
+            from repro.queries.spec import KNNSpec
+
+            plan = explainer.explain_spec(KNNSpec(point=Point(50, 50), k=4))
         else:  # batch
             plan = explainer.explain_batch(
                 [
@@ -225,6 +248,70 @@ def cmd_explain(args: argparse.Namespace) -> int:
                 ]
             )
     print(plan_to_json(plan) if args.json else render_plan(plan))
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Print the cost-based planner's decisions for a spec workload."""
+    import json
+
+    from repro.geometry import Point, Rect
+    from repro.queries.spec import (
+        CountSpec,
+        KNNSpec,
+        NNSpec,
+        RangeSpec,
+        spec_to_dict,
+    )
+
+    if args.users < 1:
+        raise SystemExit("repro plan: error: --users must be at least 1")
+    system = _observed_quickstart(users=args.users, queries=0, seed=args.seed)
+    region = system.anonymizer.cloak_user(0, t=system.clock).region
+    specs = [
+        RangeSpec(window=Rect(20, 20, 60, 60)),
+        KNNSpec(point=Point(50, 50), k=4),
+        CountSpec(window=Rect(20, 20, 80, 80)),
+        RangeSpec(flavor="private", region=region, radius=10.0),
+        NNSpec(flavor="private", region=region),
+        NNSpec(dataset="private", point=Point(50, 50), samples=512),
+    ]
+    planner = system.planner
+    decisions = [
+        planner.decide(spec, batch_size=args.batch) for spec in specs
+    ]
+    stats = planner.stats()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "stats": stats.to_dict(),
+                    "decisions": [
+                        {"spec": spec_to_dict(spec), **decision.to_dict()}
+                        for spec, decision in zip(specs, decisions)
+                    ],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    print(
+        f"cost-based planner decisions "
+        f"(pois={len(system.server.public)}, users={args.users}, "
+        f"batch={args.batch})"
+    )
+    print(
+        f"  statistics: n_public={stats.n_public} n_private={stats.n_private}"
+        f" snapshot_fresh={stats.snapshot_fresh} grid_ready={stats.grid_ready}"
+        f" calibration_sample={stats.calibration_sample}"
+    )
+    print(f"  {'query':<25} {'backend':<9} {'route':<11} {'est_s':>9}  reason")
+    for decision in decisions:
+        print(
+            f"  {decision.kind:<25} {decision.backend:<9} "
+            f"{decision.route:<11} {decision.seconds:>9.2e}  {decision.reason}"
+        )
     return 0
 
 
@@ -503,6 +590,23 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--users", type=int, default=200, help="workload size")
     explain.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     explain.set_defaults(func=cmd_explain)
+
+    plan = sub.add_parser(
+        "plan",
+        help="print the cost-based planner's backend/route decision table",
+    )
+    plan.add_argument(
+        "--json", action="store_true", help="emit stats + decisions as JSON"
+    )
+    plan.add_argument(
+        "--batch",
+        type=int,
+        default=1,
+        help="plan for this batch size (amortises one-off costs)",
+    )
+    plan.add_argument("--users", type=int, default=200, help="workload size")
+    plan.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    plan.set_defaults(func=cmd_plan)
 
     audit = sub.add_parser(
         "audit", help="privacy-attainment audit report over the event log"

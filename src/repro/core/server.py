@@ -86,6 +86,7 @@ class LocationServer:
         self.private = PrivateStore()
         self._monitors: dict[Hashable, ContinuousCountMonitor] = {}
         self._engine: BatchEngine | None = None
+        self._planner = None
         self.queries_served = 0
         self.queries_by_kind: dict[str, int] = {}
         self.region_updates_received = 0
@@ -105,6 +106,15 @@ class LocationServer:
         self.queries_served += 1
         self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
         self.telemetry.count("server.queries", kind=kind)
+
+    def record_query(self, kind: str) -> None:
+        """Count one externally executed query under ``kind``.
+
+        The cost-based planner's native-equivalent entry points use this
+        so a planned query is accounted exactly like the entry point it
+        replaces, whatever backend or route actually ran.
+        """
+        self._count_query(kind)
 
     # ------------------------------------------------------------------
     # Public data maintenance (exact locations, no privacy)
@@ -250,15 +260,34 @@ class LocationServer:
             self._engine = BatchEngine(self)
         return self._engine
 
+    @property
+    def planner(self):
+        """The server's cost-based query planner (created lazily).
+
+        Lazy import keeps :mod:`repro.planner` out of the core import
+        graph for callers that never plan.
+        """
+        if self._planner is None:
+            from repro.planner import QueryPlanner
+
+            self._planner = QueryPlanner(self)
+        return self._planner
+
     def execute_batch(
-        self, queries: list[BatchQuery], *, vectorize: bool = True
+        self,
+        queries: list[BatchQuery],
+        *,
+        vectorize: bool = True,
+        routes: "list[bool] | None" = None,
     ) -> list[BatchResult]:
         """Answer a heterogeneous query batch in one vectorised pass.
 
         Every query sees the same frozen snapshot of both stores; results
         align with the input order and match the per-query entry points
         (see ``docs/batch_engine.md``).  Queries are counted in
-        :meth:`stats` under their batch kind names.
+        :meth:`stats` under their batch kind names.  ``routes`` is the
+        planner's per-query vectorized/scalar choice vector (see
+        :meth:`repro.engine.batch.BatchEngine.execute`).
         """
         batch = list(queries)
         self.queries_served += len(batch)
@@ -268,7 +297,7 @@ class LocationServer:
         for kind, n in kinds.items():
             self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + n
             self.telemetry.count("server.queries", amount=n, kind=kind)
-        return self.engine.execute(batch, vectorize=vectorize)
+        return self.engine.execute(batch, vectorize=vectorize, routes=routes)
 
     # ------------------------------------------------------------------
     # Continuous queries

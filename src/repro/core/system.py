@@ -14,7 +14,8 @@ uncertainty.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Hashable
 
 import numpy as np
@@ -22,15 +23,24 @@ import numpy as np
 from repro.cloaking.base import Cloaker
 from repro.cloaking.incremental import IncrementalCloaker
 from repro.core.anonymizer import LocationAnonymizer
-from repro.core.errors import RegistrationError
+from repro.core.errors import QueryError, RegistrationError
 from repro.core.server import LocationServer
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.mobility.users import MobileUser, UserMode
 from repro.obs import Telemetry
 from repro.obs.events import QUERY_COMPLETED
+from repro.queries.private_knn import refine_knn_candidates
 from repro.queries.private_nn import refine_nn_candidates
 from repro.queries.private_range import exact_range_answer, refine_range_candidates
+from repro.queries.spec import (
+    KNNSpec,
+    NNSpec,
+    QuerySpec,
+    RangeSpec,
+    SPEC_TYPES,
+    is_user_bound,
+)
 
 
 @dataclass(frozen=True)
@@ -67,12 +77,36 @@ class NNQueryOutcome:
     correct: bool
 
 
+@dataclass(frozen=True)
+class KNNQueryOutcome:
+    """Ledger entry for one end-to-end private k-NN query.
+
+    ``correct`` compares the refined list's distance sequence against
+    the canonical k-NN answer's, so equidistant permutations count as
+    correct (the paper's answer-quality guarantee is distance-exact,
+    not id-exact, under ties).
+    """
+
+    user_id: Hashable
+    cloak_area: float
+    k: int
+    candidates: int
+    answer_size: int
+    correct: bool
+
+    @property
+    def overhead(self) -> float:
+        """Candidates shipped per true answer object (>= 1.0)."""
+        return self.candidates / max(1, self.answer_size)
+
+
 @dataclass
 class QoSLedger:
     """Accumulated quality-of-service statistics."""
 
     range_outcomes: list[RangeQueryOutcome] = field(default_factory=list)
     nn_outcomes: list[NNQueryOutcome] = field(default_factory=list)
+    knn_outcomes: list[KNNQueryOutcome] = field(default_factory=list)
 
     def summary(self) -> dict[str, float]:
         """Aggregate trade-off metrics for reports."""
@@ -97,6 +131,17 @@ class QoSLedger:
                 np.mean([o.candidates for o in self.nn_outcomes])
             )
             out["nn_accuracy"] = float(np.mean([o.correct for o in self.nn_outcomes]))
+        if self.knn_outcomes:
+            out["knn_queries"] = len(self.knn_outcomes)
+            out["knn_mean_candidates"] = float(
+                np.mean([o.candidates for o in self.knn_outcomes])
+            )
+            out["knn_mean_overhead"] = float(
+                np.mean([o.overhead for o in self.knn_outcomes])
+            )
+            out["knn_accuracy"] = float(
+                np.mean([o.correct for o in self.knn_outcomes])
+            )
         return out
 
 
@@ -188,28 +233,60 @@ class PrivacySystem:
             self.anonymizer.publish_all(self.clock)
 
     # ------------------------------------------------------------------
-    # End-to-end queries with QoS accounting
+    # The declarative query entry point
     # ------------------------------------------------------------------
 
-    def user_range_query(
-        self, user_id: Hashable, radius: float, method: str = "exact"
-    ) -> tuple[RangeQueryOutcome, list[Hashable]]:
-        """Full pipeline: cloak -> server candidates -> client refinement.
+    @property
+    def planner(self):
+        """The server's cost-based planner, wired to this world's bounds."""
+        planner = self.server.planner
+        if planner.replicas.universe is None:
+            planner.set_universe(self.bounds)
+        return planner
 
-        Returns the ledger entry and the refined (true) answer.
+    def query(self, spec: QuerySpec):
+        """Answer one declarative :class:`~repro.queries.spec.QuerySpec`.
+
+        The single front door for all four query types in both flavors.
+        User-bound private specs run the full pipeline (cloak -> planned
+        server execution -> client refinement) with QoS accounting and
+        return ``(outcome, refined_answer)``; everything else is routed
+        by the cost-based planner and returns the server-side answer
+        (see :meth:`repro.planner.QueryPlanner.execute` for the result
+        type per spec).
         """
-        user = self._visible_user(user_id)
-        with self.obs.span("query.private_range", method=method):
-            cloak, result = self.anonymizer.private_range_query(
-                user_id, radius, self.clock, method
+        if not isinstance(spec, SPEC_TYPES):
+            raise QueryError(
+                f"query() takes a QuerySpec, got {type(spec).__name__}"
             )
+        if is_user_bound(spec):
+            if isinstance(spec, RangeSpec):
+                return self._user_range(spec)
+            if isinstance(spec, KNNSpec):
+                return self._user_knn(spec)
+            return self._user_nn(spec)
+        return self.planner.execute(spec)
+
+    def _cloaked(self, spec):
+        """Cloak the spec's user and return the region-bound spec form."""
+        cloak = self.anonymizer.cloak_user(spec.user, self.clock)
+        return cloak, replace(spec, user=None, region=cloak.region)
+
+    def _user_range(
+        self, spec: RangeSpec
+    ) -> tuple[RangeQueryOutcome, list[Hashable]]:
+        """Full pipeline: cloak -> planned candidates -> client refinement."""
+        user = self._visible_user(spec.user)
+        with self.obs.span("query.private_range", method=spec.method):
+            cloak, bound = self._cloaked(spec)
+            result = self.planner.execute(bound)
             with self.obs.span("client.refine", query="private_range"):
                 refined = refine_range_candidates(
                     self.server.public, result, user.location
                 )
-        truth = exact_range_answer(self.server.public, user.location, radius)
+        truth = exact_range_answer(self.server.public, user.location, spec.radius)
         outcome = RangeQueryOutcome(
-            user_id=user_id,
+            user_id=spec.user,
             cloak_area=cloak.region.area,
             candidates=len(result.candidates),
             answer_size=len(refined),
@@ -220,7 +297,7 @@ class PrivacySystem:
         self.obs.emit(
             QUERY_COMPLETED,
             query="private_range",
-            user=str(user_id),
+            user=str(spec.user),
             candidates=outcome.candidates,
             answer_size=outcome.answer_size,
             overhead=outcome.overhead,
@@ -229,22 +306,19 @@ class PrivacySystem:
         )
         return outcome, refined
 
-    def user_nn_query(
-        self, user_id: Hashable, method: str = "filter"
-    ) -> tuple[NNQueryOutcome, Hashable]:
+    def _user_nn(self, spec: NNSpec) -> tuple[NNQueryOutcome, Hashable]:
         """Full pipeline for a private nearest-neighbour query."""
-        user = self._visible_user(user_id)
-        with self.obs.span("query.private_nn", method=method):
-            cloak, result = self.anonymizer.private_nn_query(
-                user_id, self.clock, method
-            )
+        user = self._visible_user(spec.user)
+        with self.obs.span("query.private_nn", method=spec.method):
+            cloak, bound = self._cloaked(spec)
+            result = self.planner.execute(bound)
             with self.obs.span("client.refine", query="private_nn"):
                 refined = refine_nn_candidates(
                     self.server.public, result, user.location
                 )
         truth = self.server.public.nearest(user.location, k=1)[0]
         outcome = NNQueryOutcome(
-            user_id=user_id,
+            user_id=spec.user,
             cloak_area=cloak.region.area,
             candidates=len(result.candidates),
             correct=refined == truth,
@@ -254,7 +328,7 @@ class PrivacySystem:
         self.obs.emit(
             QUERY_COMPLETED,
             query="private_nn",
-            user=str(user_id),
+            user=str(spec.user),
             candidates=outcome.candidates,
             answer_size=1,
             overhead=float(outcome.candidates),
@@ -263,20 +337,115 @@ class PrivacySystem:
         )
         return outcome, refined
 
+    def _user_knn(
+        self, spec: KNNSpec
+    ) -> tuple[KNNQueryOutcome, list[Hashable]]:
+        """Full pipeline for a private k-NN query."""
+        user = self._visible_user(spec.user)
+        with self.obs.span("query.private_knn", method=spec.method):
+            cloak, bound = self._cloaked(spec)
+            result = self.planner.execute(bound)
+            with self.obs.span("client.refine", query="private_knn"):
+                refined = refine_knn_candidates(
+                    self.server.public, result, user.location
+                )
+        truth = self.server.public.nearest(
+            user.location, k=min(spec.k, len(self.server.public))
+        )
+        location = user.location
+
+        def distances(items):
+            return [
+                self.server.public.point_of(i).distance_to(location)
+                for i in items
+            ]
+
+        outcome = KNNQueryOutcome(
+            user_id=spec.user,
+            cloak_area=cloak.region.area,
+            k=spec.k,
+            candidates=len(result.candidates),
+            answer_size=len(refined),
+            correct=distances(refined) == distances(truth),
+        )
+        self.ledger.knn_outcomes.append(outcome)
+        self.obs.observe("qos.knn_candidates", outcome.candidates)
+        self.obs.emit(
+            QUERY_COMPLETED,
+            query="private_knn",
+            user=str(spec.user),
+            candidates=outcome.candidates,
+            answer_size=outcome.answer_size,
+            overhead=outcome.overhead,
+            correct=outcome.correct,
+            cloak_area=outcome.cloak_area,
+        )
+        return outcome, refined
+
+    # ------------------------------------------------------------------
+    # Deprecated positional wrappers (pre-QuerySpec API)
+    # ------------------------------------------------------------------
+
+    def user_range_query(
+        self, user_id: Hashable, radius: float, method: str = "exact"
+    ) -> tuple[RangeQueryOutcome, list[Hashable]]:
+        """Deprecated: use ``query(RangeSpec(flavor="private", ...))``."""
+        warnings.warn(
+            "PrivacySystem.user_range_query() is deprecated; use "
+            "query(RangeSpec(flavor='private', user=..., radius=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(
+            RangeSpec(
+                flavor="private", user=user_id, radius=radius, method=method
+            )
+        )
+
+    def user_nn_query(
+        self, user_id: Hashable, method: str = "filter"
+    ) -> tuple[NNQueryOutcome, Hashable]:
+        """Deprecated: use ``query(NNSpec(flavor="private", user=...))``."""
+        warnings.warn(
+            "PrivacySystem.user_nn_query() is deprecated; use "
+            "query(NNSpec(flavor='private', user=...))",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.query(NNSpec(flavor="private", user=user_id, method=method))
+
     # ------------------------------------------------------------------
     # Batch execution
     # ------------------------------------------------------------------
 
     def execute_batch(self, queries: list, *, vectorize: bool = True) -> list:
-        """Answer a heterogeneous batch against the server's frozen snapshot.
+        """Answer a heterogeneous batch, results aligned with input order.
 
-        Thin front door to :meth:`~repro.core.server.LocationServer.execute_batch`
-        for analytical workloads (dashboards, traffic studies) that mix
-        public range/NN/count queries; no QoS accounting, because batch
-        queries carry no per-user cloak to trade off.
+        Accepts either :class:`~repro.queries.spec.QuerySpec` values
+        (planned per query by the cost-based planner; user-bound specs
+        run the full QoS-accounted pipeline) or legacy
+        :mod:`repro.engine.queries` batch queries (forwarded untouched
+        to :meth:`~repro.core.server.LocationServer.execute_batch`,
+        where ``vectorize`` applies).
         """
-        with self.obs.span("system.execute_batch", size=len(queries)):
-            return self.server.execute_batch(queries, vectorize=vectorize)
+        batch = list(queries)
+        with self.obs.span("system.execute_batch", size=len(batch)):
+            if not batch or not isinstance(batch[0], SPEC_TYPES):
+                return self.server.execute_batch(batch, vectorize=vectorize)
+            results: list = [None] * len(batch)
+            planned: list[int] = []
+            for position, spec in enumerate(batch):
+                if is_user_bound(spec):
+                    results[position] = self.query(spec)
+                else:
+                    planned.append(position)
+            if planned:
+                answers = self.planner.execute_batch(
+                    [batch[p] for p in planned]
+                )
+                for position, answer in zip(planned, answers):
+                    results[position] = answer
+            return results
 
     # ------------------------------------------------------------------
     # Observability

@@ -122,7 +122,11 @@ class BatchEngine:
     # ------------------------------------------------------------------
 
     def execute(
-        self, queries: Iterable[BatchQuery], *, vectorize: bool = True
+        self,
+        queries: Iterable[BatchQuery],
+        *,
+        vectorize: bool = True,
+        routes: Sequence[bool] | None = None,
     ) -> list[BatchResult]:
         """Answer every query, results aligned with the input order.
 
@@ -131,19 +135,31 @@ class BatchEngine:
             vectorize: ``False`` forces the per-query scalar path for
                 every kind (the differential-testing reference); results
                 are normalised identically in both modes.
+            routes: optional per-query route vector from the cost-based
+                planner, aligned with ``queries`` (``True`` = vectorized
+                kernel, ``False`` = scalar processor).  Overrides
+                ``vectorize`` per position; kinds without a kernel
+                (``private_nn``) stay scalar regardless.
         """
         batch = list(queries)
+        if routes is not None and len(routes) != len(batch):
+            raise ValueError(
+                f"routes length {len(routes)} != batch size {len(batch)}"
+            )
         with self.telemetry.span(
             "engine.batch", size=len(batch), vectorize=vectorize
         ):
             snapshot = self.snapshot()
             self.telemetry.observe("engine.batch_size", len(batch))
             results: list[BatchResult] = [None] * len(batch)
-            groups: dict[str, list[int]] = {}
+            groups: dict[tuple[str, bool], list[int]] = {}
             for position, query in enumerate(batch):
-                groups.setdefault(query.kind, []).append(position)
-            for kind, positions in groups.items():
-                vectorized = vectorize and kind != "private_nn"
+                wanted = vectorize if routes is None else bool(routes[position])
+                vectorized = wanted and query.kind != "private_nn"
+                groups.setdefault((query.kind, vectorized), []).append(position)
+            kinds: dict[str, int] = {}
+            for (kind, vectorized), positions in groups.items():
+                kinds[kind] = kinds.get(kind, 0) + len(positions)
                 self.telemetry.count(
                     "engine.queries",
                     amount=len(positions),
@@ -161,7 +177,7 @@ class BatchEngine:
             BATCH_EXECUTED,
             size=len(batch),
             vectorize=vectorize,
-            kinds=dict(sorted((k, len(v)) for k, v in groups.items())),
+            kinds=dict(sorted(kinds.items())),
         )
         return results
 

@@ -5,6 +5,13 @@ me" range probes, "nearest X" lookups, and operator-side analytics, with
 popularity skew across users.  This module generates such a mix
 deterministically and drives it through the end-to-end system, producing
 the QoS summary the trade-off analyses and stress tests consume.
+
+Workloads are *data*: every event converts to a declarative
+:class:`~repro.queries.spec.QuerySpec` (:func:`specs_from_events` /
+:func:`generate_specs`), the spec list round-trips through JSON
+(:func:`dump_specs` / :func:`load_specs`), and execution goes through
+``PrivacySystem.query`` so the cost-based planner — not the workload
+driver — picks the backend and route for every query.
 """
 
 from __future__ import annotations
@@ -21,6 +28,14 @@ from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.geometry.sampling import zipf_weights
 from repro.queries.public_range import exact_range_count
+from repro.queries.spec import (
+    CountSpec,
+    NNSpec,
+    QuerySpec,
+    RangeSpec,
+    dump_specs,
+    load_specs,
+)
 
 
 class QueryKind(enum.Enum):
@@ -107,6 +122,77 @@ def generate_events(
     return events
 
 
+def specs_from_events(
+    events: Sequence[QueryEvent],
+    samples: int = 1024,
+    rng: np.random.Generator | None = None,
+) -> list[QuerySpec]:
+    """Convert scheduled events into declarative, serialisable specs.
+
+    ``rng`` seeds the Monte-Carlo public-NN specs (one fresh seed per
+    event, drawn deterministically), so a spec list fully determines the
+    workload's answers — including the probabilistic ones.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    specs: list[QuerySpec] = []
+    for event in events:
+        if event.kind is QueryKind.PRIVATE_RANGE:
+            specs.append(
+                RangeSpec(
+                    flavor="private", user=event.subject, radius=event.radius
+                )
+            )
+        elif event.kind is QueryKind.PRIVATE_NN:
+            specs.append(NNSpec(flavor="private", user=event.subject))
+        elif event.kind is QueryKind.PUBLIC_COUNT:
+            specs.append(CountSpec(window=event.subject))
+        else:
+            specs.append(
+                NNSpec(
+                    flavor="public",
+                    dataset="private",
+                    point=event.subject,
+                    samples=samples,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                )
+            )
+    return specs
+
+
+def generate_specs(
+    mix: QueryMix,
+    user_ids: Sequence[Hashable],
+    bounds: Rect,
+    rng: np.random.Generator,
+    samples: int = 1024,
+) -> list[QuerySpec]:
+    """Materialise a mix directly as a JSON-ready spec list.
+
+    ``dump_specs`` on the result (and ``load_specs`` back) round-trips
+    the whole workload through plain JSON — workloads are data.
+    """
+    events = generate_events(mix, user_ids, bounds, rng)
+    return specs_from_events(events, samples=samples, rng=rng)
+
+
+def _kind_of_spec(spec: QuerySpec) -> QueryKind:
+    """The mix species a spec belongs to (for report bucketing)."""
+    if isinstance(spec, RangeSpec) and spec.user is not None:
+        return QueryKind.PRIVATE_RANGE
+    if isinstance(spec, NNSpec):
+        if spec.user is not None:
+            return QueryKind.PRIVATE_NN
+        if spec.flavor == "public" and spec.dataset == "private":
+            return QueryKind.PUBLIC_NN
+    if isinstance(spec, CountSpec):
+        return QueryKind.PUBLIC_COUNT
+    raise QueryError(
+        f"workload driver cannot score spec: {spec!r}; supported kinds "
+        "are private range/NN (user-bound), public count, and "
+        "probabilistic public NN"
+    )
+
+
 @dataclass
 class WorkloadReport:
     """Aggregated outcome of one workload run."""
@@ -139,11 +225,23 @@ def run_workload(
 ) -> WorkloadReport:
     """Execute a workload end to end, scoring answers against ground truth.
 
+    Events are converted to declarative specs (``rng`` seeds the
+    probabilistic NN draws) and run through :func:`run_spec_workload`,
+    so the cost-based planner chooses every execution.
+    """
+    specs = specs_from_events(events, samples=samples, rng=rng)
+    return run_spec_workload(system, specs)
+
+
+def run_spec_workload(
+    system: PrivacySystem, specs: Sequence[QuerySpec]
+) -> WorkloadReport:
+    """Execute a spec workload through ``PrivacySystem.query``, scored.
+
     Ground truth comes from the simulator's exact user locations — which
     the server never sees; the report checks the privacy pipeline kept its
     correctness guarantees under the whole mix.
     """
-    rng = rng if rng is not None else np.random.default_rng(0)
     report = WorkloadReport()
     # Ground truth over *visible* users only: passive users are invisible
     # to the server by design, so they are outside the answerable universe.
@@ -153,24 +251,21 @@ def run_workload(
         for uid, user in system.users.items()
         if uid in visible
     }
-    for event in events:
-        report.executed[event.kind] = report.executed.get(event.kind, 0) + 1
-        if event.kind is QueryKind.PRIVATE_RANGE:
-            outcome, _ = system.user_range_query(event.subject, event.radius)
+    for spec in specs:
+        kind = _kind_of_spec(spec)
+        report.executed[kind] = report.executed.get(kind, 0) + 1
+        if kind in (QueryKind.PRIVATE_RANGE, QueryKind.PRIVATE_NN):
+            outcome, _ = system.query(spec)
             report.private_total += 1
             report.private_correct += outcome.correct
-        elif event.kind is QueryKind.PRIVATE_NN:
-            outcome, _ = system.user_nn_query(event.subject)
-            report.private_total += 1
-            report.private_correct += outcome.correct
-        elif event.kind is QueryKind.PUBLIC_COUNT:
-            answer = system.server.public_count(event.subject)
-            truth = exact_range_count(exact, event.subject)
+        elif kind is QueryKind.PUBLIC_COUNT:
+            answer = system.query(spec)
+            truth = exact_range_count(exact, spec.window)
             report.count_abs_error.append(abs(answer.expected - truth))
         else:
-            result = system.server.public_nn(event.subject, samples=samples, rng=rng)
+            result = system.query(spec)
             truth_user = min(
-                exact, key=lambda uid: exact[uid].distance_to(event.subject)
+                exact, key=lambda uid: exact[uid].distance_to(spec.point)
             )
             pseudonym = system.anonymizer.pseudonym_of(truth_user)
             report.nn_total += 1

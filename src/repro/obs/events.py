@@ -68,6 +68,11 @@ SNAPSHOT_REUSED = "snapshot.reused"
 SNAPSHOT_DELTA = "snapshot.delta"
 #: One heterogeneous batch was executed.
 BATCH_EXECUTED = "batch.executed"
+#: The cost-based planner chose a backend/route for one query (group);
+#: carries the chosen pair, the ranked cost estimates, and the reason.
+PLANNER_DECISION = "planner.decision"
+#: The planner's statistics collector (re)calibrated backend costs.
+PLANNER_CALIBRATED = "planner.calibrated"
 
 #: Every kind this package emits, for validation and documentation.
 EVENT_KINDS: tuple[str, ...] = (
@@ -87,6 +92,8 @@ EVENT_KINDS: tuple[str, ...] = (
     SNAPSHOT_REUSED,
     SNAPSHOT_DELTA,
     BATCH_EXECUTED,
+    PLANNER_DECISION,
+    PLANNER_CALIBRATED,
 )
 
 

@@ -412,6 +412,56 @@ class QueryExplainer:
         return plan
 
     # ------------------------------------------------------------------
+    # Planned specs (the cost-based planner's chosen plans)
+    # ------------------------------------------------------------------
+
+    def explain_spec(self, spec) -> PlanNode:
+        """EXPLAIN a declarative QuerySpec through the cost-based planner.
+
+        Unlike the ``explain_*`` methods above, which show what a fixed
+        entry point *did*, this shows what the planner *chose*: the
+        decision subtree (chosen + rejected candidates with estimated
+        seconds) followed by the measured execution under that choice.
+        User-bound specs are rejected — cloak them first and explain the
+        region-bound form.
+        """
+        if getattr(spec, "user", None) is not None:
+            raise ValueError(
+                "explain_spec() takes region-bound or public specs; "
+                "user-bound specs run through PrivacySystem.query()"
+            )
+        planner = self.server.planner
+        decision = planner.decide(spec)
+        over_private = spec.kind == "count" or (
+            getattr(spec, "dataset", "public") == "private"
+        )
+        store = self.server.private if over_private else self.server.public
+        delta: dict = {}
+        with self._measured(store.index_counters, delta):
+            result = planner.execute(spec, decision=decision)
+        if isinstance(result, tuple):
+            answered = len(result)
+        elif hasattr(result, "candidates"):
+            answered = len(result.candidates)
+        elif hasattr(result, "probabilities"):
+            answered = len(result.probabilities)
+        else:  # PublicNNResult
+            answered = len(result.answer.probabilities)
+        plan = PlanNode(
+            f"planned.{decision.kind}",
+            {"spec": spec.kind, "answered": answered},
+        )
+        plan.children.append(decision.to_plan_node())
+        plan.add(
+            "execute",
+            backend=decision.backend,
+            route=decision.route,
+            store="private" if over_private else "public",
+            **delta,
+        )
+        return plan
+
+    # ------------------------------------------------------------------
     # Dispatch by batch-query value
     # ------------------------------------------------------------------
 

@@ -1,0 +1,771 @@
+"""The cost-based query planner.
+
+:class:`QueryPlanner` turns a declarative
+:class:`~repro.queries.spec.QuerySpec` into an *execution decision*:
+which index backend answers it (the native R-tree store or one of the
+four replica backends) and which route runs it (per-query scalar
+processors or the vectorized snapshot kernels).  Decisions are driven
+entirely by measured statistics (:mod:`repro.planner.stats`) through
+the cost model (:mod:`repro.planner.cost`), recorded as
+``planner.decision`` events, and renderable as
+:class:`~repro.obs.explain.PlanNode` trees so EXPLAIN shows *chosen*
+plans next to executed ones.
+
+The planner's contract is that planning never changes answers:
+
+* every execution path normalises results to the engine's canonical
+  order (snapshot rank for ranges/counts, ``(distance, rank)`` for
+  k-NN), so any backend x route produces the same value;
+* backends are only *eligible* when result-identity is provable —
+  bounded structures need the universe, point-oriented replicas of the
+  private store need degenerate regions, and the private NN / k-NN /
+  Monte-Carlo paths are pinned to the native store whose incremental
+  and sampling machinery they require;
+* ``tests/conformance/test_planner_differential.py`` re-proves the
+  contract against every forced static choice and the brute-force
+  oracle.
+
+Telemetry parity: a planned single query emits exactly the spans,
+counters and events of the native ``LocationServer`` entry point it
+replaces (plus the ``planner.decision`` event), whatever backend or
+route actually ran — observability is a property of the question, not
+of the chosen plan.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.errors import QueryError
+from repro.engine.queries import (
+    PrivateNNQuery,
+    PrivateRangeQuery,
+    PublicCountQuery,
+    PublicNNQuery,
+    PublicRangeQuery,
+)
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.obs.events import CANDIDATES_GENERATED, PLANNER_DECISION
+from repro.obs.explain import PlanNode
+from repro.planner.cost import CostEstimate, CostModel
+from repro.planner.replicas import ReplicaSet
+from repro.planner.stats import PlannerStats, StatisticsCollector
+from repro.queries.private_knn import PrivateKNNResult, private_knn_query
+from repro.queries.private_nn import PrivateNNResult, private_nn_query
+from repro.queries.private_range import PrivateRangeResult, private_range_query
+from repro.queries.probabilistic import CountAnswer
+from repro.queries.public_nn import PublicNNResult, public_nn_query
+from repro.queries.public_range import membership_probability
+from repro.queries.spec import (
+    CountSpec,
+    KNNSpec,
+    NNSpec,
+    QuerySpec,
+    RangeSpec,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import LocationServer
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One planning outcome for one spec.
+
+    Attributes:
+        kind: the native server query kind the spec maps to (the name
+            it is counted under in :meth:`LocationServer.stats`).
+        backend: chosen index backend (``rtree`` for the native store
+            and for the vectorized route, whose snapshot freezes it).
+        route: ``scalar`` or ``vectorized``.
+        seconds: the chosen candidate's estimated per-query cost.
+        reason: one-line human rationale (pin reason or "cheapest").
+        ranked: every eligible candidate, cheapest first.
+        pinned: True when only one execution can prove result-identity.
+        forced: True when the caller overrode the cost-based choice.
+    """
+
+    kind: str
+    backend: str
+    route: str
+    seconds: float
+    reason: str
+    ranked: tuple[CostEstimate, ...] = ()
+    pinned: bool = False
+    forced: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "backend": self.backend,
+            "route": self.route,
+            "seconds": self.seconds,
+            "reason": self.reason,
+            "pinned": self.pinned,
+            "forced": self.forced,
+            "candidates": [c.to_dict() for c in self.ranked],
+        }
+
+    def to_plan_node(self) -> PlanNode:
+        """The decision as an EXPLAIN subtree (chosen + rejected)."""
+        root = PlanNode(
+            "planner.decision",
+            {
+                "query": self.kind,
+                "backend": self.backend,
+                "route": self.route,
+                "est_seconds": self.seconds,
+                "reason": self.reason,
+                "pinned": self.pinned,
+                "forced": self.forced,
+            },
+        )
+        for candidate in self.ranked:
+            chosen = (
+                candidate.backend == self.backend
+                and candidate.route == self.route
+            )
+            root.add(
+                "planner.chosen" if chosen else "planner.rejected",
+                backend=candidate.backend,
+                route=candidate.route,
+                est_seconds=candidate.seconds,
+            )
+        return root
+
+
+#: Engine query kinds whose *sequential* handlers are already canonical
+#: (safe to batch through the engine on the scalar/rtree route).
+_ENGINE_CANONICAL_SEQ = frozenset(
+    {"public_range", "public_count", "private_range", "private_nn"}
+)
+
+
+class QueryPlanner:
+    """Cost-based backend/route chooser and executor for one server.
+
+    Args:
+        server: the :class:`~repro.core.server.LocationServer` whose
+            stores (and telemetry) the planner works against.
+        universe: world bounds for bounded replica backends; a
+            :class:`~repro.core.system.PrivacySystem` injects its own
+            via :meth:`set_universe`.
+    """
+
+    def __init__(
+        self, server: "LocationServer", universe: Rect | None = None
+    ) -> None:
+        self.server = server
+        self.replicas = ReplicaSet(server, universe)
+        self.collector = StatisticsCollector(server, self.replicas)
+        self.last_decision: Decision | None = None
+        self._rank_cache: tuple[int, dict] | None = None
+
+    # ------------------------------------------------------------------
+    # Configuration / statistics
+    # ------------------------------------------------------------------
+
+    def set_universe(self, universe: Rect | None) -> None:
+        """Install world bounds; invalidates replicas and calibration."""
+        self.replicas.universe = universe
+        self.replicas.invalidate()
+        self.collector.reset()
+
+    def stats(self) -> PlannerStats:
+        """The live statistics snapshot the next decision would use."""
+        return self.collector.stats(snapshot=self._engine_snapshot())
+
+    def _engine_snapshot(self):
+        engine = self.server._engine
+        return None if engine is None else engine._cached
+
+    def _public_rank(self) -> dict:
+        """Snapshot-order rank of every public id (cached per version)."""
+        version = self.server.public.version
+        if self._rank_cache is not None and self._rank_cache[0] == version:
+            return self._rank_cache[1]
+        ids, _, _ = self.server.public.snapshot_arrays()
+        rank = {item: row for row, item in enumerate(ids)}
+        self._rank_cache = (version, rank)
+        return rank
+
+    def _private_rank(self) -> dict:
+        ids, _ = self.server.private.snapshot_arrays()
+        return {item: row for row, item in enumerate(ids)}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def decide(
+        self,
+        spec: QuerySpec,
+        batch_size: int = 1,
+        backend: str | None = None,
+        route: str | None = None,
+    ) -> Decision:
+        """Choose (backend, route) for ``spec``; emits ``planner.decision``.
+
+        ``backend`` / ``route`` force the choice among the *eligible*
+        candidates (conformance tests use this to pit every static
+        choice against the planner); forcing an ineligible combination
+        raises :class:`QueryError`.
+        """
+        stats = self.stats()
+        model = CostModel(stats)
+        kind, candidates, pin_reason = self._candidates(spec, model, batch_size)
+        ranked = tuple(model.rank(candidates))
+        chosen = ranked[0]
+        reason = pin_reason or "cheapest estimated cost"
+        forced = False
+        if backend is not None or route is not None:
+            matches = [
+                c
+                for c in ranked
+                if (backend is None or c.backend == backend)
+                and (route is None or c.route == route)
+            ]
+            if not matches:
+                raise QueryError(
+                    f"forced backend={backend!r} route={route!r} is not an "
+                    f"eligible execution for {kind}; eligible: "
+                    f"{[(c.backend, c.route) for c in ranked]}"
+                )
+            chosen = matches[0]
+            forced = True
+            reason = "forced by caller"
+        decision = Decision(
+            kind=kind,
+            backend=chosen.backend,
+            route=chosen.route,
+            seconds=chosen.seconds,
+            reason=reason,
+            ranked=ranked,
+            pinned=pin_reason is not None,
+            forced=forced,
+        )
+        self.last_decision = decision
+        self.server.telemetry.emit(
+            PLANNER_DECISION,
+            kind=kind,
+            backend=decision.backend,
+            route=decision.route,
+            est_seconds=decision.seconds,
+            reason=reason,
+            pinned=decision.pinned,
+            forced=forced,
+            batch=batch_size,
+            candidates=[
+                {"backend": c.backend, "route": c.route, "seconds": c.seconds}
+                for c in ranked
+            ],
+        )
+        return decision
+
+    def _candidates(
+        self, spec: QuerySpec, model: CostModel, batch: int
+    ) -> tuple[str, list[CostEstimate], str | None]:
+        """(native kind, eligible cost estimates, pin reason or None)."""
+        stats = model.stats
+        if isinstance(spec, RangeSpec):
+            if spec.flavor == "public":
+                fraction = model.selectivity(spec.window.area)
+                out = [
+                    est
+                    for name in model.eligible_backends("public")
+                    if (
+                        est := model.scalar_range(
+                            name,
+                            fraction,
+                            "public",
+                            self.replicas.fresh_public(name),
+                            batch,
+                        )
+                    )
+                ]
+                vec = model.vectorized("range", "public", batch)
+                if vec is not None:
+                    out.append(vec)
+                return "public_over_public_range", out, None
+            # Private range: the expanded cloak window drives selectivity.
+            area = (
+                spec.region.expanded(spec.radius).area
+                if spec.region is not None
+                else (2.0 * spec.radius) ** 2
+            )
+            fraction = model.selectivity(area)
+            out = [
+                est
+                for name in model.eligible_backends("public")
+                if (
+                    est := model.scalar_range(
+                        name,
+                        fraction,
+                        "public",
+                        self.replicas.fresh_public(name),
+                        batch,
+                    )
+                )
+            ]
+            vec = model.vectorized("range", "public", batch)
+            if vec is not None:
+                out.append(vec)
+            return "private_range", out, None
+        if isinstance(spec, CountSpec):
+            fraction = model.selectivity(spec.window.area)
+            out = [
+                est
+                for name in model.eligible_backends(
+                    "private", require_degenerate=True
+                )
+                if (
+                    est := model.scalar_range(
+                        name,
+                        fraction,
+                        "private",
+                        self.replicas.fresh_private(name),
+                        batch,
+                    )
+                )
+            ]
+            vec = model.vectorized("count", "private", batch)
+            if vec is not None:
+                out.append(vec)
+            return "public_count", out, None
+        if isinstance(spec, KNNSpec) or (
+            isinstance(spec, NNSpec) and spec.dataset == "public"
+        ):
+            k = spec.k if isinstance(spec, KNNSpec) else 1
+            if spec.flavor == "private":
+                if isinstance(spec, KNNSpec):
+                    pin = (
+                        "k-NN candidate generation needs the native store's "
+                        "pruning-radius machinery"
+                    )
+                    kind = "private_knn"
+                else:
+                    pin = (
+                        "incremental nearest_iter + dominance/Voronoi "
+                        "filters need the native store"
+                    )
+                    kind = "private_nn"
+                est = model.scalar_knn(
+                    "rtree", k, True, batch
+                ) or CostEstimate("rtree", "scalar", 0.0)
+                return kind, [est], pin
+            out = [
+                est
+                for name in model.eligible_backends("public", point=spec.point)
+                if (
+                    est := model.scalar_knn(
+                        name, k, self.replicas.fresh_public(name), batch
+                    )
+                )
+            ]
+            vec = model.vectorized("knn", "public", batch)
+            if vec is not None:
+                out.append(vec)
+            return "public_over_public_nn", out, None
+        if isinstance(spec, NNSpec):  # dataset == "private": Figure 6b
+            est = model.scalar_knn("rtree", 1, True, batch) or CostEstimate(
+                "rtree", "scalar", 0.0
+            )
+            return (
+                "public_nn",
+                [est],
+                "Monte-Carlo sampling over cloaked regions has no kernel "
+                "or replica execution",
+            )
+        raise QueryError(f"unplannable spec: {spec!r}")
+
+    # ------------------------------------------------------------------
+    # Execution — single spec, native-entry-point telemetry parity
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        spec: QuerySpec,
+        decision: Decision | None = None,
+        backend: str | None = None,
+        route: str | None = None,
+    ):
+        """Answer one spec under a (possibly forced) decision.
+
+        Results are canonical and decision-independent:
+
+        * public range / NN / k-NN -> tuple of ids,
+        * count -> :class:`CountAnswer`,
+        * private range / NN / k-NN (region-bound) -> the native
+          ``Private*Result`` with rank-sorted candidate tuples,
+        * public NN over private data -> :class:`PublicNNResult`.
+
+        User-bound private specs are resolved by
+        :meth:`repro.core.system.PrivacySystem.query`, which cloaks the
+        user and re-enters here with the region-bound form.
+        """
+        if getattr(spec, "user", None) is not None:
+            raise QueryError(
+                "user-bound specs need the anonymizer pipeline; submit "
+                "them through PrivacySystem.query()"
+            )
+        if decision is None:
+            decision = self.decide(spec, backend=backend, route=route)
+        self.server.record_query(decision.kind)
+        if isinstance(spec, RangeSpec):
+            if spec.flavor == "public":
+                return self._run_public_range(spec, decision)
+            return self._run_private_range(spec, decision)
+        if isinstance(spec, CountSpec):
+            return self._run_count(spec, decision)
+        if isinstance(spec, KNNSpec):
+            if spec.flavor == "private":
+                return self._run_private_knn(spec, decision)
+            return self._run_public_knn(spec.point, spec.k, decision)
+        if isinstance(spec, NNSpec):
+            if spec.flavor == "private":
+                return self._run_private_nn(spec, decision)
+            if spec.dataset == "private":
+                return self._run_probabilistic_nn(spec, decision)
+            return self._run_public_knn(spec.point, 1, decision)
+        raise QueryError(f"unexecutable spec: {spec!r}")
+
+    # -- public over public ---------------------------------------------
+
+    def _run_public_range(self, spec: RangeSpec, decision: Decision) -> tuple:
+        with self.server.telemetry.span(
+            "server.public_range",
+            backend=decision.backend,
+            route=decision.route,
+        ):
+            if decision.route == "vectorized":
+                return self.server.engine.execute(
+                    [PublicRangeQuery(spec.window)]
+                )[0]
+            index = (
+                self.server.public
+                if decision.backend == "rtree"
+                else self.replicas.public_replica(decision.backend)
+            )
+            rank = self._public_rank()
+            fallback = len(rank)
+            return tuple(
+                sorted(
+                    index.range_query(spec.window),
+                    key=lambda item: rank.get(item, fallback),
+                )
+            )
+
+    def _run_public_knn(self, point: Point, k: int, decision: Decision) -> tuple:
+        with self.server.telemetry.span(
+            "server.public_nn_exact",
+            k=k,
+            backend=decision.backend,
+            route=decision.route,
+        ):
+            if decision.route == "vectorized":
+                return self.server.engine.execute([PublicNNQuery(point, k)])[0]
+            index = (
+                self.server.public
+                if decision.backend == "rtree"
+                else self.replicas.public_replica(decision.backend)
+            )
+            return self._canonical_knn(index, point, k)
+
+    def _canonical_knn(self, index, point: Point, k: int) -> tuple:
+        """k-NN on any backend, identical to the vectorized kernels.
+
+        The kernels rank by ``(squared distance, snapshot rank)``.  Any
+        *valid* k-NN answer from the backend yields a sound threshold:
+        its max squared distance is >= the true k-th smallest (if the
+        backend's tie choices differ, it includes a farther point), so
+        the window plus ``d2 <= threshold`` filter is a superset of the
+        canonical answer, and the final sort/truncate is exact.
+        """
+        rank = self._public_rank()
+        kk = min(k, len(rank))
+        if kk <= 0:
+            return ()
+        point_of = self.server.public.point_of
+        raw = index.nearest(point, kk)
+        threshold = max(point_of(i).squared_distance_to(point) for i in raw)
+        # Pad the sqrt against rounding: a too-wide window is harmless,
+        # the d2 filter below keeps exactness.
+        half = math.sqrt(threshold) * (1.0 + 1e-12) + 1e-300
+        window = Rect(
+            point.x - half, point.y - half, point.x + half, point.y + half
+        )
+        kept = [
+            (d2, rank[item], item)
+            for item in index.range_query(window)
+            if (d2 := point_of(item).squared_distance_to(point)) <= threshold
+        ]
+        kept.sort(key=lambda row: (row[0], row[1]))
+        return tuple(item for _, _, item in kept[:kk])
+
+    # -- public count over private ---------------------------------------
+
+    def _run_count(self, spec: CountSpec, decision: Decision) -> CountAnswer:
+        with self.server.telemetry.span(
+            "server.public_count",
+            backend=decision.backend,
+            route=decision.route,
+        ):
+            if decision.route == "vectorized":
+                return self.server.engine.execute(
+                    [PublicCountQuery(spec.window)]
+                )[0]
+            if decision.backend == "rtree":
+                overlapping = self.server.private.overlapping(spec.window)
+            else:
+                overlapping = self.replicas.private_replica(
+                    decision.backend
+                ).range_query(spec.window)
+            rank = self._private_rank()
+            fallback = len(rank)
+            region_of = self.server.private.region_of
+            return CountAnswer(
+                {
+                    item: membership_probability(region_of(item), spec.window)
+                    for item in sorted(
+                        overlapping, key=lambda i: rank.get(i, fallback)
+                    )
+                }
+            )
+
+    # -- private over public ---------------------------------------------
+
+    def _run_private_range(
+        self, spec: RangeSpec, decision: Decision
+    ) -> PrivateRangeResult:
+        region, radius, method = spec.region, spec.radius, spec.method
+        with self.server.telemetry.span(
+            "server.private_range",
+            method=method,
+            backend=decision.backend,
+            route=decision.route,
+        ):
+            if decision.route == "vectorized":
+                result = self.server.engine.execute(
+                    [PrivateRangeQuery(region, radius, method)]
+                )[0]
+            elif decision.backend == "rtree":
+                result = self._canonical_candidates(
+                    private_range_query(
+                        self.server.public, region, radius, method
+                    )
+                )
+            else:
+                result = self._replica_private_range(
+                    decision.backend, region, radius, method
+                )
+        self.server.telemetry.observe(
+            "candidates", len(result.candidates), query="private_range"
+        )
+        self.server.telemetry.emit(
+            CANDIDATES_GENERATED,
+            query="private_range",
+            method=method,
+            candidates=len(result.candidates),
+            region_area=region.area,
+            radius=radius,
+        )
+        return result
+
+    def _replica_private_range(
+        self, backend: str, region: Rect, radius: float, method: str
+    ) -> PrivateRangeResult:
+        """The exact predicate of ``private_range_query`` on a replica."""
+        from repro.geometry.distances import min_dist
+
+        index = self.replicas.public_replica(backend)
+        ids = index.range_query(region.expanded(radius))
+        if method == "exact":
+            point_of = self.server.public.point_of
+            ids = [
+                i for i in ids if min_dist(point_of(i), region) <= radius
+            ]
+        return self._canonical_candidates(
+            PrivateRangeResult(
+                region=region,
+                radius=radius,
+                candidates=tuple(ids),
+                method=method,
+            )
+        )
+
+    def _run_private_nn(
+        self, spec: NNSpec, decision: Decision
+    ) -> PrivateNNResult:
+        with self.server.telemetry.span(
+            "server.private_nn",
+            method=spec.method,
+            backend=decision.backend,
+            route=decision.route,
+        ):
+            result = self._canonical_candidates(
+                private_nn_query(self.server.public, spec.region, spec.method)
+            )
+        self.server.telemetry.observe(
+            "candidates", len(result.candidates), query="private_nn"
+        )
+        self.server.telemetry.emit(
+            CANDIDATES_GENERATED,
+            query="private_nn",
+            method=spec.method,
+            candidates=len(result.candidates),
+            region_area=spec.region.area,
+        )
+        return result
+
+    def _run_private_knn(
+        self, spec: KNNSpec, decision: Decision
+    ) -> PrivateKNNResult:
+        with self.server.telemetry.span(
+            "server.private_knn",
+            method=spec.method,
+            backend=decision.backend,
+            route=decision.route,
+        ):
+            result = self._canonical_candidates(
+                private_knn_query(
+                    self.server.public, spec.region, spec.k, spec.method
+                )
+            )
+        self.server.telemetry.observe(
+            "candidates", len(result.candidates), query="private_knn"
+        )
+        self.server.telemetry.emit(
+            CANDIDATES_GENERATED,
+            query="private_knn",
+            method=spec.method,
+            candidates=len(result.candidates),
+            region_area=spec.region.area,
+        )
+        return result
+
+    def _run_probabilistic_nn(
+        self, spec: NNSpec, decision: Decision
+    ) -> PublicNNResult:
+        with self.server.telemetry.span(
+            "server.public_nn", samples=spec.samples
+        ):
+            return public_nn_query(
+                self.server.private,
+                spec.point,
+                spec.samples,
+                np.random.default_rng(spec.seed),
+            )
+
+    def _canonical_candidates(self, result):
+        """Rank-sort a scalar result's candidates (engine-identical)."""
+        import dataclasses
+
+        rank = self._public_rank()
+        fallback = len(rank)
+        return dataclasses.replace(
+            result,
+            candidates=tuple(
+                sorted(
+                    result.candidates,
+                    key=lambda item: rank.get(item, fallback),
+                )
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Execution — batches
+    # ------------------------------------------------------------------
+
+    def _engine_query(self, spec: QuerySpec):
+        """The engine form of a spec, or ``None`` when it has none."""
+        if isinstance(spec, RangeSpec):
+            if spec.flavor == "public":
+                return PublicRangeQuery(spec.window)
+            if spec.region is not None:
+                return PrivateRangeQuery(spec.region, spec.radius, spec.method)
+        elif isinstance(spec, CountSpec):
+            return PublicCountQuery(spec.window)
+        elif isinstance(spec, KNNSpec) and spec.flavor == "public":
+            return PublicNNQuery(spec.point, spec.k)
+        elif (
+            isinstance(spec, NNSpec)
+            and spec.flavor == "public"
+            and spec.dataset == "public"
+        ):
+            return PublicNNQuery(spec.point, 1)
+        elif (
+            isinstance(spec, NNSpec)
+            and spec.flavor == "private"
+            and spec.region is not None
+        ):
+            return PrivateNNQuery(spec.region, spec.method)
+        return None
+
+    def execute_batch(
+        self,
+        specs: Iterable[QuerySpec],
+        backend: str | None = None,
+        route: str | None = None,
+    ) -> list:
+        """Plan and answer a whole spec batch, results in input order.
+
+        Specs whose decision lands on an engine-executable path (the
+        vectorized route, or the scalar/rtree route of a kind whose
+        sequential handler is canonical) are batched through one
+        ``LocationServer.execute_batch`` call with a per-query route
+        vector; the rest run through :meth:`execute` with full native
+        telemetry.  Like the engine, the batch path counts queries by
+        their batch kind and emits no per-query candidate events.
+        """
+        batch = list(specs)
+        decisions = [
+            self.decide(spec, batch_size=len(batch), backend=backend, route=route)
+            for spec in batch
+        ]
+        results: list = [None] * len(batch)
+        engine_positions: list[int] = []
+        engine_queries = []
+        engine_routes: list[bool] = []
+        for position, (spec, decision) in enumerate(zip(batch, decisions)):
+            if getattr(spec, "user", None) is not None:
+                raise QueryError(
+                    "user-bound specs need the anonymizer pipeline; submit "
+                    "them through PrivacySystem.execute_batch()"
+                )
+            query = self._engine_query(spec)
+            if query is None or decision.backend != "rtree":
+                continue
+            vectorized = decision.route == "vectorized"
+            if not vectorized and query.kind not in _ENGINE_CANONICAL_SEQ:
+                continue
+            engine_positions.append(position)
+            engine_queries.append(query)
+            engine_routes.append(vectorized)
+        if engine_queries:
+            answers = self.server.execute_batch(
+                engine_queries, routes=engine_routes
+            )
+            for position, answer in zip(engine_positions, answers):
+                results[position] = answer
+        covered = set(engine_positions)
+        for position, (spec, decision) in enumerate(zip(batch, decisions)):
+            if position in covered:
+                continue
+            results[position] = self.execute(spec, decision=decision)
+        return results
+
+    # ------------------------------------------------------------------
+    # Conformance
+    # ------------------------------------------------------------------
+
+    def conformance_backends(self, spec: QuerySpec) -> list[tuple[str, str]]:
+        """Every eligible (backend, route) pair for ``spec`` right now."""
+        stats = self.stats()
+        model = CostModel(stats)
+        _, candidates, _ = self._candidates(spec, model, 1)
+        return [(c.backend, c.route) for c in model.rank(candidates)]

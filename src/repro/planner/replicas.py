@@ -1,0 +1,201 @@
+"""Alternate-backend replicas of the server's stores.
+
+The server's native stores are R-tree-backed.  To let the cost-based
+planner route a query to a cheaper structure (uniform grid for dense
+uniform data, k-d tree for point-only NN, ...), the :class:`ReplicaSet`
+maintains read-only copies of the store contents in the other four
+backends of :mod:`repro.index`, built lazily per store version and
+rebuilt only after mutations.  Replicas are an *execution* alternative,
+never an answer alternative: every backend is conformance-tested to
+return the same result sets (``tests/conformance/``), and replica build
+time is charged by the cost model so a cold replica is only chosen when
+the batch is large enough to amortise it.
+
+Bounded backends (grid, quadtree, pyramid) need a universe rectangle;
+the planner uses the system's world bounds when attached to a
+:class:`~repro.core.system.PrivacySystem`, else a padded bounding box of
+the data.  Backends that cannot represent the current contents (true
+rectangles outside the R-tree, out-of-universe data) are simply not
+offered to the cost model.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index import GridIndex, KDTree, PyramidGrid, QuadTree, RTree
+from repro.index.base import SpatialIndex
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.server import LocationServer
+
+#: Every index backend the planner can route to, in display order.  The
+#: native store backend is ``rtree``; the others are replicas.
+BACKEND_NAMES: tuple[str, ...] = (
+    "rtree",
+    "quadtree",
+    "grid",
+    "kdtree",
+    "pyramid",
+)
+
+#: Backends that require a bounded universe at construction time.
+BOUNDED_BACKENDS: frozenset[str] = frozenset({"quadtree", "grid", "pyramid"})
+
+
+def build_backend(name: str, bounds: Rect | None, n: int) -> SpatialIndex:
+    """A fresh, empty index of backend ``name`` sized for ``n`` entries."""
+    if name == "rtree":
+        return RTree(max_entries=8)
+    if name == "kdtree":
+        return KDTree()
+    if bounds is None or bounds.area <= 0.0:
+        raise ValueError(f"backend {name!r} needs a positive-area universe")
+    if name == "quadtree":
+        return QuadTree(bounds, capacity=8)
+    if name == "grid":
+        # ~4 entries per cell on uniform data.
+        cols = max(2, int(np.ceil(np.sqrt(max(1, n) / 4.0))))
+        return GridIndex(bounds, cols=cols)
+    if name == "pyramid":
+        height = int(np.clip(np.ceil(np.log(max(4, n)) / np.log(4.0)), 2, 8))
+        return PyramidGrid(bounds, height=height)
+    raise ValueError(f"unknown backend {name!r}")
+
+
+def padded_extent(
+    xs: np.ndarray, ys: np.ndarray, pad_fraction: float = 0.01
+) -> Rect | None:
+    """A slightly enlarged bounding box of the data (``None`` when empty).
+
+    The pad keeps boundary points strictly inside the universe of
+    bounded backends and gives degenerate extents a positive area.
+    """
+    if len(xs) == 0:
+        return None
+    min_x, max_x = float(xs.min()), float(xs.max())
+    min_y, max_y = float(ys.min()), float(ys.max())
+    pad = pad_fraction * max(max_x - min_x, max_y - min_y, 1.0)
+    return Rect(min_x - pad, min_y - pad, max_x + pad, max_y + pad)
+
+
+class ReplicaSet:
+    """Lazily maintained per-backend copies of one server's stores.
+
+    Args:
+        server: the server whose stores are replicated.
+        universe: world bounds for the bounded backends; when ``None``,
+            a padded data extent is used (and recomputed per version).
+    """
+
+    def __init__(
+        self, server: "LocationServer", universe: Rect | None = None
+    ) -> None:
+        self.server = server
+        self.universe = universe
+        #: Seconds spent building each replica, keyed by ``(side, name)``
+        #: — the cost model's measured build-amortisation input.
+        self.build_seconds: dict[tuple[str, str], float] = {}
+        self._public: dict[str, tuple[int, SpatialIndex]] = {}
+        self._private: dict[str, tuple[int, SpatialIndex]] = {}
+
+    # ------------------------------------------------------------------
+    # Universe / representability
+    # ------------------------------------------------------------------
+
+    def public_bounds(self) -> Rect | None:
+        """Universe for bounded public replicas (``None``: unbuildable)."""
+        if self.universe is not None:
+            return self.universe
+        _, xs, ys = self.server.public.snapshot_arrays()
+        return padded_extent(xs, ys)
+
+    def private_bounds(self) -> Rect | None:
+        """Universe for bounded private replicas."""
+        if self.universe is not None:
+            return self.universe
+        _, bounds = self.server.private.snapshot_arrays()
+        if len(bounds) == 0:
+            return None
+        return padded_extent(
+            np.concatenate([bounds[:, 0], bounds[:, 2]]),
+            np.concatenate([bounds[:, 1], bounds[:, 3]]),
+        )
+
+    def private_degenerate(self) -> bool:
+        """True when every cloaked region is a point (replicable in the
+        point-oriented backends)."""
+        _, bounds = self.server.private.snapshot_arrays()
+        if len(bounds) == 0:
+            return True
+        return bool(
+            np.all(bounds[:, 0] == bounds[:, 2])
+            and np.all(bounds[:, 1] == bounds[:, 3])
+        )
+
+    # ------------------------------------------------------------------
+    # Replica access
+    # ------------------------------------------------------------------
+
+    def fresh_public(self, name: str) -> bool:
+        """True when ``name``'s public replica matches the store version."""
+        cached = self._public.get(name)
+        return cached is not None and cached[0] == self.server.public.version
+
+    def fresh_private(self, name: str) -> bool:
+        cached = self._private.get(name)
+        return cached is not None and cached[0] == self.server.private.version
+
+    def public_replica(self, name: str) -> SpatialIndex:
+        """The up-to-date public replica for ``name`` (built on demand).
+
+        ``rtree`` has no replica — callers use the native store.
+        """
+        if name == "rtree":
+            raise ValueError("the native public store is the rtree backend")
+        version = self.server.public.version
+        cached = self._public.get(name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        ids, xs, ys = self.server.public.snapshot_arrays()
+        bounds = self.public_bounds()
+        start = time.perf_counter()
+        index = build_backend(name, bounds, len(ids))
+        for item, x, y in zip(ids, xs, ys):
+            index.insert_point(item, Point(float(x), float(y)))
+        self.build_seconds[("public", name)] = time.perf_counter() - start
+        self._public[name] = (version, index)
+        return index
+
+    def private_replica(self, name: str) -> SpatialIndex:
+        """The up-to-date private replica (degenerate regions only)."""
+        if name == "rtree":
+            raise ValueError("the native private store is the rtree backend")
+        version = self.server.private.version
+        cached = self._private.get(name)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        if not self.private_degenerate():
+            raise ValueError(
+                f"backend {name!r} stores points; the private store holds "
+                "true rectangles"
+            )
+        ids, bounds_array = self.server.private.snapshot_arrays()
+        bounds = self.private_bounds()
+        start = time.perf_counter()
+        index = build_backend(name, bounds, len(ids))
+        for item, row in zip(ids, bounds_array):
+            index.insert_point(item, Point(float(row[0]), float(row[1])))
+        self.build_seconds[("private", name)] = time.perf_counter() - start
+        self._private[name] = (version, index)
+        return index
+
+    def invalidate(self) -> None:
+        """Drop every replica (tests / explicit refresh)."""
+        self._public.clear()
+        self._private.clear()

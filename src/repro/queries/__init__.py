@@ -62,6 +62,18 @@ from repro.queries.public_range import (
     naive_range_count,
     public_range_count,
 )
+from repro.queries.spec import (
+    CountSpec,
+    KNNSpec,
+    NNSpec,
+    QuerySpec,
+    RangeSpec,
+    dump_specs,
+    is_user_bound,
+    load_specs,
+    spec_from_dict,
+    spec_to_dict,
+)
 
 __all__ = [
     "PrivateRangeResult",
@@ -100,4 +112,14 @@ __all__ = [
     "knn_candidate_users",
     "estimate_knn_probabilities",
     "exact_knn_users",
+    "QuerySpec",
+    "RangeSpec",
+    "NNSpec",
+    "KNNSpec",
+    "CountSpec",
+    "is_user_bound",
+    "spec_to_dict",
+    "spec_from_dict",
+    "dump_specs",
+    "load_specs",
 ]
