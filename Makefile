@@ -1,6 +1,6 @@
 # Developer entry points for the privacy-aware LBS reproduction.
 
-.PHONY: install test conformance bench bench-smoke bench-batch bench-cloak bench-planner bench-history examples experiments report clean
+.PHONY: install test conformance bench bench-smoke bench-batch bench-cloak bench-planner bench-obs-loop bench-history examples experiments report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -22,6 +22,12 @@ bench-cloak:
 
 bench-planner:
 	pytest benchmarks -q -k bench_planner
+
+# Full observability feedback loop: smoke stages + planned-query loop,
+# SLO evaluation and profiler overhead, folded into BENCH_obs.json with
+# accuracy/health/profile sections.
+bench-obs-loop:
+	pytest benchmarks -q -k bench_obs
 
 # Selftest pins 30%-drop detection at the default 25% gate; the real
 # trajectory runs with a looser gate because CI runners and dev machines

@@ -17,8 +17,15 @@ import numpy as np
 import pytest
 
 from bench_envelope import finalize_report
-from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker
+from repro import (
+    MobileUser,
+    PrivacyProfile,
+    PrivacySystem,
+    PyramidCloaker,
+    RangeSpec,
+)
 from repro.geometry import Point, Rect
+from repro.obs import SLOMonitor
 
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
@@ -98,10 +105,53 @@ def test_obs_smoke_public_count(benchmark, system):
     _note("public_count_x40", benchmark)
 
 
+def test_obs_loop_planner_feedback(benchmark, system):
+    """Planned queries with the full feedback loop on: correlation scope,
+    measurement emit, accuracy-monitor observation per query."""
+    window = Rect(200, 200, 700, 700)
+
+    def run():
+        for _ in range(N_QUERIES):
+            system.query(RangeSpec(window=window))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _note("planned_range_x40", benchmark)
+
+
+def test_obs_loop_health_evaluate(benchmark, system):
+    """One full SLO evaluation over the accumulated window."""
+    monitor = SLOMonitor()
+    report = benchmark.pedantic(
+        lambda: monitor.evaluate(system), rounds=3, iterations=1
+    )
+    assert len(report.results) == 8
+    _note("health_evaluate", benchmark)
+
+
+def test_obs_loop_profiled_queries(benchmark, system):
+    """Same planned queries with the hot-span profiler installed —
+    quantifies the profiler's own overhead next to planned_range_x40."""
+    window = Rect(200, 200, 700, 700)
+
+    def run():
+        with system.obs.profiled(top=10):
+            for _ in range(N_QUERIES):
+                system.query(RangeSpec(window=window))
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    _note("profiled_range_x40", benchmark)
+
+
 def test_obs_smoke_report(system):
     """Fold the timings and the telemetry snapshot into BENCH_obs.json."""
     snapshot = system.telemetry()
     qos = snapshot["qos"]
+    health = SLOMonitor().evaluate(system)
+    with system.obs.profiled(top=5) as profiler:
+        for i in range(10):
+            system.query(
+                RangeSpec(flavor="private", user=i % N_USERS, radius=60.0)
+            )
     report = {
         "workload": {
             "users": N_USERS,
@@ -120,6 +170,9 @@ def test_obs_smoke_report(system):
             "nn_accuracy": qos.get("nn_accuracy"),
         },
         "server": snapshot["server"],
+        "accuracy": system.planner.accuracy.report(),
+        "health": health.to_dict(),
+        "profile": {"top": profiler.rows(5)},
     }
     finalize_report(report, "repro.obs.bench/1", BENCH_PATH)
     # The file must round-trip and carry the envelope + headline sections.
@@ -130,3 +183,9 @@ def test_obs_smoke_report(system):
     assert parsed["stages"]["query.private_range"]["count"] > 0
     assert parsed["candidate_overhead"]["range_mean_overhead"] >= 1.0
     assert parsed["indexes"]["server.public"]["node_visits"] > 0
+    # The feedback-loop sections (this PR's additions).
+    assert parsed["accuracy"]["schema"] == "repro.obs.accuracy/1"
+    assert parsed["accuracy"]["observed"] > 0
+    assert parsed["health"]["schema"] == "repro.obs.slo/1"
+    assert parsed["health"]["total"] == 8
+    assert parsed["profile"]["top"], "profiled workload must record spans"

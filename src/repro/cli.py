@@ -14,6 +14,9 @@ Usage (after ``pip install -e .``)::
     python -m repro plan                      # cost-based planner decision table
     python -m repro plan --json               # same decisions, as JSON
     python -m repro audit --json              # privacy-attainment audit report
+    python -m repro health                    # SLO health verdict (exit 4 on fail)
+    python -m repro health --watch            # live ASCII dashboard + health
+    python -m repro profile                   # hot spans by self-time (flamegraph)
     python -m repro bench-batch               # batch vs sequential timings
     python -m repro bench-history             # ingest BENCH_*.json, flag regressions
 """
@@ -106,9 +109,17 @@ def cmd_demo(_: argparse.Namespace) -> int:
 
 
 def _observed_quickstart(
-    users: int = 200, pois: int = 30, queries: int = 25, seed: int = 0
+    users: int = 200,
+    pois: int = 30,
+    queries: int = 25,
+    seed: int = 0,
+    telemetry=None,
 ):
-    """Run a small traced pipeline workload and return the PrivacySystem."""
+    """Run a small traced pipeline workload and return the PrivacySystem.
+
+    ``telemetry`` lets callers pre-wire the sink (e.g. install a
+    profiler or attach a JSONL trail) before the workload runs.
+    """
     import numpy as np
 
     from repro import (
@@ -124,7 +135,9 @@ def _observed_quickstart(
 
     rng = np.random.default_rng(seed)
     bounds = Rect(0, 0, 100, 100)
-    system = PrivacySystem(bounds, PyramidCloaker(bounds, height=6))
+    system = PrivacySystem(
+        bounds, PyramidCloaker(bounds, height=6), telemetry=telemetry
+    )
     for j in range(pois):
         x, y = rng.uniform(0, 100, 2)
         system.add_poi(f"poi-{j}", Point(float(x), float(y)))
@@ -357,6 +370,97 @@ def cmd_audit(args: argparse.Namespace) -> int:
                 f"accuracy {stats['accuracy']:.2%}{extra}"
             )
     return 0 if not auditor.violations() else 2
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Evaluate SLO health over a traced workload; exit 4 on violation."""
+    import json
+    import time
+
+    from repro.obs.export import render_dashboard
+    from repro.obs.slo import DEFAULT_SLOS, SLOMonitor, load_slos
+
+    if args.users < 1:
+        raise SystemExit("repro health: error: --users must be at least 1")
+    if args.queries < 1:
+        raise SystemExit("repro health: error: --queries must be at least 1")
+    if args.window < 1:
+        raise SystemExit("repro health: error: --window must be at least 1")
+    specs = load_slos(args.specs) if args.specs else DEFAULT_SLOS
+    monitor = SLOMonitor(specs, window=args.window)
+    system = _observed_quickstart(
+        users=args.users, queries=args.queries, seed=args.seed
+    )
+    report = monitor.evaluate(system)
+    if not args.watch:
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+        else:
+            print(report.render())
+        return report.exit_code
+
+    from repro import CountSpec, RangeSpec
+    from repro.geometry import Rect
+
+    ticks = 0
+    while True:
+        ticks += 1
+        frame = (
+            render_dashboard(system.telemetry()) + "\n\n" + report.render()
+        )
+        if sys.stdout.isatty():  # pragma: no cover - interactive only
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        else:
+            print(frame)
+            print(f"-- watch tick {ticks} --")
+        sys.stdout.flush()
+        if args.iterations and ticks >= args.iterations:
+            break
+        time.sleep(args.interval)
+        # Keep the rolling window moving between frames.
+        for i in range(5):
+            user = (ticks * 5 + i) % args.users
+            system.query(RangeSpec(flavor="private", user=user, radius=10.0))
+            system.query(CountSpec(window=Rect(20, 20, 80, 80)))
+        report = monitor.evaluate(system)
+    return report.exit_code
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Profile hot spans over a traced workload (self-time flamegraph)."""
+    import json
+
+    from repro.obs import SpanProfiler, Telemetry
+
+    if args.users < 1:
+        raise SystemExit("repro profile: error: --users must be at least 1")
+    if args.top < 1:
+        raise SystemExit("repro profile: error: --top must be at least 1")
+    if args.sample_every < 1:
+        raise SystemExit(
+            "repro profile: error: --sample-every must be at least 1"
+        )
+    telemetry = Telemetry()
+    profiler = SpanProfiler(top=args.top, sample_every=args.sample_every)
+    profiler.emit = telemetry.emit
+    profiler.install(telemetry.tracer)
+    try:
+        _observed_quickstart(
+            users=args.users,
+            queries=args.queries,
+            seed=args.seed,
+            telemetry=telemetry,
+        )
+    finally:
+        profiler.uninstall()
+    if not profiler.spans_seen:
+        print("repro profile: error: no spans recorded", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(profiler.report(args.top), indent=2, sort_keys=True))
+    else:
+        print(profiler.render(args.top))
+    return 0
 
 
 def cmd_bench_history(args: argparse.Namespace) -> int:
@@ -624,6 +728,70 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--queries", type=int, default=25, help="queries per kind")
     audit.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     audit.set_defaults(func=cmd_audit)
+
+    health = sub.add_parser(
+        "health",
+        help="evaluate SLO health over a traced workload (exit 4 on violation)",
+    )
+    health.add_argument(
+        "--json", action="store_true", help="emit the health report as JSON"
+    )
+    health.add_argument(
+        "--watch",
+        action="store_true",
+        help="dashboard + health frames in a loop instead of one report",
+    )
+    health.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between --watch frames (default 2)",
+    )
+    health.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop --watch after N frames (0 = run until interrupted)",
+    )
+    health.add_argument(
+        "--specs",
+        default=None,
+        metavar="PATH",
+        help="JSON list of SLO specs to evaluate instead of the defaults",
+    )
+    health.add_argument(
+        "--window",
+        type=int,
+        default=512,
+        help="rolling event window for event-derived SLOs (default 512)",
+    )
+    health.add_argument("--users", type=int, default=200, help="workload size")
+    health.add_argument("--queries", type=int, default=25, help="queries per kind")
+    health.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    health.set_defaults(func=cmd_health)
+
+    profile = sub.add_parser(
+        "profile",
+        help="hot-span self-time profile of a traced workload",
+    )
+    profile.add_argument(
+        "--json",
+        action="store_true",
+        help="emit rows + flamegraph tree as JSON",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, help="rows in the report (default 15)"
+    )
+    profile.add_argument(
+        "--sample-every",
+        type=int,
+        default=1,
+        help="aggregate every N-th span only (default 1 = all)",
+    )
+    profile.add_argument("--users", type=int, default=200, help="workload size")
+    profile.add_argument("--queries", type=int, default=25, help="queries per kind")
+    profile.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    profile.set_defaults(func=cmd_profile)
 
     bench_history = sub.add_parser(
         "bench-history",

@@ -260,32 +260,38 @@ class LocationAnonymizer:
         """
         if self.server is None:
             raise RegistrationError("anonymizer is not connected to a server")
-        if not shared:
-            return {
-                user_id: self.publish(user_id, t) for user_id in self._registrations
-            }
-        from repro.cloaking.shared import CloakRequest, cloak_batch
+        # One batch correlation id per publication round; reused when the
+        # system front door already opened one (repro.obs.correlate).
+        with self.telemetry.correlate("b", reuse=True):
+            if not shared:
+                return {
+                    user_id: self.publish(user_id, t)
+                    for user_id in self._registrations
+                }
+            from repro.cloaking.shared import CloakRequest, cloak_batch
 
-        results: dict[Hashable, CloakResult] = {}
-        requests: list[CloakRequest] = []
-        population = self.cloaker.user_count()
-        for user_id, registration in self._registrations.items():
-            requirement = registration.profile.requirement_at(t)
-            if not requirement.wants_privacy or requirement.k > population:
-                # Exact-point and clamped best-effort paths keep their
-                # specialised handling in cloak_user.
-                results[user_id] = self.cloak_user(user_id, t)
-                continue
-            requests.append(CloakRequest(user_id, requirement))
-        outcome = cloak_batch(self.cloaker, requests, emit=self.telemetry.emit)
-        # Batched users bypass cloak_user, so their per-query audit
-        # records are emitted here (the others already emitted theirs).
-        for user_id, result in outcome.results.items():
-            self._emit_cloak_result(user_id, t, result)
-        results.update(outcome.results)
-        for user_id, result in results.items():
-            self._push(user_id, result)
-        return results
+            results: dict[Hashable, CloakResult] = {}
+            requests: list[CloakRequest] = []
+            population = self.cloaker.user_count()
+            for user_id, registration in self._registrations.items():
+                requirement = registration.profile.requirement_at(t)
+                if not requirement.wants_privacy or requirement.k > population:
+                    # Exact-point and clamped best-effort paths keep their
+                    # specialised handling in cloak_user.
+                    results[user_id] = self.cloak_user(user_id, t)
+                    continue
+                requests.append(CloakRequest(user_id, requirement))
+            outcome = cloak_batch(
+                self.cloaker, requests, emit=self.telemetry.emit
+            )
+            # Batched users bypass cloak_user, so their per-query audit
+            # records are emitted here (the others already emitted theirs).
+            for user_id, result in outcome.results.items():
+                self._emit_cloak_result(user_id, t, result)
+            results.update(outcome.results)
+            for user_id, result in results.items():
+                self._push(user_id, result)
+            return results
 
     def publish_all_bulk(self, t: float) -> dict[Hashable, CloakResult]:
         """Cloak and push every registered user in one vectorized pass.
@@ -305,48 +311,53 @@ class LocationAnonymizer:
             raise RegistrationError("anonymizer is not connected to a server")
         from repro.engine.cloak import bulk_cloak
 
-        with self.telemetry.span(
-            "anonymizer.publish_bulk", algo=self.cloaker.name
-        ):
-            requests = [
-                (user_id, registration.profile.requirement_at(t))
-                for user_id, registration in self._registrations.items()
-            ]
-            outcome = bulk_cloak(self.cloaker, requests)
-            self.last_bulk_outcome = outcome
-            for group in outcome.groups:
-                self.telemetry.emit(
-                    CLOAK_BULK,
-                    t=t,
-                    algo=outcome.algo,
-                    path=outcome.path,
-                    **group,
-                )
-            regions: dict[str, Rect] = {}
-            area_sum = 0.0
-            rotated = 0
-            rotate = self.rotate_pseudonyms
-            for user_id, result in outcome.results.items():
-                registration = self._registrations[user_id]
-                if rotate and registration.published:
-                    self.server.forget_region(registration.pseudonym)
-                    registration.pseudonym = self._fresh_pseudonym()
-                    rotated += 1
-                regions[registration.pseudonym] = result.region
-                registration.published = True
-                area_sum += result.region.area
-            self.server.receive_regions(regions)
-        self.telemetry.count("anonymizer.bulk_cloaks", amount=len(requests))
-        self.telemetry.emit(
-            REGIONS_PUBLISHED_BULK,
-            n=len(regions),
-            rotated=rotated,
-            area_sum=area_sum,
-            path=outcome.path,
-            algo=outcome.algo,
-            escalated=outcome.escalated,
-            degraded=outcome.degraded,
-        )
+        # One batch correlation id per bulk round; reused when the system
+        # front door already opened one (repro.obs.correlate).
+        with self.telemetry.correlate("b", reuse=True):
+            with self.telemetry.span(
+                "anonymizer.publish_bulk", algo=self.cloaker.name
+            ):
+                requests = [
+                    (user_id, registration.profile.requirement_at(t))
+                    for user_id, registration in self._registrations.items()
+                ]
+                outcome = bulk_cloak(self.cloaker, requests)
+                self.last_bulk_outcome = outcome
+                for group in outcome.groups:
+                    self.telemetry.emit(
+                        CLOAK_BULK,
+                        t=t,
+                        algo=outcome.algo,
+                        path=outcome.path,
+                        **group,
+                    )
+                regions: dict[str, Rect] = {}
+                area_sum = 0.0
+                rotated = 0
+                rotate = self.rotate_pseudonyms
+                for user_id, result in outcome.results.items():
+                    registration = self._registrations[user_id]
+                    if rotate and registration.published:
+                        self.server.forget_region(registration.pseudonym)
+                        registration.pseudonym = self._fresh_pseudonym()
+                        rotated += 1
+                    regions[registration.pseudonym] = result.region
+                    registration.published = True
+                    area_sum += result.region.area
+                self.server.receive_regions(regions)
+            self.telemetry.count(
+                "anonymizer.bulk_cloaks", amount=len(requests)
+            )
+            self.telemetry.emit(
+                REGIONS_PUBLISHED_BULK,
+                n=len(regions),
+                rotated=rotated,
+                area_sum=area_sum,
+                path=outcome.path,
+                algo=outcome.algo,
+                escalated=outcome.escalated,
+                degraded=outcome.degraded,
+            )
         return outcome.results
 
     def _push(self, user_id: Hashable, result: CloakResult) -> None:

@@ -227,10 +227,11 @@ class PrivacySystem:
         cloaker (:meth:`LocationAnonymizer.publish_all_bulk`) — same
         regions, one numpy pass plus a single server batch push.
         """
-        if bulk:
-            self.anonymizer.publish_all_bulk(self.clock)
-        else:
-            self.anonymizer.publish_all(self.clock)
+        with self.obs.correlate("b"):
+            if bulk:
+                self.anonymizer.publish_all_bulk(self.clock)
+            else:
+                self.anonymizer.publish_all(self.clock)
 
     # ------------------------------------------------------------------
     # The declarative query entry point
@@ -259,13 +260,16 @@ class PrivacySystem:
             raise QueryError(
                 f"query() takes a QuerySpec, got {type(spec).__name__}"
             )
-        if is_user_bound(spec):
-            if isinstance(spec, RangeSpec):
-                return self._user_range(spec)
-            if isinstance(spec, KNNSpec):
-                return self._user_knn(spec)
-            return self._user_nn(spec)
-        return self.planner.execute(spec)
+        # One correlation id per front-door request: every span, event
+        # and planner decision below joins on it (repro.obs.correlate).
+        with self.obs.correlate("q"):
+            if is_user_bound(spec):
+                if isinstance(spec, RangeSpec):
+                    return self._user_range(spec)
+                if isinstance(spec, KNNSpec):
+                    return self._user_knn(spec)
+                return self._user_nn(spec)
+            return self.planner.execute(spec)
 
     def _cloaked(self, spec):
         """Cloak the spec's user and return the region-bound spec form."""
@@ -429,7 +433,9 @@ class PrivacySystem:
         where ``vectorize`` applies).
         """
         batch = list(queries)
-        with self.obs.span("system.execute_batch", size=len(batch)):
+        with self.obs.correlate("b"), self.obs.span(
+            "system.execute_batch", size=len(batch)
+        ):
             if not batch or not isinstance(batch[0], SPEC_TYPES):
                 return self.server.execute_batch(batch, vectorize=vectorize)
             results: list = [None] * len(batch)

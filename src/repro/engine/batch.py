@@ -146,39 +146,50 @@ class BatchEngine:
             raise ValueError(
                 f"routes length {len(routes)} != batch size {len(batch)}"
             )
-        with self.telemetry.span(
-            "engine.batch", size=len(batch), vectorize=vectorize
-        ):
-            snapshot = self.snapshot()
-            self.telemetry.observe("engine.batch_size", len(batch))
-            results: list[BatchResult] = [None] * len(batch)
-            groups: dict[tuple[str, bool], list[int]] = {}
-            for position, query in enumerate(batch):
-                wanted = vectorize if routes is None else bool(routes[position])
-                vectorized = wanted and query.kind != "private_nn"
-                groups.setdefault((query.kind, vectorized), []).append(position)
-            kinds: dict[str, int] = {}
-            for (kind, vectorized), positions in groups.items():
-                kinds[kind] = kinds.get(kind, 0) + len(positions)
-                self.telemetry.count(
-                    "engine.queries",
-                    amount=len(positions),
-                    kind=kind,
-                    path="vectorized" if vectorized else "scalar",
-                )
-                handler = getattr(
-                    self, f"_{kind}_{'vec' if vectorized else 'seq'}"
-                )
-                with self.telemetry.span(f"engine.{kind}", n=len(positions)):
-                    answers = handler(snapshot, [batch[p] for p in positions])
-                for position, answer in zip(positions, answers):
-                    results[position] = answer
-        self.telemetry.emit(
-            BATCH_EXECUTED,
-            size=len(batch),
-            vectorize=vectorize,
-            kinds=dict(sorted(kinds.items())),
-        )
+        # Same batch scope as any enclosing system/server entry point —
+        # a direct engine call mints its own batch id (repro.obs.correlate).
+        with self.telemetry.correlate("b", reuse=True):
+            with self.telemetry.span(
+                "engine.batch", size=len(batch), vectorize=vectorize
+            ):
+                snapshot = self.snapshot()
+                self.telemetry.observe("engine.batch_size", len(batch))
+                results: list[BatchResult] = [None] * len(batch)
+                groups: dict[tuple[str, bool], list[int]] = {}
+                for position, query in enumerate(batch):
+                    wanted = (
+                        vectorize if routes is None else bool(routes[position])
+                    )
+                    vectorized = wanted and query.kind != "private_nn"
+                    groups.setdefault((query.kind, vectorized), []).append(
+                        position
+                    )
+                kinds: dict[str, int] = {}
+                for (kind, vectorized), positions in groups.items():
+                    kinds[kind] = kinds.get(kind, 0) + len(positions)
+                    self.telemetry.count(
+                        "engine.queries",
+                        amount=len(positions),
+                        kind=kind,
+                        path="vectorized" if vectorized else "scalar",
+                    )
+                    handler = getattr(
+                        self, f"_{kind}_{'vec' if vectorized else 'seq'}"
+                    )
+                    with self.telemetry.span(
+                        f"engine.{kind}", n=len(positions)
+                    ):
+                        answers = handler(
+                            snapshot, [batch[p] for p in positions]
+                        )
+                    for position, answer in zip(positions, answers):
+                        results[position] = answer
+            self.telemetry.emit(
+                BATCH_EXECUTED,
+                size=len(batch),
+                vectorize=vectorize,
+                kinds=dict(sorted(kinds.items())),
+            )
         return results
 
     # ------------------------------------------------------------------

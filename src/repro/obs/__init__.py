@@ -20,6 +20,12 @@ Prometheus text format and an ASCII dashboard live in
 
 from __future__ import annotations
 
+from repro.obs.correlate import (
+    CORRELATION_METRIC,
+    CorrelatedRecord,
+    CorrelationIds,
+    correlate_events,
+)
 from repro.obs.events import EVENT_KINDS, EVENT_METRIC, Event, EventLog
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -58,10 +64,16 @@ class Telemetry:
             enabled=enabled if events_enabled is None else events_enabled,
             keep=events_keep,
         )
+        # One correlation-id unit shared by the log and the tracer, so a
+        # scope opened at any entry point stamps both streams.
+        self.correlation = CorrelationIds(self.registry)
+        self.events.correlation = self.correlation
+        self.tracer.correlation = self.correlation
         # Bind the hot methods straight onto the instance: one method
         # call instead of two on the hottest paths in the package.
         self.span = self.tracer.span
         self.emit = self.events.emit
+        self.correlate = self.correlation.scope
 
     # ------------------------------------------------------------------
     # Hot-path API
@@ -74,6 +86,22 @@ class Telemetry:
     def emit(self, kind: str, /, **attrs: object) -> int | None:
         """Record one structured event; dropped while events are disabled."""
         return self.events.emit(kind, **attrs)
+
+    def correlate(self, kind: str = "q", reuse: bool = False):
+        """Open a correlation scope: everything recorded inside carries
+        the minted ``qid`` (see :class:`~repro.obs.correlate.CorrelationIds`)."""
+        return self.correlation.scope(kind, reuse=reuse)
+
+    def profiled(self, top: int = 15, sample_every: int = 1):
+        """Context manager installing a hot-span profiler on this tracer;
+        yields the :class:`~repro.obs.profile.SpanProfiler`."""
+        from repro.obs.profile import profiled as _profiled
+
+        return _profiled(self, top=top, sample_every=sample_every)
+
+    def correlated_records(self):
+        """Join buffered events and spans by ``qid`` (offline view)."""
+        return correlate_events(self.events.events(), self.tracer.spans())
 
     def count(self, name: str, amount: int = 1, **labels: object) -> None:
         """Increment counter ``name`` (created on first use)."""
@@ -178,13 +206,25 @@ def disable_tracing() -> None:
 
 
 # Imported after Telemetry exists: audit builds on events, explain on the
-# index counters — neither depends back on this module at import time.
+# index counters — none depends back on this module at import time.
+from repro.obs.accuracy import (  # noqa: E402
+    AccuracyMonitor,
+    PlanAccuracyAuditor,
+)
 from repro.obs.audit import PrivacyAuditor  # noqa: E402
 from repro.obs.explain import (  # noqa: E402
     PlanNode,
     QueryExplainer,
     plan_to_json,
     render_plan,
+)
+from repro.obs.profile import SpanProfiler  # noqa: E402
+from repro.obs.slo import (  # noqa: E402
+    DEFAULT_SLOS,
+    HealthReport,
+    SLOMonitor,
+    SLOSpec,
+    load_slos,
 )
 
 __all__ = [
@@ -201,7 +241,19 @@ __all__ = [
     "EventLog",
     "EVENT_KINDS",
     "EVENT_METRIC",
+    "CorrelationIds",
+    "CorrelatedRecord",
+    "correlate_events",
+    "CORRELATION_METRIC",
     "PrivacyAuditor",
+    "AccuracyMonitor",
+    "PlanAccuracyAuditor",
+    "SpanProfiler",
+    "SLOSpec",
+    "SLOMonitor",
+    "HealthReport",
+    "DEFAULT_SLOS",
+    "load_slos",
     "PlanNode",
     "QueryExplainer",
     "plan_to_json",

@@ -1,0 +1,343 @@
+"""Plan-accuracy auditing: predicted cost vs measured reality.
+
+PR 6's planner emits a predicted per-query cost in every
+``planner.decision`` event, but nothing ever checked the prediction.
+This module closes that loop twice over:
+
+* :class:`AccuracyMonitor` — the *online* half, owned by
+  :class:`~repro.planner.planner.QueryPlanner`.  Every executed query
+  feeds it (decision, measured seconds); it keeps a rolling
+  measured/predicted ratio window per (kind, backend, route) group,
+  emits a ``planner.mispredict`` event the moment a group's median
+  ratio leaves the tolerance band, and — when the *overall* calibration
+  drift (geometric mean of group medians) exceeds its band — asks the
+  :class:`~repro.planner.stats.StatisticsCollector` to recalibrate.
+  That is planner self-healing driven purely by observability: a stale
+  calibration manifests as drift, drift triggers recalibration, fresh
+  predictions bring the ratios home (proved end-to-end by
+  ``tests/integration/test_feedback_loop.py``).
+
+* :class:`PlanAccuracyAuditor` — the *offline* half.  Point it at any
+  recorded event trail (ring buffer or JSONL file) and it joins each
+  ``planner.decision`` with the ``planner.measured`` event sharing its
+  ``qid`` (see :mod:`repro.obs.correlate`), then reports per-group
+  mispredict ratios, overall drift, and how often the online loop fired
+  (schema ``repro.obs.accuracy/1``).
+
+Ratios are symmetric: a group predicting 4x too *low* is as wrong as
+one predicting 4x too high, so bands compare ``max(r, 1/r)`` against
+the threshold.  Sub-microsecond predictions are skipped — at that scale
+the measurement is timer noise, not evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import TYPE_CHECKING, Iterable
+
+from repro.obs.events import (
+    PLANNER_CALIBRATED,
+    PLANNER_DECISION,
+    PLANNER_MEASURED,
+    PLANNER_MISPREDICT,
+    Event,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.planner.planner import Decision
+
+#: Report envelope schema tag.
+ACCURACY_SCHEMA = "repro.obs.accuracy/1"
+
+#: A group misprediced when median(max(r, 1/r)) exceeds this factor.
+DEFAULT_THRESHOLD = 4.0
+
+#: Overall drift (geometric-mean ratio) band triggering recalibration.
+DEFAULT_DRIFT_BAND = 4.0
+
+#: Rolling ratio window per (kind, backend, route) group.
+DEFAULT_WINDOW = 32
+
+#: Observations a group needs before its median is trusted.
+DEFAULT_MIN_SAMPLES = 8
+
+#: Predictions below this are timer noise, not evidence (seconds).
+MIN_PREDICTED_SECONDS = 1e-9
+
+
+def _median(values: Iterable[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _fold(ratio: float) -> float:
+    """Symmetric badness: 4x too slow and 4x too fast fold to 4."""
+    if ratio <= 0.0:
+        return math.inf
+    return ratio if ratio >= 1.0 else 1.0 / ratio
+
+
+class AccuracyMonitor:
+    """Online measured-vs-predicted tracker with self-healing triggers.
+
+    Args:
+        threshold: per-group folded median ratio past which the group
+            is a mispredict (emits ``planner.mispredict`` once per
+            excursion — edge-triggered, re-armed when the group returns
+            to band or after a recalibration).
+        drift_band: folded overall drift past which a recalibration is
+            requested (collected by the planner via
+            :meth:`poll_recalibration`).
+        window: rolling ratio window per group.
+        min_samples: observations before a group's median is trusted.
+    """
+
+    def __init__(
+        self,
+        threshold: float = DEFAULT_THRESHOLD,
+        drift_band: float = DEFAULT_DRIFT_BAND,
+        window: int = DEFAULT_WINDOW,
+        min_samples: int = DEFAULT_MIN_SAMPLES,
+    ) -> None:
+        self.threshold = threshold
+        self.drift_band = drift_band
+        self.window = window
+        self.min_samples = min_samples
+        self._ratios: dict[tuple[str, str, str], deque[float]] = {}
+        self._flagged: set[tuple[str, str, str]] = set()
+        self._observations = 0
+        self._quiet_until = 0
+        self._recal_reason: str | None = None
+        #: Lifetime tallies (survive post-recalibration window resets).
+        self.observed = 0
+        self.mispredicts = 0
+        self.recalibrations = 0
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def observe(
+        self,
+        decision: "Decision",
+        seconds: float,
+        n: int = 1,
+        emit=None,
+    ) -> float | None:
+        """Feed one measurement; returns the ratio (or ``None`` if skipped).
+
+        Args:
+            decision: the plan that ran (its ``seconds`` is the
+                per-query prediction).
+            seconds: measured wall-clock seconds *per query*.
+            n: how many queries the measurement averages over (batch).
+            emit: optional ``Telemetry.emit`` for ``planner.mispredict``.
+        """
+        predicted = decision.seconds
+        if predicted < MIN_PREDICTED_SECONDS or seconds < 0.0:
+            return None
+        ratio = max(seconds, 1e-12) / predicted
+        key = (decision.kind, decision.backend, decision.route)
+        ring = self._ratios.get(key)
+        if ring is None:
+            ring = self._ratios[key] = deque(maxlen=self.window)
+        ring.append(ratio)
+        self.observed += 1
+        self._observations += 1
+        if len(ring) < self.min_samples:
+            return ratio
+        median = _median(ring)
+        if _fold(median) > self.threshold:
+            if key not in self._flagged:
+                self._flagged.add(key)
+                self.mispredicts += 1
+                if emit is not None:
+                    emit(
+                        PLANNER_MISPREDICT,
+                        query=key[0],
+                        backend=key[1],
+                        route=key[2],
+                        median_ratio=median,
+                        samples=len(ring),
+                        threshold=self.threshold,
+                        predicted_seconds=predicted,
+                        measured_seconds=seconds,
+                    )
+            if (
+                self._recal_reason is None
+                and self._observations >= self._quiet_until
+            ):
+                drift = self.drift()
+                if _fold(drift) > self.drift_band:
+                    self._recal_reason = (
+                        f"measured/predicted drift {drift:.3g}x across "
+                        f"{len(self._flagged)} mispredicting group(s)"
+                    )
+        else:
+            self._flagged.discard(key)
+        return ratio
+
+    def poll_recalibration(self) -> str | None:
+        """Collect (and clear) a pending recalibration request.
+
+        Clearing also resets the ratio windows — the old ratios judged
+        the *old* calibration — and opens a quiet period one window
+        long, so the freshly calibrated predictions get a fair sample
+        before the drift check re-arms.
+        """
+        reason = self._recal_reason
+        if reason is not None:
+            self._recal_reason = None
+            self.recalibrations += 1
+            self._quiet_until = self._observations + self.window
+            self._ratios.clear()
+            self._flagged.clear()
+        return reason
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def drift(self) -> float:
+        """Geometric mean of trusted group medians (1.0 = calibrated)."""
+        logs = [
+            math.log(_median(ring))
+            for ring in self._ratios.values()
+            if len(ring) >= self.min_samples and _median(ring) > 0.0
+        ]
+        if not logs:
+            return 1.0
+        return math.exp(sum(logs) / len(logs))
+
+    def report(self) -> dict:
+        """Per-group and overall accuracy (JSON-serialisable)."""
+        groups = {}
+        for (kind, backend, route), ring in sorted(self._ratios.items()):
+            median = _median(ring)
+            groups["/".join((kind, backend, route))] = {
+                "kind": kind,
+                "backend": backend,
+                "route": route,
+                "samples": len(ring),
+                "median_ratio": median,
+                "folded": _fold(median),
+                "mispredict": (kind, backend, route) in self._flagged,
+            }
+        drift = self.drift()
+        return {
+            "schema": ACCURACY_SCHEMA,
+            "source": "online",
+            "threshold": self.threshold,
+            "drift_band": self.drift_band,
+            "observed": self.observed,
+            "mispredicts": self.mispredicts,
+            "recalibrations": self.recalibrations,
+            "drift": drift,
+            "drift_folded": _fold(drift),
+            "groups": groups,
+        }
+
+    def reset(self) -> None:
+        self._ratios.clear()
+        self._flagged.clear()
+        self._observations = 0
+        self._quiet_until = 0
+        self._recal_reason = None
+        self.observed = 0
+        self.mispredicts = 0
+        self.recalibrations = 0
+
+
+class PlanAccuracyAuditor:
+    """Offline decision/measurement join over a recorded event trail.
+
+    Feed it events (from :meth:`EventLog.events` or
+    :func:`~repro.obs.events.read_jsonl`); it pairs every
+    ``planner.measured`` with the ``planner.decision`` sharing its
+    ``qid``.  Measurements carry their prediction inline too, so ratios
+    survive trails whose decision events rolled off the ring buffer —
+    the join tally (``joined`` vs ``measured``) reports how complete
+    the correlation evidence was.
+    """
+
+    def __init__(self, threshold: float = DEFAULT_THRESHOLD) -> None:
+        self.threshold = threshold
+        self._decision_qids: set[str] = set()
+        self._groups: dict[tuple[str, str, str], list[float]] = {}
+        self.decisions = 0
+        self.measured = 0
+        self.joined = 0
+        self.mispredict_events = 0
+        self.calibrations = 0
+
+    def consume(self, events: Iterable[Event]) -> "PlanAccuracyAuditor":
+        for event in events:
+            kind = event.kind
+            if kind == PLANNER_DECISION:
+                self.decisions += 1
+                qid = event.attrs.get("qid")
+                if isinstance(qid, str):
+                    self._decision_qids.add(qid)
+            elif kind == PLANNER_MEASURED:
+                self.measured += 1
+                attrs = event.attrs
+                qid = attrs.get("qid")
+                if isinstance(qid, str) and qid in self._decision_qids:
+                    self.joined += 1
+                predicted = float(attrs.get("est_seconds") or 0.0)
+                seconds = float(attrs.get("seconds") or 0.0)
+                if predicted >= MIN_PREDICTED_SECONDS and seconds >= 0.0:
+                    key = (
+                        str(attrs.get("query")),
+                        str(attrs.get("backend")),
+                        str(attrs.get("route")),
+                    )
+                    self._groups.setdefault(key, []).append(
+                        max(seconds, 1e-12) / predicted
+                    )
+            elif kind == PLANNER_MISPREDICT:
+                self.mispredict_events += 1
+            elif kind == PLANNER_CALIBRATED:
+                self.calibrations += 1
+        return self
+
+    def report(self) -> dict:
+        groups = {}
+        all_ratios: list[float] = []
+        mispredicting = 0
+        for (kind, backend, route), ratios in sorted(self._groups.items()):
+            median = _median(ratios)
+            bad = _fold(median) > self.threshold
+            mispredicting += bad
+            all_ratios.extend(ratios)
+            groups["/".join((kind, backend, route))] = {
+                "kind": kind,
+                "backend": backend,
+                "route": route,
+                "samples": len(ratios),
+                "median_ratio": median,
+                "folded": _fold(median),
+                "mispredict": bad,
+            }
+        overall = _median(all_ratios) if all_ratios else 1.0
+        return {
+            "schema": ACCURACY_SCHEMA,
+            "source": "events",
+            "threshold": self.threshold,
+            "decisions": self.decisions,
+            "measured": self.measured,
+            "joined": self.joined,
+            "mispredict_events": self.mispredict_events,
+            "calibrations": self.calibrations,
+            "median_ratio": overall,
+            "median_folded": _fold(overall) if all_ratios else 1.0,
+            "mispredicting_groups": mispredicting,
+            "groups": groups,
+        }

@@ -21,11 +21,25 @@ from repro.obs.events import (
     CLOAK_BULK,
     CLOAK_DEGRADED,
     CLOAK_RESULT,
+    EVENT_KINDS,
     QUERY_COMPLETED,
     Event,
     EventLog,
     read_jsonl,
 )
+
+#: The kinds the auditor folds into its tallies.  Everything else in
+#: ``EVENT_KINDS`` carries no privacy semantics — telemetry plumbing
+#: (``planner.*``, ``slo.evaluated``, ``profile.sampled``, snapshot and
+#: batch bookkeeping) — and is ignored *by rule*, not by accident:
+#: ``tests/unit/test_obs_audit.py`` asserts the two sets partition the
+#: registry, so a future kind must be explicitly classified here.
+AUDITED_KINDS: frozenset[str] = frozenset(
+    {CLOAK_RESULT, CLOAK_BULK, CLOAK_DEGRADED, QUERY_COMPLETED}
+)
+
+#: Registered kinds the auditor deliberately skips (the folding rule).
+AUDIT_IGNORED_KINDS: frozenset[str] = frozenset(EVENT_KINDS) - AUDITED_KINDS
 
 
 def _profile_key(attrs: dict) -> str:

@@ -73,6 +73,16 @@ BATCH_EXECUTED = "batch.executed"
 PLANNER_DECISION = "planner.decision"
 #: The planner's statistics collector (re)calibrated backend costs.
 PLANNER_CALIBRATED = "planner.calibrated"
+#: Measured execution cost for one planned query (group); joins its
+#: ``planner.decision`` on ``qid`` and carries seconds + counter deltas.
+PLANNER_MEASURED = "planner.measured"
+#: A (kind, backend, route) group's measured/predicted cost ratio left
+#: the accuracy monitor's tolerance band (planner self-healing trigger).
+PLANNER_MISPREDICT = "planner.mispredict"
+#: The SLO monitor evaluated its specs over the rolling event window.
+SLO_EVALUATED = "slo.evaluated"
+#: The hot-span profiler cut an aggregated self-time report.
+PROFILE_SAMPLED = "profile.sampled"
 
 #: Every kind this package emits, for validation and documentation.
 EVENT_KINDS: tuple[str, ...] = (
@@ -94,6 +104,10 @@ EVENT_KINDS: tuple[str, ...] = (
     BATCH_EXECUTED,
     PLANNER_DECISION,
     PLANNER_CALIBRATED,
+    PLANNER_MEASURED,
+    PLANNER_MISPREDICT,
+    SLO_EVALUATED,
+    PROFILE_SAMPLED,
 )
 
 
@@ -114,8 +128,13 @@ class Event:
     attrs: dict = field(default_factory=dict)
 
     def to_dict(self) -> dict:
-        """Flat JSONL-ready form: ``{"seq": ..., "kind": ..., **attrs}``."""
-        return {"seq": self.seq, "kind": self.kind, **self.attrs}
+        """Flat JSONL-ready form: ``{**attrs, "seq": ..., "kind": ...}``.
+
+        The reserved keys win: an attribute named ``seq`` or ``kind``
+        must never corrupt the record's identity on the round trip
+        (emitters use ``query`` for the query kind for this reason).
+        """
+        return {**self.attrs, "seq": self.seq, "kind": self.kind}
 
     @classmethod
     def from_dict(cls, record: Mapping) -> "Event":
@@ -143,6 +162,9 @@ class EventLog:
     ) -> None:
         self.registry = registry
         self.enabled = enabled
+        #: Optional :class:`~repro.obs.correlate.CorrelationIds` whose
+        #: active scope is stamped onto every emission (set by Telemetry).
+        self.correlation = None
         self._ring: deque[Event] = deque(maxlen=keep)
         self._seq = 0
         self._sink: IO[str] | None = None
@@ -161,6 +183,8 @@ class EventLog:
         """
         if not self.enabled:
             return None
+        if self.correlation is not None:
+            self.correlation.stamp(attrs)
         self._seq += 1
         event = Event(self._seq, kind, attrs)
         self._ring.append(event)
@@ -244,15 +268,34 @@ class EventLog:
         return len(self._ring)
 
 
-def read_jsonl(source: str | IO[str] | Iterable[str]) -> list[Event]:
+def read_jsonl(
+    source: str | IO[str] | Iterable[str], *, strict: bool = False
+) -> list[Event]:
     """Parse a JSONL event trail back into :class:`Event` values.
 
     Accepts a path, an open text file, or any iterable of lines; blank
     lines are skipped, so concatenated sink files ingest cleanly.
+
+    A truncated or otherwise unparsable *final* line is dropped instead
+    of raising: a process that crashes mid-``write`` leaves exactly one
+    partial record at the tail, and a recovery reader (the event log is
+    the ROADMAP's write-ahead log in waiting) must still ingest the
+    complete prefix.  Corruption anywhere *before* the final line still
+    raises — that is data loss, not an interrupted append.  Pass
+    ``strict=True`` to raise on any bad line.
     """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
             lines = handle.readlines()
     else:
         lines = list(source)
-    return [Event.from_dict(json.loads(line)) for line in lines if line.strip()]
+    lines = [line for line in lines if line.strip()]
+    events: list[Event] = []
+    last = len(lines) - 1
+    for position, line in enumerate(lines):
+        try:
+            events.append(Event.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            if strict or position != last:
+                raise
+    return events

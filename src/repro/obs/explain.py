@@ -431,14 +431,18 @@ class QueryExplainer:
                 "user-bound specs run through PrivacySystem.query()"
             )
         planner = self.server.planner
-        decision = planner.decide(spec)
-        over_private = spec.kind == "count" or (
-            getattr(spec, "dataset", "public") == "private"
-        )
-        store = self.server.private if over_private else self.server.public
-        delta: dict = {}
-        with self._measured(store.index_counters, delta):
-            result = planner.execute(spec, decision=decision)
+        # One correlation scope over decide + execute: the plan tree
+        # carries the same qid as the decision/measured event pair, so
+        # EXPLAIN output joins the event trail (repro.obs.correlate).
+        with self.server.telemetry.correlate("q") as qid:
+            decision = planner.decide(spec)
+            over_private = spec.kind == "count" or (
+                getattr(spec, "dataset", "public") == "private"
+            )
+            store = self.server.private if over_private else self.server.public
+            delta: dict = {}
+            with self._measured(store.index_counters, delta):
+                result = planner.execute(spec, decision=decision)
         if isinstance(result, tuple):
             answered = len(result)
         elif hasattr(result, "candidates"):
@@ -449,7 +453,7 @@ class QueryExplainer:
             answered = len(result.answer.probabilities)
         plan = PlanNode(
             f"planned.{decision.kind}",
-            {"spec": spec.kind, "answered": answered},
+            {"spec": spec.kind, "answered": answered, "qid": qid},
         )
         plan.children.append(decision.to_plan_node())
         plan.add(

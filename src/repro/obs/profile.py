@@ -1,0 +1,219 @@
+"""Hot-span profiler: top-N pipeline stages by *self* time.
+
+The tracer's histograms answer "how long does stage X take?", but not
+"where does the time actually go?" — a parent span's duration includes
+all of its children, so ``system.execute_batch`` always tops the
+inclusive chart without saying whether the time went to snapshotting,
+kernels, or the merge.  This module aggregates completed spans into
+**self-time** (duration minus the time spent in child spans), which is
+the flamegraph view: the stages worth optimising are the ones burning
+time in their own frame.
+
+Implementation rides the tracer's existing exit path.  Spans record on
+``__exit__``, children before parents, so a single ``{depth: child_ms}``
+accumulator recovers self-time exactly: when a span at depth *d*
+records, everything accumulated at depth *d+1* since the last sibling
+is its children's time.  The per-span cost is two dict operations —
+cheap enough that the child-time bookkeeping always runs; only the
+aggregation can be subsampled (``sample_every``) for very hot loops,
+with counts scaled back up in the report.
+
+Usage::
+
+    with telemetry.profiled(top=10) as profiler:
+        run_workload()
+    print(profiler.render())
+
+or ``python -m repro profile [--json]`` for a canned workload.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterator
+
+from repro.obs.events import PROFILE_SAMPLED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs import Telemetry
+    from repro.obs.trace import Tracer
+
+#: Report envelope schema tag.
+PROFILE_SCHEMA = "repro.obs.profile/1"
+
+
+class SpanProfiler:
+    """Aggregates completed spans into a self-time profile.
+
+    Install on a tracer (:meth:`install` or ``telemetry.profiled()``);
+    every completed span flows through :meth:`on_record`.
+
+    Args:
+        top: default row count for :meth:`report` / :meth:`render`.
+        sample_every: aggregate every N-th span only (child-time
+            bookkeeping still sees all of them, so self-times stay
+            exact for the sampled spans); counts and totals in the
+            report are scaled by N.
+    """
+
+    def __init__(self, top: int = 15, sample_every: int = 1) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.top = top
+        self.sample_every = sample_every
+        self.spans_seen = 0
+        #: path -> [count, total_ms, self_ms]
+        self._agg: dict[str, list] = {}
+        #: depth -> accumulated child duration awaiting its parent
+        self._child_ms: dict[int, float] = {}
+        self._tracer: "Tracer | None" = None
+        #: Optional ``Telemetry.emit`` bound by :func:`profiled`; report
+        #: cuts then land in the event log as ``profile.sampled``.
+        self.emit = None
+
+    # ------------------------------------------------------------------
+    # Tracer hook
+    # ------------------------------------------------------------------
+
+    def install(self, tracer: "Tracer") -> "SpanProfiler":
+        """Start receiving this tracer's spans (replaces any profiler)."""
+        tracer.profiler = self
+        self._tracer = tracer
+        return self
+
+    def uninstall(self) -> None:
+        """Stop receiving spans; aggregated data is kept."""
+        if self._tracer is not None and self._tracer.profiler is self:
+            self._tracer.profiler = None
+        self._tracer = None
+
+    def on_record(
+        self, name: str, path: str, depth: int, duration_ms: float
+    ) -> None:
+        """Tracer callback for one completed span (hot path)."""
+        # Children recorded before this span accumulated at depth+1.
+        child_ms = self._child_ms.pop(depth + 1, 0.0)
+        if depth > 0:
+            self._child_ms[depth] = self._child_ms.get(depth, 0.0) + duration_ms
+        self.spans_seen += 1
+        if self.spans_seen % self.sample_every:
+            return
+        row = self._agg.get(path)
+        if row is None:
+            row = self._agg[path] = [0, 0.0, 0.0]
+        row[0] += 1
+        row[1] += duration_ms
+        row[2] += max(0.0, duration_ms - child_ms)
+
+    def reset(self) -> None:
+        self._agg.clear()
+        self._child_ms.clear()
+        self.spans_seen = 0
+
+    # ------------------------------------------------------------------
+    # Reports
+    # ------------------------------------------------------------------
+
+    def rows(self, top: int | None = None) -> list[dict]:
+        """Aggregated rows sorted by self-time, hottest first."""
+        scale = self.sample_every
+        rows = [
+            {
+                "path": path,
+                "name": path.rsplit("/", 1)[-1],
+                "count": count * scale,
+                "total_ms": total * scale,
+                "self_ms": self_ms * scale,
+                "self_per_call_ms": (self_ms / count) if count else 0.0,
+            }
+            for path, (count, total, self_ms) in self._agg.items()
+        ]
+        rows.sort(key=lambda row: (-row["self_ms"], row["path"]))
+        return rows[: top if top is not None else self.top]
+
+    def flamegraph(self) -> dict:
+        """Nested ``{name, value, children}`` tree (flamegraph JSON).
+
+        ``value`` is the node's *self* time in ms; an ancestor that
+        never recorded a span of its own still appears as a zero-value
+        frame so the tree mirrors the call structure.
+        """
+        root: dict = {"name": "all", "value": 0.0, "children": []}
+        index: dict[str, dict] = {}
+        scale = self.sample_every
+
+        def _node(path: str) -> dict:
+            node = index.get(path)
+            if node is not None:
+                return node
+            name = path.rsplit("/", 1)[-1]
+            node = index[path] = {"name": name, "value": 0.0, "children": []}
+            parent = _node(path.rsplit("/", 1)[0]) if "/" in path else root
+            parent["children"].append(node)
+            return node
+
+        for path, (_count, _total, self_ms) in sorted(self._agg.items()):
+            _node(path)["value"] = self_ms * scale
+
+        def _sort(node: dict) -> None:
+            node["children"].sort(key=lambda child: -child["value"])
+            for child in node["children"]:
+                _sort(child)
+
+        _sort(root)
+        return root
+
+    def report(self, top: int | None = None) -> dict:
+        """Envelope with the top rows and the flamegraph tree."""
+        rows = self.rows(top)
+        report = {
+            "schema": PROFILE_SCHEMA,
+            "spans_seen": self.spans_seen,
+            "sample_every": self.sample_every,
+            "top": rows,
+            "flame": self.flamegraph(),
+        }
+        if self.emit is not None:
+            self.emit(
+                PROFILE_SAMPLED,
+                spans=self.spans_seen,
+                paths=len(self._agg),
+                hottest=rows[0]["path"] if rows else None,
+            )
+        return report
+
+    def render(self, top: int | None = None, width: int = 30) -> str:
+        """ASCII top-N table with self-time bars."""
+        rows = self.rows(top)
+        lines = [
+            "== hot spans (self time) ==",
+            f"spans seen: {self.spans_seen}   sample_every: {self.sample_every}",
+        ]
+        if not rows:
+            lines.append("  (no spans recorded)")
+            return "\n".join(lines)
+        max_self = max(row["self_ms"] for row in rows) or 1.0
+        path_width = min(48, max(len(row["path"]) for row in rows))
+        for row in rows:
+            bar = "#" * max(1, round(width * row["self_ms"] / max_self))
+            lines.append(
+                f"  {row['path']:<{path_width}}  "
+                f"self {row['self_ms']:9.2f} ms  "
+                f"total {row['total_ms']:9.2f} ms  "
+                f"x{row['count']:<6d} {bar}"
+            )
+        return "\n".join(lines)
+
+
+@contextmanager
+def profiled(
+    telemetry: "Telemetry", top: int = 15, sample_every: int = 1
+) -> Iterator[SpanProfiler]:
+    """Install a :class:`SpanProfiler` on ``telemetry`` for the block."""
+    profiler = SpanProfiler(top=top, sample_every=sample_every)
+    profiler.emit = telemetry.emit
+    profiler.install(telemetry.tracer)
+    try:
+        yield profiler
+    finally:
+        profiler.uninstall()

@@ -116,6 +116,12 @@ class Tracer:
     ) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.enabled = enabled
+        #: Optional :class:`~repro.obs.correlate.CorrelationIds` whose
+        #: active scope is stamped onto every record (set by Telemetry).
+        self.correlation = None
+        #: Optional :class:`~repro.obs.profile.SpanProfiler` fed every
+        #: completed span (installed by ``SpanProfiler.install``).
+        self.profiler = None
         self._stack: list[str] = []
         self._recent: deque[SpanRecord] = deque(maxlen=keep)
 
@@ -159,6 +165,11 @@ class Tracer:
     def _record(
         self, span: _LiveSpan, path: str, depth: int, duration_ms: float
     ) -> None:
+        if self.correlation is not None:
+            self.correlation.stamp(span.attrs)
+        profiler = self.profiler
+        if profiler is not None:
+            profiler.on_record(span.name, path, depth, duration_ms)
         self.registry.histogram(SPAN_METRIC, span=span.name).observe(duration_ms)
         self._recent.append(
             SpanRecord(

@@ -35,7 +35,8 @@ of the chosen plan.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from time import perf_counter
 from typing import TYPE_CHECKING, Hashable, Iterable, Sequence
 
 import numpy as np
@@ -50,7 +51,12 @@ from repro.engine.queries import (
 )
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
-from repro.obs.events import CANDIDATES_GENERATED, PLANNER_DECISION
+from repro.obs.accuracy import AccuracyMonitor
+from repro.obs.events import (
+    CANDIDATES_GENERATED,
+    PLANNER_DECISION,
+    PLANNER_MEASURED,
+)
 from repro.obs.explain import PlanNode
 from repro.planner.cost import CostEstimate, CostModel
 from repro.planner.replicas import ReplicaSet
@@ -163,6 +169,7 @@ class QueryPlanner:
         self.server = server
         self.replicas = ReplicaSet(server, universe)
         self.collector = StatisticsCollector(server, self.replicas)
+        self.accuracy = AccuracyMonitor()
         self.last_decision: Decision | None = None
         self._rank_cache: tuple[int, dict] | None = None
 
@@ -252,7 +259,7 @@ class QueryPlanner:
         self.last_decision = decision
         self.server.telemetry.emit(
             PLANNER_DECISION,
-            kind=kind,
+            query=kind,
             backend=decision.backend,
             route=decision.route,
             est_seconds=decision.seconds,
@@ -413,9 +420,24 @@ class QueryPlanner:
                 "user-bound specs need the anonymizer pipeline; submit "
                 "them through PrivacySystem.query()"
             )
-        if decision is None:
-            decision = self.decide(spec, backend=backend, route=route)
-        self.server.record_query(decision.kind)
+        telemetry = self.server.telemetry
+        # Share the ambient query scope (system.query opened one) so the
+        # decision and the measurement below join on the same qid; mint
+        # a fresh one for direct planner callers.
+        with telemetry.correlate("q", reuse=True):
+            if decision is None:
+                decision = self.decide(spec, backend=backend, route=route)
+            self.server.record_query(decision.kind)
+            counters = self._work_counters(decision)
+            before = counters.snapshot() if counters is not None else None
+            start = perf_counter()
+            result = self._dispatch(spec, decision)
+            self._observe_execution(
+                decision, perf_counter() - start, counters, before
+            )
+        return result
+
+    def _dispatch(self, spec: QuerySpec, decision: Decision):
         if isinstance(spec, RangeSpec):
             if spec.flavor == "public":
                 return self._run_public_range(spec, decision)
@@ -433,6 +455,64 @@ class QueryPlanner:
                 return self._run_probabilistic_nn(spec, decision)
             return self._run_public_knn(spec.point, 1, decision)
         raise QueryError(f"unexecutable spec: {spec!r}")
+
+    # ------------------------------------------------------------------
+    # Execution feedback (see repro.obs.accuracy)
+    # ------------------------------------------------------------------
+
+    def _work_counters(self, decision: Decision):
+        """The native :class:`IndexCounters` the chosen execution hits.
+
+        ``None`` for the vectorized and replica paths — their work does
+        not land in the native stores' counters, and forcing a replica
+        build just to snapshot its counters would distort the very cost
+        being measured.
+        """
+        if decision.route != "scalar" or decision.backend != "rtree":
+            return None
+        if decision.kind in ("public_count", "public_nn"):
+            return self.server.private.index_counters
+        return self.server.public.index_counters
+
+    def _observe_execution(
+        self,
+        decision: Decision,
+        seconds: float,
+        counters=None,
+        before: dict | None = None,
+        n: int = 1,
+    ) -> None:
+        """Emit ``planner.measured`` and feed the accuracy monitor.
+
+        ``seconds`` is wall-clock *per query* (a batch passes its mean
+        and ``n``).  A drift verdict from the monitor is forwarded to
+        the statistics collector; recalibration then happens on the
+        next :meth:`decide`'s statistics refresh.
+        """
+        telemetry = self.server.telemetry
+        # "query" not "kind": attrs flatten into the JSONL record, where
+        # "kind" is the event's own identity (see Event.to_dict).
+        attrs: dict = {
+            "query": decision.kind,
+            "backend": decision.backend,
+            "route": decision.route,
+            "seconds": seconds,
+            "est_seconds": decision.seconds,
+            "n": n,
+        }
+        if counters is not None and before is not None:
+            after = counters.snapshot()
+            for field_name in (
+                "node_visits",
+                "leaf_scans",
+                "distance_computations",
+            ):
+                attrs[field_name] = after[field_name] - before[field_name]
+        telemetry.emit(PLANNER_MEASURED, **attrs)
+        self.accuracy.observe(decision, seconds, n=n, emit=telemetry.emit)
+        reason = self.accuracy.poll_recalibration()
+        if reason is not None:
+            self.collector.request_recalibration(reason)
 
     # -- public over public ---------------------------------------------
 
@@ -723,41 +803,72 @@ class QueryPlanner:
         their batch kind and emits no per-query candidate events.
         """
         batch = list(specs)
-        decisions = [
-            self.decide(spec, batch_size=len(batch), backend=backend, route=route)
-            for spec in batch
-        ]
-        results: list = [None] * len(batch)
-        engine_positions: list[int] = []
-        engine_queries = []
-        engine_routes: list[bool] = []
-        for position, (spec, decision) in enumerate(zip(batch, decisions)):
-            if getattr(spec, "user", None) is not None:
-                raise QueryError(
-                    "user-bound specs need the anonymizer pipeline; submit "
-                    "them through PrivacySystem.execute_batch()"
+        with self.server.telemetry.correlate("b", reuse=True):
+            decisions = [
+                self.decide(
+                    spec, batch_size=len(batch), backend=backend, route=route
                 )
-            query = self._engine_query(spec)
-            if query is None or decision.backend != "rtree":
-                continue
-            vectorized = decision.route == "vectorized"
-            if not vectorized and query.kind not in _ENGINE_CANONICAL_SEQ:
-                continue
-            engine_positions.append(position)
-            engine_queries.append(query)
-            engine_routes.append(vectorized)
-        if engine_queries:
-            answers = self.server.execute_batch(
-                engine_queries, routes=engine_routes
-            )
-            for position, answer in zip(engine_positions, answers):
-                results[position] = answer
-        covered = set(engine_positions)
-        for position, (spec, decision) in enumerate(zip(batch, decisions)):
-            if position in covered:
-                continue
-            results[position] = self.execute(spec, decision=decision)
+                for spec in batch
+            ]
+            results: list = [None] * len(batch)
+            engine_positions: list[int] = []
+            engine_queries = []
+            engine_routes: list[bool] = []
+            for position, (spec, decision) in enumerate(zip(batch, decisions)):
+                if getattr(spec, "user", None) is not None:
+                    raise QueryError(
+                        "user-bound specs need the anonymizer pipeline; "
+                        "submit them through PrivacySystem.execute_batch()"
+                    )
+                query = self._engine_query(spec)
+                if query is None or decision.backend != "rtree":
+                    continue
+                vectorized = decision.route == "vectorized"
+                if not vectorized and query.kind not in _ENGINE_CANONICAL_SEQ:
+                    continue
+                engine_positions.append(position)
+                engine_queries.append(query)
+                engine_routes.append(vectorized)
+            if engine_queries:
+                start = perf_counter()
+                answers = self.server.execute_batch(
+                    engine_queries, routes=engine_routes
+                )
+                per_query = (perf_counter() - start) / len(engine_queries)
+                for position, answer in zip(engine_positions, answers):
+                    results[position] = answer
+                self._observe_engine_batch(
+                    [decisions[p] for p in engine_positions], per_query
+                )
+            covered = set(engine_positions)
+            for position, (spec, decision) in enumerate(zip(batch, decisions)):
+                if position in covered:
+                    continue
+                results[position] = self.execute(spec, decision=decision)
         return results
+
+    def _observe_engine_batch(
+        self, engine_decisions: list[Decision], per_query_seconds: float
+    ) -> None:
+        """Measurement feedback for the engine-batched positions.
+
+        The engine answers the whole group in one call, so individual
+        durations do not exist; the mean per-query elapsed is attributed
+        to each (kind, backend, route) group against its mean predicted
+        cost — coarse, but unbiased in aggregate, which is all the drift
+        detector needs.
+        """
+        groups: dict[tuple[str, str, str], list[Decision]] = {}
+        for decision in engine_decisions:
+            key = (decision.kind, decision.backend, decision.route)
+            groups.setdefault(key, []).append(decision)
+        for members in groups.values():
+            mean_est = sum(d.seconds for d in members) / len(members)
+            self._observe_execution(
+                replace(members[0], seconds=mean_est),
+                per_query_seconds,
+                n=len(members),
+            )
 
     # ------------------------------------------------------------------
     # Conformance

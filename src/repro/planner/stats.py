@@ -191,6 +191,7 @@ class StatisticsCollector:
         self._backend_cals: dict[str, BackendCalibration] = {}
         self._kernel_cal: KernelCalibration | None = None
         self._calibrated_n: int | None = None
+        self._recalibration_reason: str | None = None
         self.calibrations = 0
 
     def reset(self) -> None:
@@ -198,6 +199,17 @@ class StatisticsCollector:
         self._backend_cals = {}
         self._kernel_cal = None
         self._calibrated_n = None
+        self._recalibration_reason = None
+
+    def request_recalibration(self, reason: str = "requested") -> None:
+        """Schedule a recalibration on the next :meth:`stats` refresh.
+
+        The planner's accuracy monitor calls this when measured costs
+        drift from predictions (see :mod:`repro.obs.accuracy`); the
+        reason lands in the resulting ``planner.calibrated`` event, so
+        the trail shows *why* the planner re-measured.
+        """
+        self._recalibration_reason = reason
 
     # ------------------------------------------------------------------
 
@@ -242,6 +254,9 @@ class StatisticsCollector:
     # ------------------------------------------------------------------
 
     def _ensure_calibrated(self) -> None:
+        if self._recalibration_reason is not None:
+            self.calibrate()
+            return
         n = len(self.server.public)
         if self._calibrated_n is not None:
             lo, hi = self._calibrated_n / 2.0, max(self._calibrated_n * 2.0, 8.0)
@@ -252,6 +267,12 @@ class StatisticsCollector:
     def calibrate(self) -> None:
         """Measure every backend and the kernels over a fresh sample."""
         started = time.perf_counter()
+        reason = self._recalibration_reason or (
+            "initial calibration"
+            if self._calibrated_n is None
+            else "store size left calibration band"
+        )
+        self._recalibration_reason = None
         ids, xs, ys = self.server.public.snapshot_arrays()
         sample_ids, sx, sy = _strided_sample(ids, xs, ys)
         universe = self.replicas.universe or self.replicas.public_bounds()
@@ -273,6 +294,7 @@ class StatisticsCollector:
                 sample=len(sample_ids),
                 backends=list(BACKEND_NAMES),
                 seconds=time.perf_counter() - started,
+                reason=reason,
             )
 
     def _calibrate_backend(

@@ -1,0 +1,151 @@
+"""End-to-end planner self-healing: stale calibration -> mispredict ->
+recalibration -> accurate predictions.
+
+This is the ISSUE's closing-the-loop proof.  We poison the planner's
+cached calibration so every cost prediction is wildly inflated, run a
+steady workload, and watch the observability layer drive the repair:
+
+1. the accuracy monitor's folded median ratio leaves the tolerance
+   band and a ``planner.mispredict`` event fires;
+2. the drift check requests a recalibration from the
+   ``StatisticsCollector``;
+3. the next planning pass recalibrates (``planner.calibrated`` with the
+   drift reason in its payload);
+4. post-recalibration predictions land back within the band.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import (
+    MobileUser,
+    PrivacyProfile,
+    PrivacySystem,
+    PyramidCloaker,
+    RangeSpec,
+)
+from repro.geometry import Point, Rect
+from repro.obs.accuracy import _fold, _median
+from repro.obs.events import PLANNER_CALIBRATED, PLANNER_MISPREDICT
+
+#: Every prediction is made this many times too expensive.
+POISON_FACTOR = 500.0
+
+
+def build_system(users=40, pois=30, seed=7):
+    rng = np.random.default_rng(seed)
+    bounds = Rect(0, 0, 100, 100)
+    system = PrivacySystem(bounds, PyramidCloaker(bounds, height=5))
+    for j in range(pois):
+        x, y = rng.uniform(0, 100, 2)
+        system.add_poi(f"poi-{j}", Point(float(x), float(y)))
+    for i in range(users):
+        x, y = rng.uniform(0, 100, 2)
+        system.add_user(
+            MobileUser(i, Point(float(x), float(y)), PrivacyProfile.always(k=4))
+        )
+    system.publish_all()
+    return system
+
+
+def poison_calibration(planner, factor=POISON_FACTOR):
+    """Scale every calibrated cost so predictions are ``factor``x too high."""
+    collector = planner.collector
+    assert collector._backend_cals, "calibration must exist before poisoning"
+    collector._backend_cals = {
+        name: dataclasses.replace(
+            cal,
+            build_seconds=cal.build_seconds * factor,
+            range_seconds=tuple(s * factor for s in cal.range_seconds),
+            knn_seconds=cal.knn_seconds * factor,
+        )
+        for name, cal in collector._backend_cals.items()
+    }
+    if collector._kernel_cal is not None:
+        kernel = collector._kernel_cal
+        collector._kernel_cal = dataclasses.replace(
+            kernel,
+            range_seconds=kernel.range_seconds * factor,
+            count_seconds=kernel.count_seconds * factor,
+            knn_seconds=kernel.knn_seconds * factor,
+            grid_build_seconds=kernel.grid_build_seconds * factor,
+        )
+
+
+def run_workload(system, rounds):
+    """Same public range query, repeatedly: one steady accuracy group."""
+    for _ in range(rounds):
+        system.query(RangeSpec(window=Rect(20, 20, 60, 60)))
+
+
+def folded_ratios(system, since_seq=0, until_seq=None):
+    """Folded measured/predicted ratios from the event trail."""
+    ratios = []
+    for event in system.obs.events.events("planner.measured"):
+        if event.seq <= since_seq:
+            continue
+        if until_seq is not None and event.seq > until_seq:
+            continue
+        predicted = event.attrs.get("est_seconds") or 0.0
+        if predicted > 0.0:
+            ratios.append(_fold(event.attrs["seconds"] / predicted))
+    return ratios
+
+
+def last_seq(system):
+    return max((e.seq for e in system.obs.events.events()), default=0)
+
+
+class TestFeedbackLoop:
+    @pytest.fixture(scope="class")
+    def healed_system(self):
+        system = build_system()
+        planner = system.planner
+        run_workload(system, 1)  # force the initial calibration
+        poison_calibration(planner)
+        # Exactly enough rounds for the accuracy window to trust its
+        # median (min_samples) and flag the poisoned group; the repair
+        # lands on the *next* planning pass.
+        run_workload(system, planner.accuracy.min_samples)
+        poison_end = last_seq(system)
+        run_workload(system, 10)
+        return system, poison_end
+
+    def test_mispredict_event_fires(self, healed_system):
+        system, _ = healed_system
+        mispredicts = list(system.obs.events.events(PLANNER_MISPREDICT))
+        assert mispredicts, "poisoned predictions must raise a mispredict"
+        attrs = mispredicts[0].attrs
+        assert attrs["median_ratio"] < 1.0, "inflated predictions -> ratio << 1"
+        assert attrs["threshold"] == system.planner.accuracy.threshold
+
+    def test_recalibration_requested_and_performed(self, healed_system):
+        system, _ = healed_system
+        calibrations = list(system.obs.events.events(PLANNER_CALIBRATED))
+        drift_recals = [
+            event
+            for event in calibrations
+            if "drift" in event.attrs.get("reason", "")
+        ]
+        assert drift_recals, "drift must drive a planner.calibrated event"
+        assert system.planner.accuracy.recalibrations >= 1
+
+    def test_predictions_recover_after_recalibration(self, healed_system):
+        system, poison_end = healed_system
+        poisoned = folded_ratios(system, until_seq=poison_end)
+        recovered = folded_ratios(system, since_seq=poison_end)
+        assert recovered, "post-recalibration measurements must exist"
+        pre = _median(poisoned)
+        post = _median(recovered)
+        assert post < pre / 4.0, (
+            f"recalibration must slash the folded error "
+            f"(pre={pre:.1f}x, post={post:.1f}x)"
+        )
+        assert post < POISON_FACTOR / 10.0
+
+    def test_quiet_period_prevents_thrashing(self, healed_system):
+        system, _ = healed_system
+        # One drift excursion -> one recalibration, not one per query.
+        assert system.planner.accuracy.recalibrations == 1

@@ -194,6 +194,88 @@ class TestAuditCommand:
         assert "no cloak events" in capsys.readouterr().err
 
 
+class TestHealthCommand:
+    ARGS = ["health", "--users", "40", "--queries", "4"]
+
+    def test_healthy_workload_exits_0(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "== SLO health ==" in out
+        assert "HEALTHY" in out
+        assert "attainment" in out
+
+    def test_json_report_structure(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.obs.slo/1"
+        assert report["healthy"] is True
+        assert report["total"] == report["ok"] == 8
+        names = {result["spec"]["name"] for result in report["results"]}
+        assert "plan_accuracy" in names and "answer_accuracy" in names
+
+    def test_custom_specs_can_fail_with_exit_4(self, tmp_path, capsys):
+        import json
+
+        specs = tmp_path / "slos.json"
+        specs.write_text(
+            json.dumps(
+                [{"name": "impossible", "kind": "attainment_rate", "target": 1.1}]
+            )
+        )
+        assert main([*self.ARGS, "--specs", str(specs)]) == 4
+        out = capsys.readouterr().out
+        assert "UNHEALTHY" in out
+        assert "FAIL impossible" in out
+
+    def test_watch_mode_bounded_iterations(self, capsys):
+        assert main([*self.ARGS, "--watch", "--iterations", "2",
+                     "--interval", "0"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("== SLO health ==") == 2
+        assert "watch tick 2" in out
+        assert "pipeline stages" in out
+
+    def test_invalid_sizes_exit(self):
+        with pytest.raises(SystemExit, match="--users"):
+            main(["health", "--users", "0"])
+
+
+class TestProfileCommand:
+    ARGS = ["profile", "--users", "40", "--queries", "4"]
+
+    def test_ascii_table_default(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "== hot spans (self time) ==" in out
+        assert "anonymizer" in out
+
+    def test_json_report_structure(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--json", "--top", "5"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["schema"] == "repro.obs.profile/1"
+        assert report["spans_seen"] > 0
+        assert len(report["top"]) == 5
+        assert report["flame"]["name"] == "all"
+        assert report["flame"]["children"]
+
+    def test_sampling_flag_respected(self, capsys):
+        import json
+
+        assert main([*self.ARGS, "--json", "--sample-every", "4"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sample_every"] == 4
+
+    def test_invalid_flags_exit(self):
+        with pytest.raises(SystemExit, match="--top"):
+            main(["profile", "--top", "0"])
+        with pytest.raises(SystemExit, match="--sample-every"):
+            main(["profile", "--sample-every", "0"])
+
+
 class TestBenchHistoryCommand:
     def test_selftest_passes(self, capsys):
         assert main(["bench-history", "--selftest"]) == 0

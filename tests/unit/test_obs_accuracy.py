@@ -1,0 +1,165 @@
+"""Plan-accuracy auditing (repro.obs.accuracy): online monitor + offline join."""
+
+import json
+
+from repro.obs import AccuracyMonitor, EventLog, PlanAccuracyAuditor, Telemetry
+from repro.obs.events import (
+    PLANNER_CALIBRATED,
+    PLANNER_DECISION,
+    PLANNER_MEASURED,
+    PLANNER_MISPREDICT,
+)
+from repro.planner.planner import Decision
+
+
+def decision(kind="public_range", backend="rtree", route="scalar", seconds=1e-4):
+    return Decision(
+        kind=kind, backend=backend, route=route, seconds=seconds, reason="test"
+    )
+
+
+class TestAccuracyMonitor:
+    def test_calibrated_group_stays_quiet(self):
+        monitor = AccuracyMonitor(min_samples=4)
+        emitted = []
+        for _ in range(10):
+            ratio = monitor.observe(
+                decision(seconds=1e-4),
+                1.1e-4,
+                emit=lambda *a, **k: emitted.append(a[0]),
+            )
+        assert ratio == 1.1e-4 / 1e-4
+        assert emitted == []
+        assert monitor.mispredicts == 0
+        assert monitor.poll_recalibration() is None
+
+    def test_mispredict_is_edge_triggered(self):
+        monitor = AccuracyMonitor(threshold=4.0, min_samples=4)
+        emitted = []
+        emit = lambda *args, **attrs: emitted.append((args[0], attrs))
+        for _ in range(10):
+            monitor.observe(decision(seconds=1e-5), 1e-3, emit=emit)
+        kinds = [kind for kind, _ in emitted]
+        assert kinds == [PLANNER_MISPREDICT], "one event per excursion, not per obs"
+        attrs = emitted[0][1]
+        assert attrs["query"] == "public_range"
+        assert attrs["backend"] == "rtree"
+        assert attrs["route"] == "scalar"
+        assert attrs["median_ratio"] > 4.0
+        assert monitor.mispredicts == 1
+
+    def test_underprediction_and_overprediction_both_fold(self):
+        slow = AccuracyMonitor(min_samples=2)
+        fast = AccuracyMonitor(min_samples=2)
+        for _ in range(4):
+            slow.observe(decision(seconds=1e-5), 1e-3)  # 100x too slow
+            fast.observe(decision(seconds=1e-3), 1e-5)  # 100x too fast
+        assert slow.mispredicts == 1
+        assert fast.mispredicts == 1
+
+    def test_sub_nanosecond_predictions_are_skipped(self):
+        monitor = AccuracyMonitor()
+        assert monitor.observe(decision(seconds=1e-12), 1.0) is None
+        assert monitor.observed == 0
+
+    def test_drift_triggers_recalibration_request(self):
+        monitor = AccuracyMonitor(threshold=4.0, drift_band=4.0, min_samples=4)
+        for _ in range(8):
+            monitor.observe(decision(seconds=1e-5), 1e-3)
+        reason = monitor.poll_recalibration()
+        assert reason is not None and "drift" in reason
+        assert monitor.recalibrations == 1
+        # Collected once; windows reset and the check re-arms quietly.
+        assert monitor.poll_recalibration() is None
+        assert monitor.report()["groups"] == {}
+
+    def test_quiet_period_after_recalibration(self):
+        monitor = AccuracyMonitor(
+            threshold=4.0, drift_band=4.0, window=8, min_samples=4
+        )
+        for _ in range(8):
+            monitor.observe(decision(seconds=1e-5), 1e-3)
+        assert monitor.poll_recalibration() is not None
+        # Still mispredicting, but within the quiet window: no new request.
+        for _ in range(4):
+            monitor.observe(decision(seconds=1e-5), 1e-3)
+        assert monitor.poll_recalibration() is None
+        # Once the quiet window has been re-sampled, the request re-arms.
+        for _ in range(8):
+            monitor.observe(decision(seconds=1e-5), 1e-3)
+        assert monitor.poll_recalibration() is not None
+
+    def test_groups_tracked_independently(self):
+        monitor = AccuracyMonitor(min_samples=4)
+        for _ in range(6):
+            monitor.observe(decision(kind="public_range", seconds=1e-4), 1.2e-4)
+            monitor.observe(decision(kind="public_nn", seconds=1e-5), 2e-3)
+        report = monitor.report()
+        assert report["groups"]["public_range/rtree/scalar"]["mispredict"] is False
+        assert report["groups"]["public_nn/rtree/scalar"]["mispredict"] is True
+        assert report["drift_folded"] > 1.0
+
+    def test_report_is_json_serialisable(self):
+        monitor = AccuracyMonitor(min_samples=2)
+        for _ in range(4):
+            monitor.observe(decision(), 2e-4)
+        report = monitor.report()
+        assert json.loads(json.dumps(report)) == report
+        assert report["schema"] == "repro.obs.accuracy/1"
+        assert report["source"] == "online"
+
+
+class TestPlanAccuracyAuditor:
+    def _trail(self):
+        """One joined query, one unjoined measurement, one mispredict."""
+        obs = Telemetry()
+        with obs.correlate("q") as qid:
+            obs.emit(PLANNER_DECISION, query="public_range", backend="rtree",
+                     route="scalar", est_seconds=1e-4)
+            obs.emit(PLANNER_MEASURED, query="public_range", backend="rtree",
+                     route="scalar", seconds=2e-4, est_seconds=1e-4, n=1)
+        obs.emit(PLANNER_MEASURED, query="public_nn", backend="rtree",
+                 route="scalar", seconds=1e-2, est_seconds=1e-5, n=1)
+        obs.emit(PLANNER_MISPREDICT, query="public_nn", backend="rtree",
+                 route="scalar", median_ratio=1000.0)
+        obs.emit(PLANNER_CALIBRATED, reason="test")
+        return obs, qid
+
+    def test_join_and_group_accounting(self):
+        obs, _ = self._trail()
+        report = PlanAccuracyAuditor().consume(obs.events.events()).report()
+        assert report["decisions"] == 1
+        assert report["measured"] == 2
+        assert report["joined"] == 1
+        assert report["mispredict_events"] == 1
+        assert report["calibrations"] == 1
+        assert report["groups"]["public_range/rtree/scalar"]["mispredict"] is False
+        assert report["groups"]["public_nn/rtree/scalar"]["mispredict"] is True
+        assert report["mispredicting_groups"] == 1
+
+    def test_ratio_survives_evicted_decision(self):
+        # Measurements carry est_seconds inline: a trail whose decision
+        # events rolled off the ring still yields ratios (join tally 0).
+        obs = Telemetry()
+        obs.emit(PLANNER_MEASURED, query="public_range", backend="rtree",
+                 route="scalar", seconds=4e-4, est_seconds=1e-4, n=1,
+                 qid="q-999999")
+        report = PlanAccuracyAuditor().consume(obs.events.events()).report()
+        assert report["joined"] == 0
+        assert report["groups"]["public_range/rtree/scalar"]["median_ratio"] == 4.0
+
+    def test_round_trips_through_jsonl(self, tmp_path):
+        from repro.obs.events import read_jsonl
+
+        obs, _ = self._trail()
+        path = tmp_path / "trail.jsonl"
+        path.write_text(obs.events.dump_jsonl())
+        report = PlanAccuracyAuditor().consume(read_jsonl(str(path))).report()
+        assert report["measured"] == 2 and report["joined"] == 1
+        assert json.loads(json.dumps(report)) == report
+
+    def test_empty_trail_reports_cleanly(self):
+        report = PlanAccuracyAuditor().consume(EventLog().events()).report()
+        assert report["measured"] == 0
+        assert report["median_folded"] == 1.0
+        assert report["groups"] == {}

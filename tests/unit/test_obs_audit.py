@@ -2,7 +2,8 @@
 
 import json
 
-from repro.obs import EventLog, PrivacyAuditor
+from repro.obs import EVENT_KINDS, EventLog, PrivacyAuditor
+from repro.obs.audit import AUDIT_IGNORED_KINDS, AUDITED_KINDS
 from repro.obs.events import CLOAK_DEGRADED, CLOAK_RESULT, QUERY_COMPLETED
 
 
@@ -122,3 +123,21 @@ class TestIngestion:
         report = PrivacyAuditor.from_log(EventLog()).report()
         assert report["totals"]["cloaks"] == 0
         assert report["totals"]["attainment_rate"] == 1.0
+
+
+class TestKindFolding:
+    def test_every_registered_kind_is_classified(self):
+        # Adding an event kind without deciding whether the auditor
+        # consumes or ignores it must fail here, not silently fold.
+        assert AUDITED_KINDS | AUDIT_IGNORED_KINDS == frozenset(EVENT_KINDS)
+        assert not AUDITED_KINDS & AUDIT_IGNORED_KINDS
+
+    def test_observability_events_do_not_skew_the_audit(self):
+        log = EventLog()
+        emit_result(log)
+        baseline = PrivacyAuditor.from_log(log).report()
+        for kind in sorted(AUDIT_IGNORED_KINDS):
+            log.emit(kind)
+        report = PrivacyAuditor.from_log(log).report()
+        assert report["totals"] == baseline["totals"]
+        assert report["queries"] == baseline["queries"]

@@ -124,6 +124,41 @@ class TestJsonl:
     def test_dump_jsonl_empty_log_is_empty_string(self):
         assert EventLog().dump_jsonl() == ""
 
+    def test_truncated_final_line_is_dropped(self, tmp_path):
+        # A crash mid-write leaves a half-serialised last record; the
+        # reader salvages everything before it.
+        log = EventLog()
+        log.emit("cloak.attempt", user="a")
+        log.emit("cloak.result", user="a", area=2.0)
+        path = tmp_path / "crashed.jsonl"
+        path.write_text(log.dump_jsonl() + '{"seq": 3, "kind": "cloak.re')
+        events = read_jsonl(str(path))
+        assert [e.kind for e in events] == ["cloak.attempt", "cloak.result"]
+
+    def test_truncated_final_line_raises_in_strict_mode(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        path.write_text('{"seq": 1, "kind": "cloak.attempt"}\n{"seq": 2, "ki')
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(str(path), strict=True)
+
+    def test_mid_file_corruption_still_raises(self, tmp_path):
+        # Only the *final* line gets the crash-tolerance benefit of the
+        # doubt; garbage in the middle is real corruption.
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text(
+            '{"seq": 1, "kind": "cloak.attempt"}\n'
+            "NOT JSON\n"
+            '{"seq": 3, "kind": "cloak.result"}\n'
+        )
+        with pytest.raises(json.JSONDecodeError):
+            read_jsonl(str(path))
+
+    def test_trailing_blank_lines_do_not_mask_truncation(self, tmp_path):
+        path = tmp_path / "crashed.jsonl"
+        path.write_text('{"seq": 1, "kind": "cloak.attempt"}\n{"seq": 2\n\n')
+        events = read_jsonl(str(path))
+        assert [e.seq for e in events] == [1]
+
 
 class TestTelemetryIntegration:
     def test_emit_bound_on_telemetry(self):

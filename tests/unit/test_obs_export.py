@@ -168,3 +168,47 @@ class TestDashboard:
 
     def test_empty_snapshot(self):
         assert "no telemetry" in render_dashboard({})
+
+
+@pytest.fixture()
+def feedback_snapshot():
+    """One correlated query + one SLO verdict, as both exporters see it."""
+    from repro.obs import SLOMonitor, SLOSpec
+
+    obs = Telemetry()
+    with obs.correlate("b"):
+        with obs.correlate("q"):
+            obs.emit(
+                "query.completed", query="private_range", overhead=2.0,
+                correct=True,
+            )
+    SLOMonitor([SLOSpec("answer_accuracy", "query_accuracy", 0.5)]).evaluate(
+        snapshot=obs.snapshot(),
+        events=list(obs.events.events()),
+        telemetry=obs,
+    )
+    return obs.snapshot()
+
+
+class TestFeedbackLoopGoldens:
+    """Golden output: correlation-ID counters and SLO gauges in exporters."""
+
+    def test_prometheus_correlation_counters(self, feedback_snapshot):
+        text = to_prometheus(feedback_snapshot)
+        assert "# TYPE repro_correlation_ids_total counter" in text
+        assert 'repro_correlation_ids_total{kind="q"} 1' in text
+        assert 'repro_correlation_ids_total{kind="b"} 1' in text
+
+    def test_prometheus_slo_gauges(self, feedback_snapshot):
+        text = to_prometheus(feedback_snapshot)
+        assert "# TYPE repro_slo_ok gauge" in text
+        assert 'repro_slo_ok{slo="answer_accuracy"} 1.0' in text
+        assert 'repro_slo_value{slo="answer_accuracy"} 1.0' in text
+        assert 'repro_events_emitted_total{kind="slo.evaluated"} 1' in text
+
+    def test_dashboard_correlation_and_slo_lines(self, feedback_snapshot):
+        text = render_dashboard(feedback_snapshot)
+        assert "correlation.ids{kind=q} = 1" in text
+        assert "correlation.ids{kind=b} = 1" in text
+        assert "slo.ok{slo=answer_accuracy} = 1.0" in text
+        assert "slo.value{slo=answer_accuracy} = 1.0" in text

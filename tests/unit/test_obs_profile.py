@@ -1,0 +1,134 @@
+"""Hot-span self-time profiler (repro.obs.profile)."""
+
+import json
+
+from repro.obs import SpanProfiler, Telemetry
+from repro.obs.events import PROFILE_SAMPLED
+from repro.obs.profile import PROFILE_SCHEMA
+
+
+def run_nested_workload(obs):
+    """parent wraps child; sibling stands alone."""
+    with obs.span("parent"):
+        with obs.span("child"):
+            pass
+    with obs.span("sibling"):
+        pass
+
+
+class TestSelfTime:
+    def test_parent_self_time_excludes_children(self):
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            run_nested_workload(obs)
+        rows = {row["path"]: row for row in profiler.rows()}
+        parent = rows["parent"]
+        child = rows["parent/child"]
+        assert child["self_ms"] == child["total_ms"]
+        assert parent["self_ms"] <= parent["total_ms"] - child["total_ms"] + 1e-6
+        assert parent["self_ms"] >= 0.0
+
+    def test_sibling_child_time_does_not_leak(self):
+        # Two consecutive children: the parent's self-time subtracts both,
+        # and the *next* parent starts from a clean accumulator.
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            with obs.span("a"):
+                with obs.span("x"):
+                    pass
+                with obs.span("y"):
+                    pass
+            with obs.span("b"):
+                pass
+        rows = {row["path"]: row for row in profiler.rows()}
+        assert rows["b"]["self_ms"] == rows["b"]["total_ms"]
+
+    def test_counts_per_path(self):
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            for _ in range(3):
+                run_nested_workload(obs)
+        rows = {row["path"]: row for row in profiler.rows()}
+        assert rows["parent"]["count"] == 3
+        assert rows["parent/child"]["count"] == 3
+        assert profiler.spans_seen == 9
+
+    def test_uninstall_stops_collection(self):
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            pass
+        run_nested_workload(obs)
+        assert profiler.spans_seen == 0
+        assert obs.tracer.profiler is None
+
+
+class TestSampling:
+    def test_sample_every_scales_counts_back_up(self):
+        obs = Telemetry()
+        with obs.profiled(sample_every=2) as profiler:
+            for _ in range(10):
+                with obs.span("hot"):
+                    pass
+        row = profiler.rows()[0]
+        assert profiler.spans_seen == 10
+        assert row["count"] == 10, "sampled counts are scaled by sample_every"
+
+    def test_sample_every_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            SpanProfiler(sample_every=0)
+
+
+class TestReports:
+    def test_rows_sorted_by_self_time_and_topped(self):
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            run_nested_workload(obs)
+        rows = profiler.rows(top=2)
+        assert len(rows) == 2
+        assert rows[0]["self_ms"] >= rows[1]["self_ms"]
+
+    def test_flamegraph_mirrors_call_structure(self):
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            run_nested_workload(obs)
+        flame = profiler.flamegraph()
+        assert flame["name"] == "all"
+        children = {node["name"]: node for node in flame["children"]}
+        assert set(children) == {"parent", "sibling"}
+        grandchildren = [n["name"] for n in children["parent"]["children"]]
+        assert grandchildren == ["child"]
+
+    def test_report_envelope_and_emitted_event(self):
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            run_nested_workload(obs)
+        report = profiler.report()
+        assert report["schema"] == PROFILE_SCHEMA
+        assert report["spans_seen"] == 3
+        assert json.loads(json.dumps(report)) == report
+        sampled = list(obs.events.events(PROFILE_SAMPLED))
+        assert len(sampled) == 1
+        assert sampled[0].attrs["spans"] == 3
+        assert sampled[0].attrs["hottest"] in ("parent", "parent/child", "sibling")
+
+    def test_render_lists_paths_with_bars(self):
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            run_nested_workload(obs)
+        text = profiler.render()
+        assert "== hot spans (self time) ==" in text
+        assert "parent/child" in text
+        assert "#" in text
+
+    def test_render_empty_profile(self):
+        assert "(no spans recorded)" in SpanProfiler().render()
+
+    def test_reset_clears_aggregation(self):
+        obs = Telemetry()
+        with obs.profiled() as profiler:
+            run_nested_workload(obs)
+        profiler.reset()
+        assert profiler.spans_seen == 0
+        assert profiler.rows() == []

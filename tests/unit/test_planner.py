@@ -57,7 +57,7 @@ class TestDecisions:
         events = list(system.obs.events.events(PLANNER_DECISION))
         assert events
         last = events[-1].attrs
-        assert last["kind"] == "public_count"
+        assert last["query"] == "public_count"
         assert last["backend"] in BACKEND_NAMES
         assert last["route"] in ("scalar", "vectorized")
         assert last["candidates"]
