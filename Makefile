@@ -1,6 +1,6 @@
 # Developer entry points for the privacy-aware LBS reproduction.
 
-.PHONY: install test conformance bench bench-smoke bench-batch bench-cloak bench-planner bench-obs-loop bench-history examples experiments report clean
+.PHONY: install test conformance bench bench-smoke bench-batch bench-cloak bench-planner bench-obs-loop bench-recovery bench-history test-crash examples experiments report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -28,6 +28,18 @@ bench-planner:
 # accuracy/health/profile sections.
 bench-obs-loop:
 	pytest benchmarks -q -k bench_obs
+
+# Crash-injection durability suite: torn WAL tails, partial checkpoints,
+# hypothesis-generated workloads proving recover(checkpoint, log) lands
+# on the uncrashed system.
+test-crash:
+	pytest tests/crash -q
+
+# Durability benchmark: checkpoint write throughput plus checkpointed vs
+# cold-replay recovery wall-time at 10k users, gated (checkpointed must
+# beat cold) and folded into BENCH_recovery.json / BENCH_HISTORY.jsonl.
+bench-recovery:
+	pytest benchmarks -q -k bench_recovery
 
 # Selftest pins 30%-drop detection at the default 25% gate; the real
 # trajectory runs with a looser gate because CI runners and dev machines

@@ -21,14 +21,13 @@ paper's "avoid location tracking" related-work category gestures at.
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Hashable
 
 from repro.cloaking.base import CloakResult, Cloaker
 from repro.cloaking.incremental import IncrementalCloaker
 from repro.core.errors import RegistrationError
-from repro.core.profiles import PrivacyProfile, PrivacyRequirement
+from repro.core.profiles import PrivacyProfile, PrivacyRequirement, profile_rows
 from repro.core.server import LocationServer
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
@@ -39,9 +38,11 @@ from repro.obs.events import (
     CLOAK_DEGRADED,
     CLOAK_ESCALATED,
     CLOAK_RESULT,
+    PROFILE_UPDATED,
     REGION_PUBLISHED,
     REGIONS_PUBLISHED_BULK,
     USER_ADMITTED,
+    USER_MOVED,
     USER_RETIRED,
 )
 from repro.queries.private_nn import PrivateNNResult
@@ -83,7 +84,9 @@ class LocationAnonymizer:
         self.rotate_pseudonyms = rotate_pseudonyms
         self.telemetry = telemetry if telemetry is not None else get_telemetry()
         self._registrations: dict[Hashable, _Registration] = {}
-        self._pseudonym_counter = itertools.count(1)
+        # Plain integer (not itertools.count) so checkpointing can read
+        # and recovery can restore the counter without consuming it.
+        self._pseudonym_seq = 0
         #: Outcome of the most recent :meth:`publish_all_bulk` round, kept
         #: for observability (EXPLAIN reads its path/group summaries).
         self.last_bulk_outcome: "BulkCloakOutcome | None" = None
@@ -109,11 +112,18 @@ class LocationAnonymizer:
             )
             self._registrations[user_id] = registration
         self.telemetry.set_gauge("anonymizer.registered_users", len(self._registrations))
+        # x/y/profile make the event replayable: a recovery engine can
+        # re-admit the user (same pseudonym, same requirement schedule)
+        # from the record alone.  Exact coordinates stay anonymizer-side
+        # knowledge — the WAL is trusted-tier state, never server state.
         self.telemetry.emit(
             USER_ADMITTED,
             user=str(user_id),
             pseudonym=registration.pseudonym,
             population=len(self._registrations),
+            x=location.x,
+            y=location.y,
+            profile=profile_rows(profile),
         )
         return registration.pseudonym
 
@@ -137,10 +147,16 @@ class LocationAnonymizer:
         self._registration_of(user_id)
         with self.telemetry.span("user.update"):
             self.cloaker.move_user(user_id, location)
+        self.telemetry.emit(
+            USER_MOVED, user=str(user_id), x=location.x, y=location.y
+        )
 
     def update_profile(self, user_id: Hashable, profile: PrivacyProfile) -> None:
         """Users may change their privacy profiles at any time (Section 4)."""
         self._registration_of(user_id).profile = profile
+        self.telemetry.emit(
+            PROFILE_UPDATED, user=str(user_id), profile=profile_rows(profile)
+        )
 
     def registered_users(self) -> list[Hashable]:
         return list(self._registrations)
@@ -332,6 +348,7 @@ class LocationAnonymizer:
                         **group,
                     )
                 regions: dict[str, Rect] = {}
+                rows: list[list] = []
                 area_sum = 0.0
                 rotated = 0
                 rotate = self.rotate_pseudonyms
@@ -341,13 +358,28 @@ class LocationAnonymizer:
                         self.server.forget_region(registration.pseudonym)
                         registration.pseudonym = self._fresh_pseudonym()
                         rotated += 1
-                    regions[registration.pseudonym] = result.region
+                    region = result.region
+                    regions[registration.pseudonym] = region
                     registration.published = True
-                    area_sum += result.region.area
+                    area_sum += region.area
+                    rows.append(
+                        [
+                            str(user_id),
+                            registration.pseudonym,
+                            region.min_x,
+                            region.min_y,
+                            region.max_x,
+                            region.max_y,
+                        ]
+                    )
                 self.server.receive_regions(regions)
             self.telemetry.count(
                 "anonymizer.bulk_cloaks", amount=len(requests)
             )
+            # ``regions`` rows (user, pseudonym, region sides) make the
+            # bulk push replayable from the WAL with rotation included:
+            # a row whose pseudonym differs from the replayer's current
+            # registration implies the old pseudonym was retired.
             self.telemetry.emit(
                 REGIONS_PUBLISHED_BULK,
                 n=len(regions),
@@ -357,6 +389,7 @@ class LocationAnonymizer:
                 algo=outcome.algo,
                 escalated=outcome.escalated,
                 degraded=outcome.degraded,
+                regions=rows,
             )
         return outcome.results
 
@@ -365,16 +398,26 @@ class LocationAnonymizer:
         registration = self._registration_of(user_id)
         with self.telemetry.span("anonymizer.publish"):
             rotated = self.rotate_pseudonyms and registration.published
+            old_pseudonym = registration.pseudonym
             if rotated:
                 self.server.forget_region(registration.pseudonym)
                 registration.pseudonym = self._fresh_pseudonym()
-            self.server.receive_region(registration.pseudonym, result.region)
+            region = result.region
+            self.server.receive_region(registration.pseudonym, region)
             registration.published = True
+        # user + region sides make the publication replayable (WAL); the
+        # old pseudonym lets replay retire the rotated-away region.
         self.telemetry.emit(
             REGION_PUBLISHED,
             pseudonym=registration.pseudonym,
             area=result.area,
             rotated=rotated,
+            user=str(user_id),
+            min_x=region.min_x,
+            min_y=region.min_y,
+            max_x=region.max_x,
+            max_y=region.max_y,
+            **({"old_pseudonym": old_pseudonym} if rotated else {}),
         )
 
     # ------------------------------------------------------------------
@@ -467,4 +510,5 @@ class LocationAnonymizer:
             raise RegistrationError(f"unknown user: {user_id!r}") from None
 
     def _fresh_pseudonym(self) -> str:
-        return f"anon-{next(self._pseudonym_counter):06d}"
+        self._pseudonym_seq += 1
+        return f"anon-{self._pseudonym_seq:06d}"

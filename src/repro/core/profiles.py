@@ -233,6 +233,34 @@ class PrivacyProfile:
         return f"PrivacyProfile({rows})"
 
 
+def profile_rows(profile: PrivacyProfile) -> list[list]:
+    """Flatten a profile to JSON-ready ``[start, k, A_min, A_max]`` rows.
+
+    The wire/checkpoint form used by the durable event log and
+    :mod:`repro.persist` (``max_area = None`` serialises as ``null``).
+    Inverse of :func:`profile_from_rows`.
+    """
+    return [
+        [e.start, e.requirement.k, e.requirement.min_area, e.requirement.max_area]
+        for e in profile.entries
+    ]
+
+
+def profile_from_rows(rows: Iterable[Sequence]) -> PrivacyProfile:
+    """Rebuild a profile from :func:`profile_rows` output."""
+    return PrivacyProfile(
+        ProfileEntry(
+            float(start),
+            PrivacyRequirement(
+                k=int(k),
+                min_area=float(min_area),
+                max_area=None if max_area is None else float(max_area),
+            ),
+        )
+        for start, k, min_area, max_area in rows
+    )
+
+
 def example_profile() -> PrivacyProfile:
     """The exact profile of the paper's Figure 2.
 

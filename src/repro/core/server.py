@@ -30,7 +30,15 @@ from repro.engine.queries import BatchQuery
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
 from repro.obs import Telemetry, get_telemetry
-from repro.obs.events import CANDIDATES_GENERATED
+from repro.obs.events import (
+    CANDIDATES_GENERATED,
+    MONITOR_DROPPED,
+    MONITOR_REGISTERED,
+    POI_ADDED,
+    POI_MOVED,
+    POI_REMOVED,
+    SERVER_QUERY,
+)
 from repro.queries.continuous import ContinuousCountMonitor
 from repro.queries.private_nn import PrivateNNResult, private_nn_query
 from repro.queries.private_range import PrivateRangeResult, private_range_query
@@ -106,6 +114,10 @@ class LocationServer:
         self.queries_served += 1
         self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
         self.telemetry.count("server.queries", kind=kind)
+        # Durable accounting record: replaying these reconstructs the
+        # served-query counters after a crash (repro.persist).  ``query``
+        # not ``kind`` — the latter is the event-envelope key.
+        self.telemetry.emit(SERVER_QUERY, query=kind, n=1)
 
     def record_query(self, kind: str) -> None:
         """Count one externally executed query under ``kind``.
@@ -123,12 +135,19 @@ class LocationServer:
     def add_public_object(self, object_id: Hashable, point: Point) -> None:
         """Register a stationary or moving public object."""
         self.public.add(object_id, point)
+        self.telemetry.emit(
+            POI_ADDED, object=str(object_id), x=point.x, y=point.y
+        )
 
     def move_public_object(self, object_id: Hashable, point: Point) -> None:
         self.public.move(object_id, point)
+        self.telemetry.emit(
+            POI_MOVED, object=str(object_id), x=point.x, y=point.y
+        )
 
     def remove_public_object(self, object_id: Hashable) -> None:
         self.public.remove(object_id)
+        self.telemetry.emit(POI_REMOVED, object=str(object_id))
 
     # ------------------------------------------------------------------
     # Private data maintenance (cloaked regions from the anonymizer)
@@ -297,6 +316,7 @@ class LocationServer:
         for kind, n in kinds.items():
             self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + n
             self.telemetry.count("server.queries", amount=n, kind=kind)
+            self.telemetry.emit(SERVER_QUERY, query=kind, n=n)
         return self.engine.execute(batch, vectorize=vectorize, routes=routes)
 
     # ------------------------------------------------------------------
@@ -316,12 +336,21 @@ class LocationServer:
         monitor = ContinuousCountMonitor(window)
         monitor.seed_from_store(self.private)
         self._monitors[monitor_id] = monitor
+        self.telemetry.emit(
+            MONITOR_REGISTERED,
+            monitor=str(monitor_id),
+            min_x=window.min_x,
+            min_y=window.min_y,
+            max_x=window.max_x,
+            max_y=window.max_y,
+        )
         return monitor
 
     def drop_count_monitor(self, monitor_id: Hashable) -> None:
         if monitor_id not in self._monitors:
             raise QueryError(f"unknown monitor id: {monitor_id!r}")
         del self._monitors[monitor_id]
+        self.telemetry.emit(MONITOR_DROPPED, monitor=str(monitor_id))
 
     def monitor(self, monitor_id: Hashable) -> ContinuousCountMonitor:
         try:

@@ -27,9 +27,16 @@ from repro.core.errors import QueryError, RegistrationError
 from repro.core.server import LocationServer
 from repro.geometry.point import Point
 from repro.geometry.rect import Rect
+from repro.core.profiles import profile_rows
 from repro.mobility.users import MobileUser, UserMode
 from repro.obs import Telemetry
-from repro.obs.events import QUERY_COMPLETED
+from repro.obs.events import (
+    CLOCK_ADVANCED,
+    QUERY_COMPLETED,
+    USER_ADDED,
+    USER_MODE_CHANGED,
+    USER_MOVED,
+)
 from repro.queries.private_knn import refine_knn_candidates
 from repro.queries.private_nn import refine_nn_candidates
 from repro.queries.private_range import exact_range_answer, refine_range_candidates
@@ -191,6 +198,17 @@ class PrivacySystem:
         if user.user_id in self.users:
             raise RegistrationError(f"duplicate user: {user.user_id!r}")
         self.users[user.user_id] = user
+        # System-level durable record (covers passive users, who never
+        # reach the anonymizer and so never get a ``user.admitted``).
+        self.obs.emit(
+            USER_ADDED,
+            user=str(user.user_id),
+            x=user.location.x,
+            y=user.location.y,
+            mode=user.mode.value,
+            speed=user.speed,
+            profile=profile_rows(user.profile),
+        )
         if user.is_visible:
             self.anonymizer.register(user.user_id, user.profile, user.location)
 
@@ -198,6 +216,7 @@ class PrivacySystem:
         """Switch a user's participation mode, (un)registering as needed."""
         user = self._user(user_id)
         was_visible = user.is_visible
+        self.obs.emit(USER_MODE_CHANGED, user=str(user_id), mode=mode.value)
         user.mode = mode
         if user.is_visible and not was_visible:
             self.anonymizer.register(user.user_id, user.profile, user.location)
@@ -211,11 +230,17 @@ class PrivacySystem:
     def apply_movement(self, positions: dict[Hashable, Point], dt: float = 1.0) -> None:
         """Apply one mobility-model step's positions and publish regions."""
         self.clock += dt
+        self.obs.emit(CLOCK_ADVANCED, t=self.clock, dt=dt)
         for user_id, point in positions.items():
             user = self._user(user_id)
             user.location = point
             if user.is_visible:
+                # The anonymizer emits the durable ``user.moved`` record.
                 self.anonymizer.update_location(user_id, point)
+            else:
+                self.obs.emit(
+                    USER_MOVED, user=str(user_id), x=point.x, y=point.y
+                )
         for user_id in positions:
             if self._user(user_id).is_visible:
                 self.anonymizer.publish(user_id, self.clock)
@@ -378,6 +403,7 @@ class PrivacySystem:
             QUERY_COMPLETED,
             query="private_knn",
             user=str(spec.user),
+            k=spec.k,
             candidates=outcome.candidates,
             answer_size=outcome.answer_size,
             overhead=outcome.overhead,
@@ -452,6 +478,68 @@ class PrivacySystem:
                 for position, answer in zip(planned, answers):
                     results[position] = answer
             return results
+
+    # ------------------------------------------------------------------
+    # Durability (checkpoints + WAL; see docs/durability.md)
+    # ------------------------------------------------------------------
+
+    def attach_wal(self, directory) -> None:
+        """Stream every future event to ``<directory>/wal.jsonl``.
+
+        Also drops a ``wal-meta.json`` sidecar (bounds, pseudonym policy,
+        cloaker configuration) so :meth:`recover` can cold-start from the
+        log alone when no checkpoint was ever written.  Attach before the
+        first mutation: the WAL can only replay what it has seen.
+        """
+        from repro.persist.checkpoint import write_wal_meta
+
+        write_wal_meta(self, directory)
+        import os
+
+        self.obs.events.attach_jsonl(os.path.join(str(directory), "wal.jsonl"))
+
+    def checkpoint(self, directory) -> str:
+        """Write an atomic versioned checkpoint of the whole pipeline.
+
+        Returns the checkpoint file path and emits ``persist.checkpoint``.
+        Replay after recovery starts from the WAL sequence number the
+        checkpoint records, so the WAL tail stays short.
+        """
+        from repro.persist.checkpoint import write_checkpoint
+
+        return write_checkpoint(self, directory)
+
+    @classmethod
+    def recover(
+        cls,
+        directory,
+        *,
+        cloaker: Cloaker | IncrementalCloaker | None = None,
+        telemetry: Telemetry | None = None,
+        allow_gaps: bool = False,
+        attach: bool = False,
+    ) -> "PrivacySystem":
+        """Reconstruct a system from ``directory``'s checkpoint + WAL tail.
+
+        Restores the newest readable checkpoint (cold-starts from the WAL
+        alone when none exists) and replays every logged event past it.
+        Declared WAL gaps (``log.truncated`` markers, sequence holes)
+        raise :class:`~repro.persist.recovery.RecoveryError` unless
+        ``allow_gaps=True``.  ``cloaker`` overrides the recorded cloaker
+        configuration (required when the configuration was not
+        serialisable).  ``attach=True`` re-attaches the recovered system
+        to the same WAL, so the resumed session keeps appending a
+        seq-contiguous durable trail.
+        """
+        from repro.persist.recovery import Recovery
+
+        return Recovery(
+            directory,
+            cloaker=cloaker,
+            telemetry=telemetry,
+            allow_gaps=allow_gaps,
+            attach=attach,
+        ).recover()
 
     # ------------------------------------------------------------------
     # Observability

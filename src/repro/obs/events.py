@@ -34,10 +34,32 @@ EVENT_METRIC = "events.emitted"
 # Event taxonomy (see docs/observability.md for the paper-stage mapping)
 # ----------------------------------------------------------------------
 
+#: A mobile user joined the simulated world (any mode, passive included).
+USER_ADDED = "user.added"
 #: A user subscribed to the anonymizer with a privacy profile.
 USER_ADMITTED = "user.admitted"
 #: A user unsubscribed; her server-side region was retired.
 USER_RETIRED = "user.retired"
+#: A user reported an exact location (anonymizer-side knowledge only).
+USER_MOVED = "user.moved"
+#: A user switched participation mode (passive/active/query).
+USER_MODE_CHANGED = "user.mode"
+#: A user changed her privacy profile (Section 4: "at any time").
+PROFILE_UPDATED = "profile.updated"
+#: A public point of interest was registered with the server.
+POI_ADDED = "poi.added"
+#: A moving public object reported a new position.
+POI_MOVED = "poi.moved"
+#: A public object was dropped from the server.
+POI_REMOVED = "poi.removed"
+#: The simulation clock advanced one mobility step.
+CLOCK_ADVANCED = "clock.advanced"
+#: The server accounted one (or ``n``) served queries under a kind.
+SERVER_QUERY = "server.query"
+#: A standing continuous count monitor was installed over a window.
+MONITOR_REGISTERED = "monitor.registered"
+#: A standing continuous count monitor was dropped.
+MONITOR_DROPPED = "monitor.dropped"
 #: A cloak was requested (requirement in force at time ``t``).
 CLOAK_ATTEMPT = "cloak.attempt"
 #: Best-effort escalation: requested k exceeded the population and was clamped.
@@ -83,11 +105,31 @@ PLANNER_MISPREDICT = "planner.mispredict"
 SLO_EVALUATED = "slo.evaluated"
 #: The hot-span profiler cut an aggregated self-time report.
 PROFILE_SAMPLED = "profile.sampled"
+#: The bounded ring evicted events that never reached the JSONL sink;
+#: the marker declares the lost ``[first_seq, last_seq]`` range so a
+#: replay reader can surface the gap instead of silently recovering
+#: from an incomplete trail.
+LOG_TRUNCATED = "log.truncated"
+#: A durable checkpoint of the whole pipeline state was written.
+PERSIST_CHECKPOINT = "persist.checkpoint"
+#: A recovered system finished replaying its event-log tail.
+PERSIST_REPLAYED = "persist.replayed"
 
 #: Every kind this package emits, for validation and documentation.
 EVENT_KINDS: tuple[str, ...] = (
+    USER_ADDED,
     USER_ADMITTED,
     USER_RETIRED,
+    USER_MOVED,
+    USER_MODE_CHANGED,
+    PROFILE_UPDATED,
+    POI_ADDED,
+    POI_MOVED,
+    POI_REMOVED,
+    CLOCK_ADVANCED,
+    SERVER_QUERY,
+    MONITOR_REGISTERED,
+    MONITOR_DROPPED,
     CLOAK_ATTEMPT,
     CLOAK_ESCALATED,
     CLOAK_RESULT,
@@ -108,6 +150,9 @@ EVENT_KINDS: tuple[str, ...] = (
     PLANNER_MISPREDICT,
     SLO_EVALUATED,
     PROFILE_SAMPLED,
+    LOG_TRUNCATED,
+    PERSIST_CHECKPOINT,
+    PERSIST_REPLAYED,
 )
 
 
@@ -169,6 +214,13 @@ class EventLog:
         self._seq = 0
         self._sink: IO[str] | None = None
         self._sink_owned = False
+        # WAL-completeness accounting: the highest seq the sink has seen,
+        # and a pinned gap marker for events the ring evicted before they
+        # were ever streamed.  The marker lives *outside* the ring (it
+        # would otherwise evict a live event and recurse) and is mutated
+        # in place to coalesce consecutive lossy evictions.
+        self._streamed_seq = 0
+        self._gap: Event | None = None
 
     # ------------------------------------------------------------------
     # The one hot entry point
@@ -187,14 +239,41 @@ class EventLog:
             self.correlation.stamp(attrs)
         self._seq += 1
         event = Event(self._seq, kind, attrs)
-        self._ring.append(event)
+        ring = self._ring
+        if len(ring) == ring.maxlen and ring[0].seq > self._streamed_seq:
+            self._note_lossy_eviction(ring[0])
+        ring.append(event)
         if self.registry is not None:
             self.registry.counter(EVENT_METRIC, kind=kind).inc()
         if self._sink is not None:
             self._sink.write(
                 json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n"
             )
+            self._streamed_seq = event.seq
         return event.seq
+
+    def _note_lossy_eviction(self, victim: Event) -> None:
+        """Record that ``victim`` fell off the ring without ever being
+        flushed to a JSONL sink — i.e. it is gone for good.
+
+        The first lossy eviction creates the pinned ``log.truncated``
+        marker (carrying the victim's seq as its own, so replay readers
+        see where the trail breaks); later ones widen its range.
+        """
+        if self._gap is None:
+            self._gap = Event(
+                victim.seq,
+                LOG_TRUNCATED,
+                {
+                    "first_seq": victim.seq,
+                    "last_seq": victim.seq,
+                    "lost": 1,
+                    "flushed_seq": self._streamed_seq,
+                },
+            )
+        else:
+            self._gap.attrs["last_seq"] = victim.seq
+            self._gap.attrs["lost"] += 1
 
     # ------------------------------------------------------------------
     # Control
@@ -212,14 +291,33 @@ class EventLog:
         A path is opened in append mode and owned (closed by
         :meth:`detach_jsonl` / a later ``attach``); a file object is
         borrowed and left open.
+
+        Buffered events the sink has never seen are backfilled first,
+        oldest-first, so attaching late still yields a complete trail of
+        everything the ring remembers.  If unflushed events were already
+        evicted, the ``log.truncated`` marker is written ahead of them —
+        the sink's trail then *declares* its own incompleteness instead
+        of hiding it (strict readers refuse such trails).
         """
         self.detach_jsonl()
         if isinstance(target, str):
-            self._sink = open(target, "a", encoding="utf-8")
+            # Line-buffered: each event record reaches the OS as soon as
+            # it is written, which is what makes the sink usable as a
+            # write-ahead log — a crashed process loses at most the one
+            # record it was mid-write on (repro.persist tolerates exactly
+            # that torn final line).
+            self._sink = open(target, "a", encoding="utf-8", buffering=1)
             self._sink_owned = True
         else:
             self._sink = target
             self._sink_owned = False
+        pending = [e for e in self._buffered() if e.seq > self._streamed_seq]
+        for event in pending:
+            self._sink.write(
+                json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n"
+            )
+        if pending:
+            self._streamed_seq = pending[-1].seq
 
     def detach_jsonl(self) -> None:
         """Stop streaming; closes the sink only if this log opened it."""
@@ -233,31 +331,57 @@ class EventLog:
                 sink.flush()
 
     def reset(self) -> None:
-        """Forget buffered events (sequence numbers keep increasing)."""
+        """Forget buffered events (sequence numbers keep increasing).
+
+        An explicit reset also drops the truncation marker: the caller
+        deliberately discarded the buffer, which is not the silent data
+        loss the marker exists to declare.
+        """
         self._ring.clear()
+        self._gap = None
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
+    @property
+    def truncated(self) -> Event | None:
+        """The pinned ``log.truncated`` gap marker, if any loss occurred."""
+        return self._gap
+
+    def _buffered(self) -> list[Event]:
+        """Gap marker (when present) followed by the ring, oldest-first."""
+        if self._gap is None:
+            return list(self._ring)
+        return [self._gap, *self._ring]
+
     def events(self, kind: str | None = None) -> Iterator[Event]:
-        """Buffered events oldest-first, optionally filtered by kind."""
+        """Buffered events oldest-first, optionally filtered by kind.
+
+        When unflushed events have been evicted, the stream starts with
+        the ``log.truncated`` marker declaring the lost seq range.
+        """
         if kind is None:
-            return iter(list(self._ring))
-        return iter([e for e in self._ring if e.kind == kind])
+            return iter(self._buffered())
+        return iter([e for e in self._buffered() if e.kind == kind])
 
     def counts(self) -> dict[str, int]:
         """Buffered events per kind (ring-buffer view, not lifetime)."""
         out: dict[str, int] = {}
-        for event in self._ring:
+        for event in self._buffered():
             out[event.kind] = out.get(event.kind, 0) + 1
         return dict(sorted(out.items()))
 
     def dump_jsonl(self, stream: IO[str] | None = None) -> str:
-        """Serialise the buffered events as JSONL; also returns the text."""
+        """Serialise the buffered events as JSONL; also returns the text.
+
+        The ``log.truncated`` marker (when present) leads the dump, so a
+        trail reconstructed from the ring declares its own incompleteness
+        to :func:`read_jsonl` / replay instead of passing for a full WAL.
+        """
         lines = [
             json.dumps(e.to_dict(), sort_keys=True, default=str)
-            for e in self._ring
+            for e in self._buffered()
         ]
         text = "\n".join(lines) + ("\n" if lines else "")
         if stream is not None:
@@ -283,6 +407,12 @@ def read_jsonl(
     complete prefix.  Corruption anywhere *before* the final line still
     raises — that is data loss, not an interrupted append.  Pass
     ``strict=True`` to raise on any bad line.
+
+    ``strict=True`` additionally refuses trails that *declare* their own
+    incompleteness via a ``log.truncated`` marker: a recovery reader must
+    not silently rebuild state from a trail whose ring evicted unflushed
+    events.  Non-strict reads pass the marker through so callers (the
+    :mod:`repro.persist` recovery engine) can surface the gap themselves.
     """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
@@ -298,4 +428,12 @@ def read_jsonl(
         except (json.JSONDecodeError, KeyError, TypeError, ValueError):
             if strict or position != last:
                 raise
+    if strict:
+        for event in events:
+            if event.kind == LOG_TRUNCATED:
+                raise ValueError(
+                    "event trail declares a truncation gap: events "
+                    f"{event.attrs.get('first_seq')}..{event.attrs.get('last_seq')} "
+                    "were evicted before reaching the sink"
+                )
     return events

@@ -1,0 +1,351 @@
+"""Versioned atomic checkpoints of a whole ``PrivacySystem`` (schema
+``repro.persist/1``).
+
+A checkpoint is one JSON document capturing everything a crashed
+process cannot rebuild from code: the anonymizer's object tables
+(registrations, pseudonym counter, privacy profiles), the mobile-user
+table, both server store index states, the cloaker's spatial index
+state, the batch engine's cached :class:`~repro.engine.snapshot.ServerSnapshot`
+arrays, the server's durable counters and standing monitors, and the
+QoS ledger.  Each checkpoint records the WAL sequence number it covers
+(``wal_seq``); recovery restores the newest readable checkpoint and
+replays only the event-log tail past that sequence.
+
+Write protocol: serialise to ``<name>.json.tmp`` in the same directory,
+``fsync``, then ``os.replace`` onto the final ``checkpoint-<seq>.json``
+name.  A crash mid-write leaves a ``.tmp`` orphan that recovery ignores;
+a crash before the rename leaves the previous checkpoint intact.  The
+model is the snapshot-plus-streamed-deltas design of PrivateStorageio's
+token authorizer backup, with the typed JSONL event log as the delta
+stream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.cloaking.grid_cloak import GridCloaker
+from repro.cloaking.hilbert import HilbertCloaker
+from repro.cloaking.incremental import IncrementalCloaker
+from repro.cloaking.mbr import MBRCloaker
+from repro.cloaking.naive import NaiveCloaker
+from repro.cloaking.pyramid_cloak import PyramidCloaker
+from repro.cloaking.quadtree_cloak import QuadtreeCloaker
+from repro.core.profiles import profile_rows
+from repro.engine.snapshot import ServerSnapshot
+from repro.geometry.rect import Rect
+from repro.obs.events import PERSIST_CHECKPOINT
+from repro.persist.indexes import index_state, rect_sides
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import PrivacySystem
+
+#: Checkpoint document schema, pinned by the golden fixtures.
+SCHEMA = "repro.persist/1"
+
+#: File names inside a durability directory.
+WAL_NAME = "wal.jsonl"
+META_NAME = "wal-meta.json"
+CHECKPOINT_PATTERN = "checkpoint-*.json"
+
+
+class CheckpointError(ValueError):
+    """A checkpoint document is unreadable or carries a foreign schema."""
+
+
+# ----------------------------------------------------------------------
+# Cloaker configuration (rebuild the algorithm, not its population)
+# ----------------------------------------------------------------------
+
+
+def cloaker_config(cloaker) -> dict | None:
+    """Serialise a cloaker's construction parameters, or ``None``.
+
+    Only the algorithm configuration is captured — the population is
+    restored from the registration table.  ``None`` means the type is
+    not registered here and :func:`~repro.core.system.PrivacySystem.recover`
+    needs an explicit ``cloaker=`` argument.
+    """
+    if isinstance(cloaker, IncrementalCloaker):
+        inner = cloaker_config(cloaker.inner)
+        if inner is None:
+            return None
+        return {
+            "class": "IncrementalCloaker",
+            "max_reuses": cloaker._max_reuses,
+            "inner": inner,
+        }
+    if isinstance(cloaker, PyramidCloaker):
+        return {
+            "class": "PyramidCloaker",
+            "bounds": rect_sides(cloaker.bounds),
+            "height": cloaker._pyramid.height,
+            "bottom_up": cloaker._bottom_up,
+            "neighbor_merge": cloaker._neighbor_merge,
+        }
+    if isinstance(cloaker, GridCloaker):
+        return {
+            "class": "GridCloaker",
+            "bounds": rect_sides(cloaker.bounds),
+            "cols": cloaker._grid.cols,
+            "rows": cloaker._grid.rows,
+        }
+    if isinstance(cloaker, QuadtreeCloaker):
+        return {
+            "class": "QuadtreeCloaker",
+            "bounds": rect_sides(cloaker.bounds),
+            "capacity": cloaker._tree._capacity,
+            "max_depth": cloaker._tree._max_depth,
+        }
+    if isinstance(cloaker, HilbertCloaker):
+        return {
+            "class": "HilbertCloaker",
+            "bounds": rect_sides(cloaker.bounds),
+            "order": cloaker._order,
+        }
+    if isinstance(cloaker, NaiveCloaker):
+        return {
+            "class": "NaiveCloaker",
+            "bounds": rect_sides(cloaker.bounds),
+            "precision": cloaker._precision,
+        }
+    if isinstance(cloaker, MBRCloaker):
+        return {
+            "class": "MBRCloaker",
+            "bounds": rect_sides(cloaker.bounds),
+            "pad_fraction": cloaker._pad,
+        }
+    return None
+
+
+def cloaker_from_config(config: dict):
+    """Rebuild an (empty) cloaker from :func:`cloaker_config` output."""
+    name = config["class"]
+    if name == "IncrementalCloaker":
+        return IncrementalCloaker(
+            cloaker_from_config(config["inner"]), max_reuses=config["max_reuses"]
+        )
+    if "bounds" not in config:
+        raise CheckpointError(f"unknown cloaker class in checkpoint: {name!r}")
+    bounds = Rect(*config["bounds"])
+    if name == "PyramidCloaker":
+        return PyramidCloaker(
+            bounds,
+            height=config["height"],
+            bottom_up=config["bottom_up"],
+            neighbor_merge=config["neighbor_merge"],
+        )
+    if name == "GridCloaker":
+        return GridCloaker(bounds, cols=config["cols"], rows=config["rows"])
+    if name == "QuadtreeCloaker":
+        return QuadtreeCloaker(
+            bounds, capacity=config["capacity"], max_depth=config["max_depth"]
+        )
+    if name == "HilbertCloaker":
+        return HilbertCloaker(bounds, order=config["order"])
+    if name == "NaiveCloaker":
+        return NaiveCloaker(bounds, precision=config["precision"])
+    if name == "MBRCloaker":
+        return MBRCloaker(bounds, pad_fraction=config["pad_fraction"])
+    raise CheckpointError(f"unknown cloaker class in checkpoint: {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Engine snapshot arrays
+# ----------------------------------------------------------------------
+
+
+def snapshot_state(snapshot: ServerSnapshot) -> dict:
+    """JSON-ready form of the batch engine's cached snapshot arrays."""
+    return {
+        "public_version": snapshot.public_version,
+        "private_version": snapshot.private_version,
+        "public_ids": [str(item) for item in snapshot.public_ids],
+        "public_xs": snapshot.public_xs.tolist(),
+        "public_ys": snapshot.public_ys.tolist(),
+        "private_ids": [str(item) for item in snapshot.private_ids],
+        "private_bounds": snapshot.private_bounds.tolist(),
+    }
+
+
+def snapshot_from_state(state: dict) -> ServerSnapshot:
+    """Rebuild a frozen :class:`ServerSnapshot` (ranks recomputed)."""
+    import numpy as np
+
+    public_ids = tuple(state["public_ids"])
+    private_ids = tuple(state["private_ids"])
+    xs = np.asarray(state["public_xs"], dtype=float)
+    ys = np.asarray(state["public_ys"], dtype=float)
+    bounds = np.asarray(state["private_bounds"], dtype=float).reshape(
+        len(private_ids), 4
+    )
+    for array in (xs, ys, bounds):
+        array.flags.writeable = False
+    return ServerSnapshot(
+        public_version=state["public_version"],
+        private_version=state["private_version"],
+        public_ids=public_ids,
+        public_xs=xs,
+        public_ys=ys,
+        private_ids=private_ids,
+        private_bounds=bounds,
+        public_rank={item: row for row, item in enumerate(public_ids)},
+        private_rank={item: row for row, item in enumerate(private_ids)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Checkpoint document
+# ----------------------------------------------------------------------
+
+
+def checkpoint_state(system: "PrivacySystem") -> dict:
+    """Serialise ``system`` to the ``repro.persist/1`` document.
+
+    Dict order is deliberate (users and registrations keep insertion
+    order, which data-dependent cloakers are sensitive to), so the
+    document is written without key sorting.
+    """
+    anonymizer = system.anonymizer
+    server = system.server
+    cloak_index = anonymizer.cloaker.spatial_index()
+    cached = server._engine._cached if server._engine is not None else None
+    ledger = system.ledger
+    return {
+        "schema": SCHEMA,
+        "wal_seq": system.obs.events._seq,
+        "clock": system.clock,
+        "bounds": rect_sides(system.bounds),
+        "rotate_pseudonyms": anonymizer.rotate_pseudonyms,
+        "pseudonym_seq": anonymizer._pseudonym_seq,
+        "cloaker": cloaker_config(anonymizer.cloaker),
+        "users": [
+            [
+                str(user_id),
+                user.location.x,
+                user.location.y,
+                user.mode.value,
+                user.speed,
+                profile_rows(user.profile),
+            ]
+            for user_id, user in system.users.items()
+        ],
+        "registrations": [
+            [
+                str(user_id),
+                registration.pseudonym,
+                registration.published,
+                profile_rows(registration.profile),
+            ]
+            for user_id, registration in anonymizer._registrations.items()
+        ],
+        "server": {
+            "region_updates": server.region_updates_received,
+            "queries_served": server.queries_served,
+            "queries_by_kind": dict(server.queries_by_kind),
+            "monitors": [
+                [str(monitor_id), rect_sides(monitor.window)]
+                for monitor_id, monitor in server._monitors.items()
+            ],
+        },
+        "stores": {
+            "public": {
+                "version": server.public.version,
+                "index": index_state(server.public._rtree),
+            },
+            "private": {
+                "version": server.private.version,
+                "index": index_state(server.private._rtree),
+            },
+        },
+        "cloaker_index": None if cloak_index is None else index_state(cloak_index),
+        "engine_snapshot": None if cached is None else snapshot_state(cached),
+        "ledger": {
+            "range": [
+                [o.user_id, o.cloak_area, o.candidates, o.answer_size, o.correct]
+                for o in ledger.range_outcomes
+            ],
+            "nn": [
+                [o.user_id, o.cloak_area, o.candidates, o.correct]
+                for o in ledger.nn_outcomes
+            ],
+            "knn": [
+                [o.user_id, o.cloak_area, o.k, o.candidates, o.answer_size, o.correct]
+                for o in ledger.knn_outcomes
+            ],
+        },
+    }
+
+
+def _atomic_write(path: Path, payload: str) -> None:
+    """tmp-write, fsync, rename — a crash leaves old state or an orphan."""
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "w", encoding="utf-8") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def write_checkpoint(system: "PrivacySystem", directory) -> str:
+    """Write one versioned checkpoint; returns its path.
+
+    The file name carries the covered WAL sequence number
+    (``checkpoint-<seq 0-padded>.json``) so a lexical sort is a recency
+    sort.  Emits ``persist.checkpoint`` on success.
+    """
+    started = time.perf_counter()
+    state = checkpoint_state(system)
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"checkpoint-{state['wal_seq']:012d}.json"
+    payload = json.dumps(state, default=str)
+    _atomic_write(path, payload)
+    system.obs.emit(
+        PERSIST_CHECKPOINT,
+        file=path.name,
+        wal_seq=state["wal_seq"],
+        bytes=len(payload),
+        seconds=time.perf_counter() - started,
+    )
+    return str(path)
+
+
+def write_wal_meta(system: "PrivacySystem", directory) -> str:
+    """Write the ``wal-meta.json`` sidecar enabling cold starts.
+
+    Records the system construction parameters (bounds, pseudonym
+    policy, cloaker configuration) that no event carries, so recovery
+    can rebuild a system from the WAL alone when no checkpoint exists.
+    """
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "schema": SCHEMA,
+        "bounds": rect_sides(system.bounds),
+        "rotate_pseudonyms": system.anonymizer.rotate_pseudonyms,
+        "cloaker": cloaker_config(system.anonymizer.cloaker),
+    }
+    path = target / META_NAME
+    _atomic_write(path, json.dumps(meta))
+    return str(path)
+
+
+def load_checkpoint(path) -> dict:
+    """Parse and schema-validate one checkpoint document."""
+    with open(path, "r", encoding="utf-8") as handle:
+        state = json.load(handle)
+    if not isinstance(state, dict) or state.get("schema") != SCHEMA:
+        raise CheckpointError(
+            f"not a {SCHEMA} checkpoint: {os.fspath(path)!r}"
+        )
+    return state
+
+
+def list_checkpoints(directory) -> list[Path]:
+    """Checkpoint files oldest-first; ``.tmp`` orphans are ignored."""
+    return sorted(Path(directory).glob(CHECKPOINT_PATTERN))

@@ -301,3 +301,59 @@ class TestBenchHistoryCommand:
     def test_empty_root_exits_1(self, tmp_path, capsys):
         assert main(["bench-history", "--root", str(tmp_path)]) == 1
         assert "no BENCH_" in capsys.readouterr().err
+
+
+class TestCheckpointRecoverCommands:
+    def _run_checkpoint(self, tmp_path, capsys, users=20, queries=4):
+        import json
+
+        directory = str(tmp_path / "state")
+        code = main(
+            [
+                "checkpoint",
+                "--dir",
+                directory,
+                "--users",
+                str(users),
+                "--queries",
+                str(queries),
+            ]
+        )
+        assert code == 0
+        return directory, json.loads(capsys.readouterr().out)
+
+    def test_checkpoint_leaves_recoverable_directory(self, tmp_path, capsys):
+        import json
+        import os
+
+        directory, summary = self._run_checkpoint(tmp_path, capsys)
+        assert summary["users"] == 20
+        assert summary["checkpoint"] in summary["checkpoints"]
+        assert os.path.exists(os.path.join(directory, "wal.jsonl"))
+        assert os.path.exists(os.path.join(directory, "wal-meta.json"))
+        assert os.path.exists(os.path.join(directory, summary["checkpoint"]))
+
+        assert main(["recover", "--dir", directory, "--json", "--verify"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["users"] == 20
+        assert report["queries_served"] == summary["queries_served"]
+        assert report["checkpoint"] == summary["checkpoint"]
+        assert report["final_seq"] == summary["wal_seq"]
+        assert "totals" not in report["audit"]  # already the totals dict
+        assert report["audit"]["cloaks"] > 0
+        assert report["audit"]["undeclared_violations"] == 0
+
+    def test_recover_text_output(self, tmp_path, capsys):
+        directory, _ = self._run_checkpoint(tmp_path, capsys)
+        assert main(["recover", "--dir", directory]) == 0
+        out = capsys.readouterr().out
+        assert f"recovered from {directory}" in out
+        assert "events replayed" in out
+
+    def test_recover_empty_directory_exits_5(self, tmp_path, capsys):
+        assert main(["recover", "--dir", str(tmp_path)]) == 5
+        assert "repro recover: error:" in capsys.readouterr().err
+
+    def test_checkpoint_rejects_tiny_population(self, tmp_path):
+        with pytest.raises(SystemExit, match="at least 2"):
+            main(["checkpoint", "--dir", str(tmp_path / "s"), "--users", "1"])

@@ -60,10 +60,21 @@ class TestEventLog:
         for i in range(10):
             log.emit("cloak.attempt", i=i)
         events = list(log.events())
-        assert len(events) == 4
+        # Ring holds 4; a pinned log.truncated marker declares the six
+        # events that fell off without ever reaching a sink.
+        assert len(log) == 4
+        assert len(events) == 5
+        marker, *kept = events
+        assert marker.kind == "log.truncated"
+        assert marker.attrs == {
+            "first_seq": 1,
+            "last_seq": 6,
+            "lost": 6,
+            "flushed_seq": 0,
+        }
         # Oldest fell off the front; sequence numbers keep counting.
-        assert [e.attrs["i"] for e in events] == [6, 7, 8, 9]
-        assert events[-1].seq == 10
+        assert [e.attrs["i"] for e in kept] == [6, 7, 8, 9]
+        assert kept[-1].seq == 10
 
     def test_kind_filter_and_counts(self):
         log = EventLog()
@@ -89,6 +100,109 @@ class TestEventLog:
         log.reset()
         assert len(log) == 0
         assert log.emit("cloak.attempt") == 2
+
+
+class TestTruncationMarker:
+    """The ring is bounded; the WAL must be complete — lossy evictions
+    leave a pinned ``log.truncated`` marker declaring the gap."""
+
+    def test_no_marker_until_a_lossy_eviction(self):
+        log = EventLog(keep=3)
+        for _ in range(3):
+            log.emit("cloak.attempt")
+        assert log.truncated is None
+        log.emit("cloak.attempt")  # evicts seq 1, never flushed
+        marker = log.truncated
+        assert marker is not None and marker.kind == "log.truncated"
+        assert marker.attrs["first_seq"] == marker.attrs["last_seq"] == 1
+        assert marker.attrs["lost"] == 1
+
+    def test_consecutive_evictions_widen_marker_in_place(self):
+        log = EventLog(keep=2)
+        for _ in range(6):
+            log.emit("cloak.attempt")
+        marker = log.truncated
+        assert marker.attrs == {
+            "first_seq": 1,
+            "last_seq": 4,
+            "lost": 4,
+            "flushed_seq": 0,
+        }
+        # One marker, not one per eviction.
+        events = list(log.events())
+        assert sum(1 for e in events if e.kind == "log.truncated") == 1
+
+    def test_streamed_evictions_are_not_lossy(self):
+        sink = io.StringIO()
+        log = EventLog(keep=2)
+        log.attach_jsonl(sink)
+        for _ in range(6):
+            log.emit("cloak.attempt")
+        # Every event reached the sink before falling off the ring.
+        assert log.truncated is None
+        assert len(sink.getvalue().splitlines()) == 6
+
+    def test_late_attach_backfills_ring_and_declares_prior_loss(self):
+        sink = io.StringIO()
+        log = EventLog(keep=2)
+        log.emit("cloak.attempt")
+        log.emit("cloak.attempt")
+        log.emit("cloak.attempt")  # seq 1 lost before any sink existed
+        log.attach_jsonl(sink)
+        for _ in range(4):
+            log.emit("cloak.attempt")
+        # The attach backfilled the surviving ring (seqs 2, 3) behind the
+        # marker declaring seq 1 gone, then streamed 4..7 live: a trail
+        # that is complete from seq 2 on and honest about seq 1.
+        lines = [json.loads(l) for l in sink.getvalue().splitlines()]
+        assert [l["kind"] for l in lines][0] == "log.truncated"
+        assert [l["seq"] for l in lines[1:]] == [2, 3, 4, 5, 6, 7]
+        # Nothing evicted after the backfill was unflushed, so the
+        # marker never widens past the pre-attach loss.
+        assert log.truncated.attrs == {
+            "first_seq": 1,
+            "last_seq": 1,
+            "lost": 1,
+            "flushed_seq": 0,
+        }
+
+    def test_reattach_does_not_duplicate_streamed_events(self):
+        first, second = io.StringIO(), io.StringIO()
+        log = EventLog(keep=4)
+        log.attach_jsonl(first)
+        log.emit("cloak.attempt")
+        log.emit("cloak.attempt")
+        log.detach_jsonl()
+        log.emit("cloak.attempt")  # unstreamed, still in ring
+        log.attach_jsonl(second)
+        log.emit("cloak.attempt")
+        # Only the event the first sink never saw is backfilled.
+        assert [json.loads(l)["seq"] for l in second.getvalue().splitlines()] == [3, 4]
+
+    def test_reset_clears_the_marker(self):
+        log = EventLog(keep=1)
+        log.emit("cloak.attempt")
+        log.emit("cloak.attempt")
+        assert log.truncated is not None
+        log.reset()
+        assert log.truncated is None
+
+    def test_dump_jsonl_leads_with_marker(self):
+        log = EventLog(keep=1)
+        log.emit("cloak.attempt")
+        log.emit("cloak.result")
+        lines = [json.loads(l) for l in log.dump_jsonl().splitlines()]
+        assert lines[0]["kind"] == "log.truncated"
+        assert lines[1]["kind"] == "cloak.result"
+
+    def test_strict_read_refuses_self_declared_truncation(self):
+        log = EventLog(keep=1)
+        log.emit("cloak.attempt")
+        log.emit("cloak.result")
+        trail = log.dump_jsonl().splitlines()
+        assert read_jsonl(trail) == list(log.events())  # lenient passes it
+        with pytest.raises(ValueError, match="truncation"):
+            read_jsonl(trail, strict=True)
 
 
 class TestJsonl:

@@ -1,0 +1,135 @@
+"""Round-trip serialization for all five spatial index backends.
+
+The golden fixtures under ``tests/fixtures/persist_index_*.json`` pin
+the ``repro.persist/1`` logical-state wire format: if serialisation
+drifts, these tests fail before any stored checkpoint becomes
+unreadable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+from repro.index.grid import GridIndex
+from repro.index.kdtree import KDTree
+from repro.index.pyramid import PyramidGrid
+from repro.index.quadtree import QuadTree
+from repro.index.rtree import RTree
+from repro.persist import index_from_state, index_state
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "..", "fixtures")
+
+BOUNDS = Rect(0.0, 0.0, 100.0, 100.0)
+#: Insertion order is deliberately not sorted — the serialised entry
+#: list must come out sorted regardless.
+POINTS = [("b", 10.0, 20.0), ("a", 35.5, 60.25), ("d", 80.0, 5.0), ("c", 50.0, 50.0)]
+
+
+def _fill_points(index):
+    for item, x, y in POINTS:
+        index.insert(item, Rect.from_point(Point(x, y)))
+    return index
+
+
+def _rtree():
+    index = RTree(max_entries=4)
+    for item, x, y in POINTS:
+        index.insert(item, Rect.from_point(Point(x, y)))
+    # Only the R-tree stores true rectangles (cloaked regions).
+    index.insert("r1", Rect(5.0, 5.0, 25.0, 30.0))
+    index.insert("r2", Rect(40.0, 40.0, 90.0, 95.0))
+    return index
+
+
+BACKENDS = {
+    "rtree": _rtree,
+    "grid": lambda: _fill_points(GridIndex(BOUNDS, cols=8, rows=8)),
+    "kdtree": lambda: _fill_points(KDTree(rebuild_fraction=0.5)),
+    "pyramid": lambda: _fill_points(PyramidGrid(BOUNDS, height=4)),
+    "quadtree": lambda: _fill_points(QuadTree(BOUNDS, capacity=2, max_depth=6)),
+}
+
+
+def _entries_of(index) -> dict:
+    return {str(item): index.geometry_of(item) for item in index}
+
+
+@pytest.mark.parametrize("backend", sorted(BACKENDS))
+class TestRoundTrip:
+    def test_state_matches_golden_fixture(self, backend):
+        """The serialised form is byte-stable against the pinned fixture."""
+        state = index_state(BACKENDS[backend]())
+        path = os.path.join(FIXTURES, f"persist_index_{backend}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            golden = json.load(handle)
+        assert state == golden
+
+    def test_rebuild_preserves_entries_and_params(self, backend):
+        original = BACKENDS[backend]()
+        state = index_state(original)
+        rebuilt = index_from_state(state)
+        assert type(rebuilt) is type(original)
+        assert _entries_of(rebuilt) == _entries_of(original)
+        # Construction parameters survive (serialise again, compare).
+        assert index_state(rebuilt) == state
+
+    def test_rebuilt_index_answers_queries(self, backend):
+        rebuilt = index_from_state(index_state(BACKENDS[backend]()))
+        window = Rect(0.0, 0.0, 60.0, 65.0)
+        hits = set(rebuilt.range_query(window))
+        assert {"a", "b", "c"} <= hits
+        assert "d" not in hits
+
+    def test_golden_fixture_rebuilds(self, backend):
+        """A checkpoint written by any past version of this code (the
+        fixture) must remain loadable."""
+        path = os.path.join(FIXTURES, f"persist_index_{backend}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            state = json.load(handle)
+        rebuilt = index_from_state(state)
+        assert _entries_of(rebuilt) == _entries_of(BACKENDS[backend]())
+
+
+def test_entries_sorted_regardless_of_insertion_order():
+    forward = KDTree()
+    backward = KDTree()
+    for item, x, y in POINTS:
+        forward.insert(item, Rect.from_point(Point(x, y)))
+    for item, x, y in reversed(POINTS):
+        backward.insert(item, Rect.from_point(Point(x, y)))
+    assert index_state(forward) == index_state(backward)
+
+
+def test_empty_indexes_round_trip():
+    for backend, build in BACKENDS.items():
+        empty = type(build())
+        if backend == "rtree":
+            index = RTree(max_entries=4)
+        elif backend == "grid":
+            index = GridIndex(BOUNDS, cols=8, rows=8)
+        elif backend == "kdtree":
+            index = KDTree(rebuild_fraction=0.5)
+        elif backend == "pyramid":
+            index = PyramidGrid(BOUNDS, height=4)
+        else:
+            index = QuadTree(BOUNDS, capacity=2, max_depth=6)
+        state = index_state(index)
+        assert state["entries"] == []
+        rebuilt = index_from_state(state)
+        assert type(rebuilt) is empty
+        assert _entries_of(rebuilt) == {}
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown index backend"):
+        index_from_state({"backend": "btree", "params": {}, "entries": []})
+
+
+def test_unserialisable_index_type_rejected():
+    with pytest.raises(TypeError, match="unserialisable index type"):
+        index_state(object())
