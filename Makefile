@@ -1,6 +1,6 @@
 # Developer entry points for the privacy-aware LBS reproduction.
 
-.PHONY: install test conformance bench bench-smoke bench-batch bench-cloak bench-planner bench-obs-loop bench-recovery bench-history test-crash examples experiments report clean
+.PHONY: install test conformance bench bench-smoke bench-batch bench-cloak bench-planner bench-obs-loop bench-recovery bench-history test-crash serve-smoke examples experiments report clean
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -28,6 +28,12 @@ bench-planner:
 # accuracy/health/profile sections.
 bench-obs-loop:
 	pytest benchmarks -q -k bench_obs
+
+# Telemetry endpoint smoke: boots a monitored workload, scrapes
+# /metrics /health /risk /timeseries over a real socket and validates
+# every response (exposition format, schema tags, health verdict).
+serve-smoke:
+	python -m repro serve-metrics --smoke --users 60 --queries 5
 
 # Crash-injection durability suite: torn WAL tails, partial checkpoints,
 # hypothesis-generated workloads proving recover(checkpoint, log) lands

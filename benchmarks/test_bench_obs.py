@@ -124,8 +124,52 @@ def test_obs_loop_health_evaluate(benchmark, system):
     report = benchmark.pedantic(
         lambda: monitor.evaluate(system), rounds=3, iterations=1
     )
-    assert len(report.results) == 8
+    assert len(report.results) == 10
     _note("health_evaluate", benchmark)
+
+
+def test_obs_loop_monitoring_overhead(system):
+    """Gate: live monitoring (time-series tap + risk monitor) must cost
+    under 5% on the planned-query path.  Measured on one system by
+    toggling ``enable_monitoring`` around identical query rounds, best
+    of several rounds each to shed scheduler noise."""
+    import time
+
+    rounds = 5
+
+    def run_round():
+        start = time.perf_counter()
+        for i in range(N_QUERIES):
+            system.query(
+                RangeSpec(flavor="private", user=i % N_USERS, radius=60.0)
+            )
+        return time.perf_counter() - start
+
+    run_round()  # warm caches/snapshots before timing either arm
+    system.disable_monitoring()
+    baseline = min(run_round() for _ in range(rounds))
+    # Default 1s sampling interval: the steady-state cost is the event
+    # tap on every emit, with window cuts amortized to one per second.
+    system.enable_monitoring()
+    try:
+        monitored = min(run_round() for _ in range(rounds))
+        windows_cut = system.timeseries.windows_cut
+        risk_events = system.risk.events_consumed
+    finally:
+        system.disable_monitoring()
+    overhead = monitored / baseline - 1.0
+    _RESULTS["monitoring"] = {
+        "baseline_s": baseline,
+        "monitored_s": monitored,
+        "overhead": overhead,
+        "windows_cut": windows_cut,
+        "risk_events_consumed": risk_events,
+    }
+    assert risk_events > 0, "risk monitor saw no traffic while enabled"
+    assert overhead < 0.05, (
+        f"monitoring overhead {overhead:.1%} exceeds the 5% budget "
+        f"(baseline {baseline * 1e3:.2f}ms, monitored {monitored * 1e3:.2f}ms)"
+    )
 
 
 def test_obs_loop_profiled_queries(benchmark, system):
@@ -172,6 +216,7 @@ def test_obs_smoke_report(system):
         "server": snapshot["server"],
         "accuracy": system.planner.accuracy.report(),
         "health": health.to_dict(),
+        "monitoring": _RESULTS.get("monitoring", {}),
         "profile": {"top": profiler.rows(5)},
     }
     finalize_report(report, "repro.obs.bench/1", BENCH_PATH)
@@ -187,5 +232,9 @@ def test_obs_smoke_report(system):
     assert parsed["accuracy"]["schema"] == "repro.obs.accuracy/1"
     assert parsed["accuracy"]["observed"] > 0
     assert parsed["health"]["schema"] == "repro.obs.slo/1"
-    assert parsed["health"]["total"] == 8
+    assert parsed["health"]["total"] == 10
+    # Filled when the monitoring-overhead gate ran in this invocation
+    # (``make bench-obs-loop``); ``-k smoke`` selections skip it.
+    if parsed["monitoring"]:
+        assert parsed["monitoring"]["overhead"] < 0.05
     assert parsed["profile"]["top"], "profiled workload must record spans"

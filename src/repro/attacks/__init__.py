@@ -17,6 +17,12 @@ from repro.attacks.posterior import (
     reciprocity_rate,
     regions_equal,
 )
+from repro.attacks.streaming import (
+    StreamingDensityModel,
+    StreamingLinkageTracker,
+    StreamingPosteriorIndex,
+    bucket_anonymity,
+)
 
 __all__ = [
     "AttackOutcome",
@@ -36,4 +42,8 @@ __all__ = [
     "LinkageStep",
     "AttackReport",
     "evaluate_attacks",
+    "StreamingDensityModel",
+    "StreamingLinkageTracker",
+    "StreamingPosteriorIndex",
+    "bucket_anonymity",
 ]

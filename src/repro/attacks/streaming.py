@@ -1,0 +1,311 @@
+"""Streaming (incremental) forms of the offline attack estimators.
+
+The attack library runs offline: :class:`~repro.attacks.density.
+DensityModel` is fitted on a finished point sample, :class:`~repro.
+attacks.linkage.MaxSpeedLinkageAttack` keeps every step it ever saw, and
+:func:`~repro.attacks.posterior.posterior_anonymity` replays the cloaker
+per victim.  A *monitor* (repro.obs.risk) needs the same estimates
+maintained event-by-event in bounded memory while the system serves
+traffic.  This module provides that streaming interface; the batch
+estimators stay untouched and serve as the conformance oracles
+(``tests/property/test_prop_risk_streaming.py`` proves agreement on
+identical observation sequences).
+
+Three adapters:
+
+- :class:`StreamingDensityModel` — a :class:`DensityModel` whose grid is
+  maintained under add/move/retire updates instead of one-shot ``fit``;
+  at every point it equals ``DensityModel().fit(current positions)``.
+- :class:`StreamingLinkageTracker` — the max-speed reachability
+  intersection in O(1) memory (running shrinkage sum instead of the
+  unbounded ``steps`` list); step-for-step identical to
+  :class:`MaxSpeedLinkageAttack`.
+- :class:`StreamingPosteriorIndex` — rolling region-bucket index
+  approximating the inversion set: users currently publishing an equal
+  region form one anonymity bucket.  Under uniform requirements and a
+  deterministic snapshot cloaker this *is* the inversion set (every user
+  in the published region R with cloak(user) == R publishes R), which
+  the conformance suite checks against :func:`posterior_anonymity`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Mapping
+
+from repro.attacks.density import DensityModel
+from repro.attacks.posterior import regions_equal
+from repro.geometry.point import Point
+from repro.geometry.rect import Rect
+
+#: Rounding (decimal places) used to key regions for exact-bucket
+#: grouping; matches the 1e-9 tolerance of ``regions_equal``.
+_KEY_DECIMALS = 9
+
+
+class StreamingDensityModel(DensityModel):
+    """A density grid maintained incrementally under population churn.
+
+    Inherits every estimator (``posterior_in``, ``map_point``,
+    ``effective_anonymity``) unchanged — only the way counts enter the
+    grid differs.  Out-of-bounds positions are tracked but count nothing,
+    mirroring ``fit``'s skip, so a later move into bounds is picked up.
+    """
+
+    def __init__(self, bounds: Rect, resolution: int = 32) -> None:
+        super().__init__(bounds, resolution)
+        self._cells: dict[Hashable, tuple[int, int] | None] = {}
+
+    def _cell_of(self, x: float, y: float) -> tuple[int, int] | None:
+        if not self.bounds.contains_point(Point(x, y)):
+            return None
+        res = self.resolution
+        col = min(int((x - self.bounds.min_x) / self.bounds.width * res), res - 1)
+        row = min(int((y - self.bounds.min_y) / self.bounds.height * res), res - 1)
+        return row, col
+
+    def admit(self, user: Hashable, x: float, y: float) -> None:
+        """Start counting ``user`` at (x, y); re-admission moves instead."""
+        if user in self._cells:
+            self.move(user, x, y)
+            return
+        cell = self._cell_of(x, y)
+        self._cells[user] = cell
+        if cell is not None:
+            self._counts[cell] += 1
+
+    def move(self, user: Hashable, x: float, y: float) -> None:
+        """Shift ``user``'s count to the cell containing the new position.
+
+        Unknown users are ignored: the monitor only models the admitted
+        (anonymizer-side) population, not passive world members.
+        """
+        old = self._cells.get(user)
+        if user not in self._cells:
+            return
+        new = self._cell_of(x, y)
+        if new == old:
+            return
+        if old is not None:
+            self._counts[old] -= 1
+        if new is not None:
+            self._counts[new] += 1
+        self._cells[user] = new
+
+    def retire(self, user: Hashable) -> None:
+        """Stop counting ``user`` (no-op when unknown)."""
+        cell = self._cells.pop(user, None)
+        if cell is not None:
+            self._counts[cell] -= 1
+
+    @property
+    def population(self) -> int:
+        """Users currently tracked (in- or out-of-bounds)."""
+        return len(self._cells)
+
+
+class StreamingLinkageTracker:
+    """Constant-memory max-speed reachability tracker for one pseudonym.
+
+    The same refinement as :class:`MaxSpeedLinkageAttack`::
+
+        F_0 = R_0
+        F_t = R_t ∩ expand(F_(t-1), v_max * (t - t_prev))
+
+    but instead of accumulating :class:`LinkageStep` values it keeps a
+    running shrinkage sum, so a tracker can live as long as its pseudonym
+    does.  ``observe`` returns the step's shrinkage ratio
+    (area(feasible)/area(observed); 1.0 = nothing learned, and also the
+    sound fallback when the speed bound proves inconsistent).
+    """
+
+    __slots__ = (
+        "max_speed",
+        "_feasible",
+        "_last_t",
+        "steps_seen",
+        "inconsistent_steps",
+        "_shrinkage_sum",
+        "last_shrinkage",
+    )
+
+    def __init__(self, max_speed: float) -> None:
+        if max_speed < 0:
+            raise ValueError("max_speed must be non-negative")
+        self.max_speed = max_speed
+        self._feasible: Rect | None = None
+        self._last_t: float | None = None
+        self.steps_seen = 0
+        self.inconsistent_steps = 0
+        self._shrinkage_sum = 0.0
+        self.last_shrinkage = 1.0
+
+    def observe(self, t: float, region: Rect) -> float:
+        if self._last_t is not None and t < self._last_t:
+            raise ValueError("observations must be time-ordered")
+        if self._feasible is None or self._last_t is None:
+            feasible: Rect | None = region
+        else:
+            reach = self.max_speed * (t - self._last_t)
+            feasible = self._feasible.expanded(reach).intersection(region)
+        if feasible is None:
+            # Inconsistent speed bound: fall back to the observed region
+            # alone and report the "nothing learned" ratio, exactly as
+            # LinkageStep(feasible=None).shrinkage does.
+            feasible = region
+            shrinkage = 1.0
+            self.inconsistent_steps += 1
+        elif region.area == 0.0:
+            shrinkage = 0.0
+        else:
+            shrinkage = feasible.area / region.area
+        self._feasible = feasible
+        self._last_t = t
+        self.steps_seen += 1
+        self._shrinkage_sum += shrinkage
+        self.last_shrinkage = shrinkage
+        return shrinkage
+
+    @property
+    def feasible_region(self) -> Rect | None:
+        return self._feasible
+
+    def mean_shrinkage(self) -> float:
+        if not self.steps_seen:
+            raise ValueError("no observations yet")
+        return self._shrinkage_sum / self.steps_seen
+
+
+def _region_key(region: Rect) -> tuple[float, float, float, float]:
+    return (
+        round(region.min_x, _KEY_DECIMALS),
+        round(region.min_y, _KEY_DECIMALS),
+        round(region.max_x, _KEY_DECIMALS),
+        round(region.max_y, _KEY_DECIMALS),
+    )
+
+
+class StreamingPosteriorIndex:
+    """Rolling anonymity buckets: users grouped by equal published region.
+
+    Maintained from ``region.published`` events alone, in O(population)
+    memory.  The size of a user's bucket is the streaming estimate of her
+    posterior anonymity against the region-matching adversary; under
+    uniform requirements and publish-all snapshots it equals the full
+    inversion set of :func:`repro.attacks.posterior.posterior_anonymity`.
+    """
+
+    def __init__(self) -> None:
+        self._buckets: dict[tuple, set[Hashable]] = {}
+        self._rects: dict[tuple, Rect] = {}
+        self._user_key: dict[Hashable, tuple] = {}
+
+    def publish(self, user: Hashable, region: Rect) -> None:
+        """Record ``user``'s current published region (replaces any prior)."""
+        key = _region_key(region)
+        old = self._user_key.get(user)
+        if old == key:
+            return
+        if old is not None:
+            self._drop_from_bucket(user, old)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            bucket = self._buckets[key] = set()
+            self._rects[key] = region
+        bucket.add(user)
+        self._user_key[user] = key
+
+    def retire(self, user: Hashable) -> None:
+        """Forget ``user``'s published region (no-op when unknown)."""
+        key = self._user_key.pop(user, None)
+        if key is not None:
+            self._drop_from_bucket(user, key)
+
+    def _drop_from_bucket(self, user: Hashable, key: tuple) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        bucket.discard(user)
+        if not bucket:
+            del self._buckets[key]
+            del self._rects[key]
+
+    # ------------------------------------------------------------------
+    # Estimates
+    # ------------------------------------------------------------------
+
+    def anonymity_of(self, user: Hashable) -> int | None:
+        """Bucket size for ``user`` (None when not publishing)."""
+        key = self._user_key.get(user)
+        if key is None:
+            return None
+        return len(self._buckets[key])
+
+    def region_of(self, user: Hashable) -> Rect | None:
+        key = self._user_key.get(user)
+        return self._rects[key] if key is not None else None
+
+    @property
+    def population(self) -> int:
+        return len(self._user_key)
+
+    @property
+    def bucket_count(self) -> int:
+        return len(self._buckets)
+
+    def mean_reidentification(self) -> float | None:
+        """Mean over users of 1/bucket-size (1.0 = everyone unique)."""
+        if not self._user_key:
+            return None
+        total = sum(
+            len(bucket) * (1.0 / len(bucket))
+            for bucket in self._buckets.values()
+        )
+        return total / len(self._user_key)
+
+    def mean_entropy_bits(self) -> float | None:
+        """Mean over users of log2(bucket-size) — uniform-posterior bits."""
+        if not self._user_key:
+            return None
+        total = sum(
+            len(bucket) * math.log2(len(bucket))
+            for bucket in self._buckets.values()
+        )
+        return total / len(self._user_key)
+
+    def regions(self) -> dict[Hashable, Rect]:
+        """Current user -> published-region table (oracle input)."""
+        return {
+            user: self._rects[key] for user, key in self._user_key.items()
+        }
+
+    def recent_regions(self, limit: int = 16) -> list[Rect]:
+        """The most recently created distinct regions, newest last."""
+        keys = list(self._rects)
+        return [self._rects[k] for k in keys[-limit:]]
+
+
+def bucket_anonymity(
+    regions: Mapping[Hashable, Rect],
+) -> dict[Hashable, int]:
+    """Batch counterpart of :class:`StreamingPosteriorIndex` (test oracle).
+
+    Quadratic grouping with the attack library's ``regions_equal``
+    tolerance: each user's anonymity is the number of users whose current
+    region equals hers.
+    """
+    users = list(regions)
+    out: dict[Hashable, int] = {}
+    for user in users:
+        mine = regions[user]
+        out[user] = sum(
+            1 for other in users if regions_equal(regions[other], mine)
+        )
+    return out
+
+
+def fitted_density(
+    bounds: Rect, resolution: int, points: Iterable[Point]
+) -> DensityModel:
+    """Batch counterpart of :class:`StreamingDensityModel` (test oracle)."""
+    return DensityModel(bounds, resolution).fit(points)

@@ -16,6 +16,9 @@ Usage (after ``pip install -e .``)::
     python -m repro audit --json              # privacy-attainment audit report
     python -m repro health                    # SLO health verdict (exit 4 on fail)
     python -m repro health --watch            # live ASCII dashboard + health
+    python -m repro serve-metrics             # HTTP /metrics /health /risk /timeseries
+    python -m repro serve-metrics --smoke     # scrape-and-validate self test
+    python -m repro top                       # live windowed telemetry + risk panel
     python -m repro profile                   # hot spans by self-time (flamegraph)
     python -m repro bench-batch               # batch vs sequential timings
     python -m repro bench-history             # ingest BENCH_*.json, flag regressions
@@ -426,6 +429,107 @@ def cmd_health(args: argparse.Namespace) -> int:
             system.query(CountSpec(window=Rect(20, 20, 80, 80)))
         report = monitor.evaluate(system)
     return report.exit_code
+
+
+def _drive_tick(system, tick: int, users: int) -> None:
+    """A few queries + one movement step: keeps live dashboards moving."""
+    from repro import CountSpec, RangeSpec
+    from repro.geometry import Point, Rect
+
+    for i in range(5):
+        user = (tick * 5 + i) % users
+        system.query(RangeSpec(flavor="private", user=user, radius=10.0))
+        system.query(CountSpec(window=Rect(20, 20, 80, 80)))
+    mover = tick % users
+    location = system.users[mover].location
+    system.apply_movement(
+        {
+            mover: Point(
+                min(100.0, location.x + 1.0), min(100.0, location.y + 1.0)
+            )
+        }
+    )
+
+
+def cmd_serve_metrics(args: argparse.Namespace) -> int:
+    """Expose live telemetry over HTTP (or run the scrape self-test)."""
+    import json
+    import time
+
+    from repro.obs.serve import TelemetryEndpoint, smoke
+
+    if args.users < 1:
+        raise SystemExit("repro serve-metrics: error: --users must be at least 1")
+    if args.interval <= 0:
+        raise SystemExit("repro serve-metrics: error: --interval must be positive")
+    system = _observed_quickstart(
+        users=args.users, queries=args.queries, seed=args.seed
+    )
+    system.enable_monitoring(interval=args.interval)
+    if args.smoke:
+        result = smoke(system)
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0 if result["ok"] else 1
+    endpoint = TelemetryEndpoint(system)
+    host, port = endpoint.start(host=args.host, port=args.port)
+    print(
+        f"serving telemetry on http://{host}:{port}  "
+        "(paths: /metrics /health /risk /timeseries)"
+    )
+    sys.stdout.flush()
+    ticks = 0
+    try:
+        while True:
+            ticks += 1
+            _drive_tick(system, ticks, args.users)
+            if args.iterations and ticks >= args.iterations:
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        pass
+    finally:
+        endpoint.shutdown()
+    print(f"served {endpoint.requests_served} requests over {ticks} ticks")
+    return 0
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """Live dashboard: windowed rates, privacy risk, and SLO health."""
+    import time
+
+    from repro.obs.slo import SLOMonitor
+
+    if args.users < 1:
+        raise SystemExit("repro top: error: --users must be at least 1")
+    if args.interval <= 0:
+        raise SystemExit("repro top: error: --interval must be positive")
+    system = _observed_quickstart(
+        users=args.users, queries=args.queries, seed=args.seed
+    )
+    system.enable_monitoring(interval=args.interval)
+    monitor = SLOMonitor()
+    ticks = 0
+    while True:
+        ticks += 1
+        _drive_tick(system, ticks, args.users)
+        system.timeseries.sample()
+        report = monitor.evaluate(system)
+        frame = (
+            system.timeseries.render()
+            + "\n\n"
+            + system.risk.render()
+            + "\n\n"
+            + report.render()
+        )
+        if sys.stdout.isatty():  # pragma: no cover - interactive only
+            sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+        else:
+            print(frame)
+            print(f"-- top tick {ticks} --")
+        sys.stdout.flush()
+        if args.iterations and ticks >= args.iterations:
+            return report.exit_code
+        time.sleep(args.interval)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -882,6 +986,62 @@ def build_parser() -> argparse.ArgumentParser:
     health.add_argument("--queries", type=int, default=25, help="queries per kind")
     health.add_argument("--seed", type=int, default=0, help="workload RNG seed")
     health.set_defaults(func=cmd_health)
+
+    serve = sub.add_parser(
+        "serve-metrics",
+        help="serve /metrics /health /risk /timeseries over HTTP",
+    )
+    serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="bind port (default 0 = OS-assigned ephemeral port)",
+    )
+    serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="start on an ephemeral port, scrape every path, validate, exit",
+    )
+    serve.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="time-series sampling window in seconds (default 1)",
+    )
+    serve.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop the workload loop after N ticks (0 = run until interrupted)",
+    )
+    serve.add_argument("--users", type=int, default=200, help="workload size")
+    serve.add_argument("--queries", type=int, default=25, help="queries per kind")
+    serve.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    serve.set_defaults(func=cmd_serve_metrics)
+
+    top = sub.add_parser(
+        "top",
+        help="live dashboard: windowed telemetry, privacy risk, SLO health",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=1.0,
+        help="seconds between frames (and per sampling window; default 1)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=0,
+        help="stop after N frames (0 = run until interrupted)",
+    )
+    top.add_argument("--users", type=int, default=200, help="workload size")
+    top.add_argument("--queries", type=int, default=25, help="queries per kind")
+    top.add_argument("--seed", type=int, default=0, help="workload RNG seed")
+    top.set_defaults(func=cmd_top)
 
     profile = sub.add_parser(
         "profile",

@@ -14,6 +14,8 @@ uncertainty.
 
 from __future__ import annotations
 
+import json
+import os
 import warnings
 from dataclasses import dataclass, field, replace
 from typing import Hashable
@@ -32,10 +34,12 @@ from repro.mobility.users import MobileUser, UserMode
 from repro.obs import Telemetry
 from repro.obs.events import (
     CLOCK_ADVANCED,
+    LOG_TRUNCATED,
     QUERY_COMPLETED,
     USER_ADDED,
     USER_MODE_CHANGED,
     USER_MOVED,
+    WAL_ROTATED,
 )
 from repro.queries.private_knn import refine_knn_candidates
 from repro.queries.private_nn import refine_nn_candidates
@@ -48,6 +52,9 @@ from repro.queries.spec import (
     SPEC_TYPES,
     is_user_bound,
 )
+
+#: Auto-rotate the WAL at checkpoint time once it exceeds this size.
+DEFAULT_WAL_ROTATE_BYTES = 32 * 1024 * 1024
 
 
 @dataclass(frozen=True)
@@ -184,6 +191,12 @@ class PrivacySystem:
         self.users: dict[Hashable, MobileUser] = {}
         self.ledger = QoSLedger()
         self.clock = 0.0
+        #: Live monitoring (repro.obs.timeseries / repro.obs.risk); None
+        #: until :meth:`enable_monitoring` — a disabled system pays one
+        #: attribute check per entry point.
+        self.timeseries = None
+        self.risk = None
+        self._wal_dir: str | None = None
 
     # ------------------------------------------------------------------
     # Setup
@@ -257,6 +270,8 @@ class PrivacySystem:
                 self.anonymizer.publish_all_bulk(self.clock)
             else:
                 self.anonymizer.publish_all(self.clock)
+        if self.timeseries is not None:
+            self.timeseries.maybe_sample()
 
     # ------------------------------------------------------------------
     # The declarative query entry point
@@ -290,11 +305,16 @@ class PrivacySystem:
         with self.obs.correlate("q"):
             if is_user_bound(spec):
                 if isinstance(spec, RangeSpec):
-                    return self._user_range(spec)
-                if isinstance(spec, KNNSpec):
-                    return self._user_knn(spec)
-                return self._user_nn(spec)
-            return self.planner.execute(spec)
+                    result = self._user_range(spec)
+                elif isinstance(spec, KNNSpec):
+                    result = self._user_knn(spec)
+                else:
+                    result = self._user_nn(spec)
+            else:
+                result = self.planner.execute(spec)
+        if self.timeseries is not None:
+            self.timeseries.maybe_sample()
+        return result
 
     def _cloaked(self, spec):
         """Cloak the spec's user and return the region-bound spec form."""
@@ -463,21 +483,80 @@ class PrivacySystem:
             "system.execute_batch", size=len(batch)
         ):
             if not batch or not isinstance(batch[0], SPEC_TYPES):
-                return self.server.execute_batch(batch, vectorize=vectorize)
-            results: list = [None] * len(batch)
-            planned: list[int] = []
-            for position, spec in enumerate(batch):
-                if is_user_bound(spec):
-                    results[position] = self.query(spec)
-                else:
-                    planned.append(position)
-            if planned:
-                answers = self.planner.execute_batch(
-                    [batch[p] for p in planned]
-                )
-                for position, answer in zip(planned, answers):
-                    results[position] = answer
-            return results
+                results = self.server.execute_batch(batch, vectorize=vectorize)
+            else:
+                results = [None] * len(batch)
+                planned: list[int] = []
+                for position, spec in enumerate(batch):
+                    if is_user_bound(spec):
+                        results[position] = self.query(spec)
+                    else:
+                        planned.append(position)
+                if planned:
+                    answers = self.planner.execute_batch(
+                        [batch[p] for p in planned]
+                    )
+                    for position, answer in zip(planned, answers):
+                        results[position] = answer
+        if self.timeseries is not None:
+            self.timeseries.maybe_sample()
+        return results
+
+    # ------------------------------------------------------------------
+    # Live monitoring (time-series windows + online privacy risk)
+    # ------------------------------------------------------------------
+
+    def enable_monitoring(
+        self,
+        *,
+        interval: float = 1.0,
+        keep: int = 120,
+        resolution: int = 16,
+        max_speed: float | None = None,
+        seed: bool = True,
+    ) -> "PrivacySystem":
+        """Turn on windowed telemetry sampling and online risk scoring.
+
+        Installs a :class:`~repro.obs.timeseries.TimeSeriesStore` (one
+        window per ``interval`` seconds, ``keep`` windows retained) and a
+        :class:`~repro.obs.risk.PrivacyRiskMonitor` tapping the event
+        stream; each cut window triggers one risk score, so the
+        ``risk.*`` gauges and ``risk.scored`` events track the same
+        cadence the windows do.  ``seed=True`` primes the risk monitor
+        from current anonymizer/server state so a mid-run enable does
+        not start blind.  Idempotent; returns ``self`` for chaining.
+        """
+        from repro.obs.risk import PrivacyRiskMonitor
+        from repro.obs.timeseries import TimeSeriesStore
+
+        if self.timeseries is None:
+            self.timeseries = TimeSeriesStore(
+                self.obs, interval=interval, keep=keep
+            )
+        if self.risk is None:
+            self.risk = PrivacyRiskMonitor(
+                self.bounds,
+                resolution=resolution,
+                max_speed=max_speed,
+                telemetry=self.obs,
+            )
+            self.risk.install(self.obs.events)
+            if seed:
+                self.risk.seed_from(self)
+            self.timeseries.on_sample.append(self._score_risk)
+        return self
+
+    def disable_monitoring(self) -> None:
+        """Detach the risk monitor tap and drop the time-series store."""
+        if self.risk is not None:
+            self.risk.uninstall()
+            self.risk = None
+        self.timeseries = None
+
+    def _score_risk(self, window) -> None:
+        """on_sample hook: one risk score per cut window."""
+        if self.risk is not None:
+            self.risk.score()
 
     # ------------------------------------------------------------------
     # Durability (checkpoints + WAL; see docs/durability.md)
@@ -494,19 +573,88 @@ class PrivacySystem:
         from repro.persist.checkpoint import write_wal_meta
 
         write_wal_meta(self, directory)
-        import os
+        self._wal_dir = str(directory)
+        self.obs.events.attach_jsonl(os.path.join(self._wal_dir, "wal.jsonl"))
 
-        self.obs.events.attach_jsonl(os.path.join(str(directory), "wal.jsonl"))
+    def rotate_wal(self) -> str | None:
+        """Seal the live WAL into a segment file and start a fresh one.
 
-    def checkpoint(self, directory) -> str:
+        The old ``wal.jsonl`` is renamed to ``wal-<last_seq>.jsonl`` and
+        the fresh WAL opens with a ``log.truncated`` marker carrying
+        ``rotated_to``, so :class:`~repro.persist.recovery.Recovery` can
+        tell a deliberate rotation (fine, as long as a checkpoint covers
+        the rotated-away prefix) from accidental truncation (refused).
+        Returns the segment file name, or ``None`` when no WAL is
+        attached or nothing has been streamed yet.
+        """
+        log = self.obs.events
+        if self._wal_dir is None or log._sink is None:
+            return None
+        streamed = log._streamed_seq
+        if streamed <= 0:
+            return None
+        from repro.persist.checkpoint import WAL_NAME
+
+        wal_path = os.path.join(self._wal_dir, WAL_NAME)
+        segment = f"wal-{streamed:012d}.jsonl"
+        log.detach_jsonl()
+        rotated_bytes = (
+            os.path.getsize(wal_path) if os.path.exists(wal_path) else 0
+        )
+        os.replace(wal_path, os.path.join(self._wal_dir, segment))
+        marker = {
+            "kind": LOG_TRUNCATED,
+            "seq": streamed,
+            "first_seq": 1,
+            "last_seq": streamed,
+            "lost": streamed,
+            "reason": "rotated",
+            "rotated_to": segment,
+        }
+        with open(wal_path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(marker, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        # Re-attach: ring seqs are all <= streamed, so no backfill occurs
+        # and the fresh WAL stays marker-first.
+        log.attach_jsonl(wal_path)
+        self.obs.emit(
+            WAL_ROTATED,
+            segment=segment,
+            last_seq=streamed,
+            bytes=rotated_bytes,
+        )
+        return segment
+
+    def checkpoint(
+        self,
+        directory,
+        *,
+        rotate_wal_over: int | None = DEFAULT_WAL_ROTATE_BYTES,
+    ) -> str:
         """Write an atomic versioned checkpoint of the whole pipeline.
 
         Returns the checkpoint file path and emits ``persist.checkpoint``.
         Replay after recovery starts from the WAL sequence number the
-        checkpoint records, so the WAL tail stays short.
+        checkpoint records, so the WAL tail stays short.  When the live
+        WAL has grown past ``rotate_wal_over`` bytes it is rotated
+        *before* the checkpoint is written — the checkpoint's sequence
+        number then covers the rotation point, keeping the replay tail
+        contiguous.  Pass ``rotate_wal_over=None`` to never rotate.
         """
-        from repro.persist.checkpoint import write_checkpoint
+        from repro.persist.checkpoint import WAL_NAME, write_checkpoint
 
+        if (
+            rotate_wal_over is not None
+            and self._wal_dir is not None
+            and self.obs.events._sink is not None
+        ):
+            wal_path = os.path.join(self._wal_dir, WAL_NAME)
+            if (
+                os.path.exists(wal_path)
+                and os.path.getsize(wal_path) > rotate_wal_over
+            ):
+                self.rotate_wal()
         return write_checkpoint(self, directory)
 
     @classmethod

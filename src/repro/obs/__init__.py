@@ -219,6 +219,11 @@ from repro.obs.explain import (  # noqa: E402
     render_plan,
 )
 from repro.obs.profile import SpanProfiler  # noqa: E402
+from repro.obs.risk import PrivacyRiskMonitor  # noqa: E402
+from repro.obs.serve import (  # noqa: E402
+    TelemetryEndpoint,
+    validate_exposition,
+)
 from repro.obs.slo import (  # noqa: E402
     DEFAULT_SLOS,
     HealthReport,
@@ -226,6 +231,7 @@ from repro.obs.slo import (  # noqa: E402
     SLOSpec,
     load_slos,
 )
+from repro.obs.timeseries import TimeSeriesStore, Window  # noqa: E402
 
 __all__ = [
     "Counter",
@@ -249,6 +255,11 @@ __all__ = [
     "AccuracyMonitor",
     "PlanAccuracyAuditor",
     "SpanProfiler",
+    "PrivacyRiskMonitor",
+    "TimeSeriesStore",
+    "Window",
+    "TelemetryEndpoint",
+    "validate_exposition",
     "SLOSpec",
     "SLOMonitor",
     "HealthReport",

@@ -28,6 +28,17 @@ Ratios are symmetric: a group predicting 4x too *low* is as wrong as
 one predicting 4x too high, so bands compare ``max(r, 1/r)`` against
 the threshold.  Sub-microsecond predictions are skipped — at that scale
 the measurement is timer noise, not evidence.
+
+Pinned routes (``Decision.pinned``: private NN / k-NN / Monte-Carlo NN,
+which only the native store can execute) are handled differently.  A
+mispredict there is *unfixable* by route choice — there is exactly one
+candidate — and the statistics collector's recalibration does not model
+their refinement machinery, so flagging them only produced alarm noise
+and futile recalibrations.  Instead the monitor keeps a separate ratio
+window per pinned group and folds the observed median into a
+multiplicative ``pinned_bias`` that the planner applies to that group's
+next cost estimates: the prediction self-corrects, the group never
+counts toward ``mispredicts`` or drift.
 """
 
 from __future__ import annotations
@@ -64,6 +75,9 @@ DEFAULT_MIN_SAMPLES = 8
 
 #: Predictions below this are timer noise, not evidence (seconds).
 MIN_PREDICTED_SECONDS = 1e-9
+
+#: A pinned group's median ratio outside this band updates its bias.
+PINNED_ADJUST_BAND = 1.5
 
 
 def _median(values: Iterable[float]) -> float:
@@ -112,6 +126,8 @@ class AccuracyMonitor:
         self.min_samples = min_samples
         self._ratios: dict[tuple[str, str, str], deque[float]] = {}
         self._flagged: set[tuple[str, str, str]] = set()
+        self._pinned_ratios: dict[tuple[str, str, str], deque[float]] = {}
+        self._pinned_bias: dict[tuple[str, str, str], float] = {}
         self._observations = 0
         self._quiet_until = 0
         self._recal_reason: str | None = None
@@ -119,6 +135,7 @@ class AccuracyMonitor:
         self.observed = 0
         self.mispredicts = 0
         self.recalibrations = 0
+        self.pinned_recalibrations = 0
 
     # ------------------------------------------------------------------
     # Hot path
@@ -145,6 +162,8 @@ class AccuracyMonitor:
             return None
         ratio = max(seconds, 1e-12) / predicted
         key = (decision.kind, decision.backend, decision.route)
+        if decision.pinned:
+            return self._observe_pinned(key, ratio, emit)
         ring = self._ratios.get(key)
         if ring is None:
             ring = self._ratios[key] = deque(maxlen=self.window)
@@ -183,6 +202,43 @@ class AccuracyMonitor:
         else:
             self._flagged.discard(key)
         return ratio
+
+    def _observe_pinned(
+        self, key: tuple[str, str, str], ratio: float, emit=None
+    ) -> float:
+        """Pinned-group path: learn a cost bias, never flag or drift.
+
+        ``ratio`` is measured over the *already biased* prediction, so
+        a multiplicative median update converges: once the bias is
+        right, medians sit near 1.0 and nothing further happens.
+        """
+        ring = self._pinned_ratios.get(key)
+        if ring is None:
+            ring = self._pinned_ratios[key] = deque(maxlen=self.window)
+        ring.append(ratio)
+        self.observed += 1
+        if len(ring) >= self.min_samples:
+            median = _median(ring)
+            if _fold(median) > PINNED_ADJUST_BAND:
+                bias = self._pinned_bias.get(key, 1.0) * median
+                self._pinned_bias[key] = bias
+                self.pinned_recalibrations += 1
+                ring.clear()
+                if emit is not None:
+                    emit(
+                        PLANNER_CALIBRATED,
+                        scope="pinned",
+                        query=key[0],
+                        backend=key[1],
+                        route=key[2],
+                        median_ratio=median,
+                        bias=bias,
+                    )
+        return ratio
+
+    def pinned_bias(self, kind: str, backend: str, route: str) -> float:
+        """Learned cost multiplier for one pinned group (1.0 = none)."""
+        return self._pinned_bias.get((kind, backend, route), 1.0)
 
     def poll_recalibration(self) -> str | None:
         """Collect (and clear) a pending recalibration request.
@@ -230,6 +286,17 @@ class AccuracyMonitor:
                 "folded": _fold(median),
                 "mispredict": (kind, backend, route) in self._flagged,
             }
+        pinned_groups = {}
+        for (kind, backend, route), ring in sorted(self._pinned_ratios.items()):
+            median = _median(ring)
+            pinned_groups["/".join((kind, backend, route))] = {
+                "kind": kind,
+                "backend": backend,
+                "route": route,
+                "samples": len(ring),
+                "median_ratio": median,
+                "bias": self._pinned_bias.get((kind, backend, route), 1.0),
+            }
         drift = self.drift()
         return {
             "schema": ACCURACY_SCHEMA,
@@ -239,20 +306,25 @@ class AccuracyMonitor:
             "observed": self.observed,
             "mispredicts": self.mispredicts,
             "recalibrations": self.recalibrations,
+            "pinned_recalibrations": self.pinned_recalibrations,
             "drift": drift,
             "drift_folded": _fold(drift),
             "groups": groups,
+            "pinned_groups": pinned_groups,
         }
 
     def reset(self) -> None:
         self._ratios.clear()
         self._flagged.clear()
+        self._pinned_ratios.clear()
+        self._pinned_bias.clear()
         self._observations = 0
         self._quiet_until = 0
         self._recal_reason = None
         self.observed = 0
         self.mispredicts = 0
         self.recalibrations = 0
+        self.pinned_recalibrations = 0
 
 
 class PlanAccuracyAuditor:

@@ -114,6 +114,14 @@ LOG_TRUNCATED = "log.truncated"
 PERSIST_CHECKPOINT = "persist.checkpoint"
 #: A recovered system finished replaying its event-log tail.
 PERSIST_REPLAYED = "persist.replayed"
+#: The online privacy-risk monitor scored the live stream: rolling
+#: re-identification risk, k-attainment entropy, linkage shrinkage and
+#: density-weighted effective anonymity (repro.obs.risk).
+RISK_SCORED = "risk.scored"
+#: The WAL sink was rotated into a sealed segment file; the fresh WAL
+#: starts with a ``log.truncated`` marker carrying ``rotated_to`` so
+#: recovery can tell deliberate rotation from silent data loss.
+WAL_ROTATED = "wal.rotated"
 
 #: Every kind this package emits, for validation and documentation.
 EVENT_KINDS: tuple[str, ...] = (
@@ -153,6 +161,8 @@ EVENT_KINDS: tuple[str, ...] = (
     LOG_TRUNCATED,
     PERSIST_CHECKPOINT,
     PERSIST_REPLAYED,
+    RISK_SCORED,
+    WAL_ROTATED,
 )
 
 
@@ -221,6 +231,11 @@ class EventLog:
         # in place to coalesce consecutive lossy evictions.
         self._streamed_seq = 0
         self._gap: Event | None = None
+        # Live-stream taps (repro.obs.risk): callables invoked with every
+        # emitted Event.  An empty list costs one truthiness check on the
+        # hot path; taps must not raise and may re-enter emit() (a tap
+        # emitting its own event simply takes the next seq).
+        self._taps: list = []
 
     # ------------------------------------------------------------------
     # The one hot entry point
@@ -250,6 +265,9 @@ class EventLog:
                 json.dumps(event.to_dict(), sort_keys=True, default=str) + "\n"
             )
             self._streamed_seq = event.seq
+        if self._taps:
+            for tap in self._taps:
+                tap(event)
         return event.seq
 
     def _note_lossy_eviction(self, victim: Event) -> None:
@@ -284,6 +302,23 @@ class EventLog:
 
     def disable(self) -> None:
         self.enabled = False
+
+    def add_tap(self, tap) -> None:
+        """Invoke ``tap(event)`` for every future emission (live stream).
+
+        Taps see events *after* ring/sink handling, in registration
+        order.  They are the feed of the online risk monitor — cheap by
+        contract: a tap runs inline on the emit hot path.
+        """
+        if tap not in self._taps:
+            self._taps.append(tap)
+
+    def remove_tap(self, tap) -> None:
+        """Stop invoking a previously added tap (no-op when absent)."""
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
 
     def attach_jsonl(self, target: str | IO[str]) -> None:
         """Stream every future event to ``target`` (path or open text file).

@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Iterable, Sequence
 from repro.obs.accuracy import PlanAccuracyAuditor
 from repro.obs.audit import PrivacyAuditor
 from repro.obs.events import (
+    RISK_SCORED,
     SLO_EVALUATED,
     SNAPSHOT_CAPTURED,
     SNAPSHOT_DELTA,
@@ -68,6 +69,8 @@ SLO_KINDS: dict[str, tuple[str, str]] = {
     "snapshot_reuse_rate": (">=", "rate"),
     "mispredict_ratio": ("<=", "x"),
     "query_accuracy": (">=", "rate"),
+    "reidentification_risk": ("<=", "rate"),
+    "k_attainment_entropy": (">=", "bits"),
 }
 
 
@@ -195,6 +198,23 @@ DEFAULT_SLOS: tuple[SLOSpec, ...] = (
         "query_accuracy",
         0.99,
         description="refined private-query answers match ground truth",
+    ),
+    SLOSpec(
+        "reidentification_risk",
+        "reidentification_risk",
+        0.9,
+        description=(
+            "mean posterior re-identification probability stays below "
+            "near-certain (risk monitor evidence)"
+        ),
+    ),
+    SLOSpec(
+        "k_attainment_entropy",
+        "k_attainment_entropy",
+        0.0,
+        description=(
+            "anonymity entropy the cloaks deliver (informational floor)"
+        ),
     ),
 )
 
@@ -327,10 +347,18 @@ class SLOMonitor:
         for event in windowed:
             if event.kind in snapshot_counts:
                 snapshot_counts[event.kind] += 1
+        # Risk evidence: the newest risk.scored event in the window (the
+        # online monitor emits one per sampling tick).  No monitoring
+        # enabled -> no event -> the risk SLOs pass vacuously.
+        risk: dict | None = None
+        for event in reversed(windowed):
+            if event.kind == RISK_SCORED:
+                risk = event.attrs
+                break
 
         results = [
             self._evaluate_one(
-                spec, stages, audit, accuracy, snapshot_counts
+                spec, stages, audit, accuracy, snapshot_counts, risk
             )
             for spec in self.specs
         ]
@@ -365,8 +393,11 @@ class SLOMonitor:
         audit: dict,
         accuracy: dict,
         snapshot_counts: dict,
+        risk: dict | None,
     ) -> SLOResult:
-        measured = self._measure(spec, stages, audit, accuracy, snapshot_counts)
+        measured = self._measure(
+            spec, stages, audit, accuracy, snapshot_counts, risk
+        )
         if measured is None:
             return SLOResult(
                 spec,
@@ -395,6 +426,7 @@ class SLOMonitor:
         audit: dict,
         accuracy: dict,
         snapshot_counts: dict,
+        risk: dict | None,
     ) -> float | None:
         kind = spec.kind
         if kind == "latency_p95":
@@ -434,6 +466,14 @@ class SLOMonitor:
                 for entry in queries.values()
             )
             return correct / total
+        if kind == "reidentification_risk":
+            if risk is None or risk.get("reidentification") is None:
+                return None
+            return float(risk["reidentification"])
+        if kind == "k_attainment_entropy":
+            if risk is None or risk.get("k_attainment_entropy_bits") is None:
+                return None
+            return float(risk["k_attainment_entropy_bits"])
         raise ValueError(f"unknown SLO kind: {kind!r}")  # pragma: no cover
 
 
@@ -443,4 +483,6 @@ def _unit_suffix(spec: SLOSpec) -> str:
         return " ms"
     if unit == "x":
         return "x"
+    if unit == "bits":
+        return " bits"
     return ""

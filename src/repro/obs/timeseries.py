@@ -1,0 +1,319 @@
+"""Windowed time-series over the metrics registry and event stream.
+
+Everything PR 1–8 emits is cumulative-since-start: counters only grow,
+histograms only accumulate, the event log only appends.  That is the
+right durable substrate, but a *service* is watched through windows —
+queries per second over the last interval, p95 latency of the last
+window, how many cloaks degraded since the previous scrape.  This module
+adds that time dimension without touching a single emitter:
+:class:`TimeSeriesStore` snapshots the registry's raw cumulative state
+(counter values, gauge values, histogram bucket vectors, the event
+sequence counter) at fixed intervals and differences consecutive
+captures into :class:`Window` values held in a bounded ring.
+
+Per-window latency percentiles come straight from the histogram bucket
+deltas: subtracting two cumulative bucket-count vectors yields the exact
+per-bucket sample counts of the window, from which the usual rank
+statistic is interpolated over the geometric bucket ladder.  The window
+estimate therefore lands in *exactly* the bucket that contains the true
+rank statistic of the window's samples — the property
+``tests/property/test_prop_timeseries.py`` proves against numpy's
+``inverted_cdf`` quantile as oracle.
+
+Design constraints match the rest of the package: dependency-free,
+bounded memory (``keep`` windows, each a plain dict-of-deltas), and a
+hot-path cost of one clock read + comparison when no window is due
+(:meth:`TimeSeriesStore.maybe_sample`, wired into the
+:class:`~repro.core.system.PrivacySystem` entry points).
+
+Schema: ``repro.obs.timeseries/1``.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.obs.metrics import render_key
+
+#: Versioned schema tag stamped on every snapshot export.
+TIMESERIES_SCHEMA = "repro.obs.timeseries/1"
+
+#: Quantiles computed per window for every histogram that saw samples.
+WINDOW_QUANTILES = (0.50, 0.95, 0.99)
+
+
+def window_quantile(
+    bounds: tuple[float, ...], deltas: list[int] | tuple[int, ...], q: float
+) -> float:
+    """Estimated ``q``-quantile of one window's histogram bucket deltas.
+
+    ``deltas`` is the per-bucket sample count of the window (cumulative
+    bucket counts at window end minus window start), one slot per bound
+    plus the overflow slot — the same layout as
+    :class:`repro.obs.metrics.Histogram.bucket_counts`.
+
+    Uses the same rank statistic as the cumulative histogram
+    (``rank = max(1, ceil(q * n))``) but interpolates over the bucket
+    bounds alone: a window has no min/max record, so the first bucket
+    interpolates from 0 and the overflow bucket reports the last bound.
+    The estimate always falls inside the half-open bucket interval
+    ``(lo, hi]`` that contains the window's true rank statistic.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    n = sum(deltas)
+    if n == 0:
+        return 0.0
+    rank = max(1, math.ceil(q * n))
+    cumulative = 0
+    for i, bucket_count in enumerate(deltas):
+        if cumulative + bucket_count >= rank:
+            if i >= len(bounds):
+                return bounds[-1]  # overflow slot: bounded below only
+            lo = bounds[i - 1] if i >= 1 else 0.0
+            hi = bounds[i]
+            fraction = (rank - cumulative) / bucket_count
+            return lo + fraction * (hi - lo)
+        cumulative += bucket_count
+    return bounds[-1]  # pragma: no cover - rank <= n by construction
+
+
+@dataclass(frozen=True, slots=True)
+class Window:
+    """One fixed-interval slice of the telemetry stream.
+
+    All counter/histogram fields are *deltas* over the window; gauges are
+    instantaneous values at window close (a gauge has no meaningful
+    delta).  ``rates`` divides counter deltas by the measured elapsed
+    wall-clock, so an overdue sample still reports honest per-second
+    figures.
+    """
+
+    index: int
+    t_start: float
+    t_end: float
+    elapsed: float
+    #: Counter deltas over the window (zero-delta counters omitted).
+    counters: dict[str, int] = field(default_factory=dict)
+    #: Counter deltas per elapsed second.
+    rates: dict[str, float] = field(default_factory=dict)
+    #: Gauge values at window close.
+    gauges: dict[str, float] = field(default_factory=dict)
+    #: Histogram window stats: count/sum/mean/p50/p95/p99 per metric
+    #: (histograms with no samples this window omitted).
+    histograms: dict[str, dict[str, float]] = field(default_factory=dict)
+    #: Event-log sequence numbers covered: (first_seq_exclusive, last_seq].
+    seq_start: int = 0
+    seq_end: int = 0
+
+    @property
+    def events(self) -> dict[str, int]:
+        """Per-kind event deltas (the ``events.emitted`` counter family)."""
+        prefix = "events.emitted{kind="
+        out: dict[str, int] = {}
+        for name, delta in self.counters.items():
+            if name.startswith(prefix):
+                out[name[len(prefix) : -1]] = delta
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "t_start": self.t_start,
+            "t_end": self.t_end,
+            "elapsed": self.elapsed,
+            "counters": dict(self.counters),
+            "rates": dict(self.rates),
+            "gauges": dict(self.gauges),
+            "histograms": {k: dict(v) for k, v in self.histograms.items()},
+            "events": self.events,
+            "seq_start": self.seq_start,
+            "seq_end": self.seq_end,
+        }
+
+
+class TimeSeriesStore:
+    """Fixed-interval ring-buffered windows over a Telemetry instance.
+
+    Args:
+        telemetry: the :class:`repro.obs.Telemetry` whose registry and
+            event log are sampled (captures are read-only).
+        interval: target seconds between windows; :meth:`maybe_sample`
+            cuts a window only once this much has elapsed.
+        keep: ring capacity — older windows fall off the front.
+        clock: injectable monotonic clock (tests pin it).
+    """
+
+    def __init__(
+        self,
+        telemetry,
+        interval: float = 1.0,
+        keep: int = 120,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval < 0:
+            raise ValueError("interval must be >= 0")
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        self.telemetry = telemetry
+        self.interval = float(interval)
+        self.keep = int(keep)
+        self._clock = clock
+        self._windows: deque[Window] = deque(maxlen=self.keep)
+        self._previous = self._capture()
+        self._next_due = self._previous["t"] + self.interval
+        self.windows_cut = 0
+        #: Hooks invoked with each freshly cut Window (the risk monitor
+        #: scores itself on this cadence).
+        self.on_sample: list[Callable[[Window], None]] = []
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def maybe_sample(self) -> Window | None:
+        """Cut a window iff the interval has elapsed (hot-path safe)."""
+        if self._clock() < self._next_due:
+            return None
+        return self.sample()
+
+    def sample(self) -> Window:
+        """Unconditionally cut a window from the delta since the last."""
+        current = self._capture()
+        window = self._delta(self._previous, current)
+        self._previous = current
+        self._windows.append(window)
+        self._next_due = current["t"] + self.interval
+        self.windows_cut += 1
+        for hook in self.on_sample:
+            hook(window)
+        return window
+
+    def _capture(self) -> dict:
+        """Raw cumulative state: cheap copies, no derived statistics."""
+        registry = self.telemetry.registry
+        return {
+            "t": self._clock(),
+            "counters": {
+                render_key(k): c.value for k, c in registry.counters()
+            },
+            "gauges": {render_key(k): g.value for k, g in registry.gauges()},
+            "histograms": {
+                render_key(k): (
+                    h.count,
+                    h.total,
+                    tuple(h.bucket_counts),
+                    h.bounds,
+                )
+                for k, h in registry.histograms()
+            },
+            "seq": self.telemetry.events._seq,
+        }
+
+    def _delta(self, previous: dict, current: dict) -> Window:
+        elapsed = max(current["t"] - previous["t"], 1e-9)
+        prev_counters = previous["counters"]
+        counters = {}
+        for name, value in current["counters"].items():
+            delta = value - prev_counters.get(name, 0)
+            if delta:
+                counters[name] = delta
+        rates = {name: delta / elapsed for name, delta in counters.items()}
+        histograms = {}
+        prev_hists = previous["histograms"]
+        for name, (count, total, buckets, bounds) in current[
+            "histograms"
+        ].items():
+            prev = prev_hists.get(name)
+            prev_count, prev_total, prev_buckets = (
+                (prev[0], prev[1], prev[2]) if prev else (0, 0.0, None)
+            )
+            dcount = count - prev_count
+            if dcount <= 0:
+                continue
+            if prev_buckets is None:
+                deltas = list(buckets)
+            else:
+                deltas = [b - p for b, p in zip(buckets, prev_buckets)]
+            stats = {
+                "count": dcount,
+                "sum": total - prev_total,
+                "mean": (total - prev_total) / dcount,
+            }
+            for q in WINDOW_QUANTILES:
+                stats[f"p{int(q * 100)}"] = window_quantile(bounds, deltas, q)
+            histograms[name] = stats
+        return Window(
+            index=self.windows_cut,
+            t_start=previous["t"],
+            t_end=current["t"],
+            elapsed=elapsed,
+            counters=counters,
+            rates=rates,
+            gauges=dict(current["gauges"]),
+            histograms=histograms,
+            seq_start=previous["seq"],
+            seq_end=current["seq"],
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection / export
+    # ------------------------------------------------------------------
+
+    def windows(self) -> Iterator[Window]:
+        """Buffered windows oldest-first."""
+        return iter(list(self._windows))
+
+    def latest(self) -> Window | None:
+        return self._windows[-1] if self._windows else None
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def snapshot(self) -> dict:
+        """JSON-safe export of every buffered window."""
+        return {
+            "schema": TIMESERIES_SCHEMA,
+            "interval": self.interval,
+            "keep": self.keep,
+            "windows_cut": self.windows_cut,
+            "windows": [w.to_dict() for w in self._windows],
+        }
+
+    def render(self, last: int = 6, top: int = 5) -> str:
+        """Terminal table of the most recent windows (``repro top``).
+
+        One block per window: elapsed, event/query throughput, the
+        busiest counter rates and every histogram's windowed p95.
+        """
+        windows = list(self._windows)[-last:]
+        lines = [
+            f"time-series  interval={self.interval:g}s  "
+            f"windows={len(self._windows)}/{self.keep} (cut {self.windows_cut})"
+        ]
+        if not windows:
+            lines.append("  (no windows cut yet)")
+            return "\n".join(lines)
+        for w in windows:
+            events = sum(w.events.values())
+            lines.append(
+                f"  window #{w.index}  {w.elapsed:.3f}s  "
+                f"events={events} ({events / w.elapsed:.1f}/s)  "
+                f"seq {w.seq_start}..{w.seq_end}"
+            )
+            busiest = sorted(
+                w.rates.items(), key=lambda kv: kv[1], reverse=True
+            )[:top]
+            for name, rate in busiest:
+                lines.append(f"    {name:<58s} {rate:10.1f}/s")
+            for name, stats in sorted(w.histograms.items()):
+                lines.append(
+                    f"    {name:<46s} n={stats['count']:<6d} "
+                    f"p50={stats['p50']:.3f} p95={stats['p95']:.3f} "
+                    f"p99={stats['p99']:.3f}"
+                )
+        return "\n".join(lines)

@@ -25,6 +25,13 @@ sequence numbers means events are gone for good.  Recovery refuses to
 rebuild from such a trail unless ``allow_gaps=True``, because a silently
 incomplete replay would *look* like a consistent system while missing
 admissions or publications.
+
+Rotation discipline: markers carrying ``rotated_to`` are *deliberate*
+(``PrivacySystem.rotate_wal`` sealed the prefix into a segment file).
+They are fine exactly when a checkpoint covers the rotated-away prefix
+(``checkpoint_seq >= rotation point``) — replay never needed those
+events.  A rotation *past* the newest checkpoint is a real gap and is
+refused like any truncation.
 """
 
 from __future__ import annotations
@@ -114,6 +121,7 @@ class Recovery:
         self.allow_gaps = allow_gaps
         self.attach = attach
         self.report: dict = {}
+        self._rotation_seq = 0
 
     # ------------------------------------------------------------------
     # The entry point
@@ -125,7 +133,17 @@ class Recovery:
         self._surface_gaps(events)
         state, skipped_files = self._load_latest_checkpoint()
         checkpoint_seq = state["wal_seq"] if state is not None else 0
-        replay_events = [e for e in events if e.seq > checkpoint_seq]
+        if self._rotation_seq > checkpoint_seq and not self.allow_gaps:
+            raise RecoveryError(
+                f"WAL was rotated at seq {self._rotation_seq} but the "
+                f"newest checkpoint only covers up to {checkpoint_seq}; "
+                f"events {checkpoint_seq + 1}..{self._rotation_seq} live "
+                "only in rotated-away segments (pass allow_gaps=True for "
+                "best-effort recovery)"
+            )
+        replay_events = [
+            e for e in events if e.seq > checkpoint_seq and e.kind != LOG_TRUNCATED
+        ]
         self._check_tail_coverage(checkpoint_seq, events, replay_events)
 
         system = self._build_system(state)
@@ -136,7 +154,16 @@ class Recovery:
                 _restore_checkpoint(system, state)
             replayed = skipped = 0
             for event in replay_events:
-                if _replay_event(system, event):
+                try:
+                    applied = _replay_event(system, event)
+                except Exception:
+                    # Best-effort mode: an event referencing state that
+                    # was lost with the gap (e.g. a publication for a
+                    # rotated-away admission) cannot apply — skip it.
+                    if not self.allow_gaps:
+                        raise
+                    applied = False
+                if applied:
                     replayed += 1
                 else:
                     skipped += 1
@@ -204,6 +231,17 @@ class Recovery:
                 lost = event.attrs.get("lost")
                 first = event.attrs.get("first_seq")
                 last = event.attrs.get("last_seq")
+                if event.attrs.get("rotated_to") is not None:
+                    # Deliberate rotation: the prefix lives in a sealed
+                    # segment.  Legal iff a checkpoint covers it — that
+                    # is checked against the newest checkpoint seq in
+                    # recover(), not here.
+                    if last is not None:
+                        self._rotation_seq = max(
+                            self._rotation_seq, int(last)
+                        )
+                        previous = int(last)
+                    continue
                 problems.append(
                     f"declared truncation: {lost} events ({first}..{last}) "
                     "evicted before reaching the sink"

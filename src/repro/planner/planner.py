@@ -226,6 +226,21 @@ class QueryPlanner:
         stats = self.stats()
         model = CostModel(stats)
         kind, candidates, pin_reason = self._candidates(spec, model, batch_size)
+        if pin_reason is not None:
+            # Pinned groups cannot be fixed by route choice, so the
+            # accuracy monitor corrects their cost constants directly
+            # (see AccuracyMonitor.pinned_bias).
+            candidates = [
+                replace(est, seconds=est.seconds * bias)
+                if (
+                    bias := self.accuracy.pinned_bias(
+                        kind, est.backend, est.route
+                    )
+                )
+                != 1.0
+                else est
+                for est in candidates
+            ]
         ranked = tuple(model.rank(candidates))
         chosen = ranked[0]
         reason = pin_reason or "cheapest estimated cost"

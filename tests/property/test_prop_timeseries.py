@@ -1,0 +1,153 @@
+"""Streaming window statistics agree with batch oracles (hypothesis).
+
+The windowed quantile estimator never sees raw samples — only per-bucket
+count deltas — so the conformance bar is *bucket agreement*: the
+estimate must land in exactly the half-open bucket ``(lo, hi]`` that
+contains the true rank statistic, computed here by numpy's
+``inverted_cdf`` quantile (the same ``rank = ceil(q * n)`` statistic).
+"""
+
+from bisect import bisect_left
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import Telemetry
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram
+from repro.obs.timeseries import TimeSeriesStore, window_quantile
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+values_strategy = st.lists(
+    st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=80,
+)
+
+quantile_strategy = st.floats(min_value=0.0, max_value=1.0)
+
+
+def bucket_deltas(values):
+    """One window's deltas via the real ingestion path."""
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist.bucket_counts
+
+
+@given(values_strategy, quantile_strategy)
+@settings(max_examples=200, deadline=None)
+def test_window_quantile_lands_in_the_oracle_bucket(values, q):
+    oracle = float(np.quantile(values, q, method="inverted_cdf"))
+    estimate = window_quantile(DEFAULT_BUCKETS, bucket_deltas(values), q)
+    oracle_bucket = bisect_left(DEFAULT_BUCKETS, oracle)
+    estimate_bucket = bisect_left(DEFAULT_BUCKETS, estimate)
+    assert estimate_bucket == oracle_bucket
+    # And the estimate interpolates inside the bucket, not at a pole.
+    lo = DEFAULT_BUCKETS[oracle_bucket - 1] if oracle_bucket >= 1 else 0.0
+    assert lo < estimate <= DEFAULT_BUCKETS[oracle_bucket]
+
+
+@given(
+    st.lists(
+        st.floats(min_value=3e6, max_value=1e12, allow_nan=False),
+        min_size=1,
+        max_size=10,
+    ),
+    st.floats(min_value=0.5, max_value=1.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_overflow_samples_report_the_last_bound(values, q):
+    # All values beyond the bucket ladder: the estimator can only say
+    # "at least the last bound" — and must say exactly that.
+    estimate = window_quantile(DEFAULT_BUCKETS, bucket_deltas(values), q)
+    assert estimate == DEFAULT_BUCKETS[-1]
+
+
+@given(values_strategy)
+@settings(max_examples=100, deadline=None)
+def test_cumulative_deltas_equal_batch_cdf_at_every_bound(values):
+    deltas = bucket_deltas(values)
+    cumulative = 0
+    for i, bound in enumerate(DEFAULT_BUCKETS):
+        cumulative += deltas[i]
+        assert cumulative == sum(1 for v in values if v <= bound)
+    assert sum(deltas) == len(values)
+
+
+@given(
+    st.lists(
+        st.lists(
+            st.floats(min_value=1e-3, max_value=1e6, allow_nan=False),
+            min_size=0,
+            max_size=20,
+        ),
+        min_size=1,
+        max_size=5,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_window_deltas_sum_to_cumulative_totals(chunks):
+    telemetry = Telemetry()
+    clock = FakeClock()
+    store = TimeSeriesStore(telemetry, interval=1.0, keep=32, clock=clock)
+    windows = []
+    for chunk in chunks:
+        for value in chunk:
+            telemetry.observe("latency", value)
+            telemetry.count("observations")
+        clock.t += 1.0
+        windows.append(store.sample())
+
+    hist = telemetry.registry.histogram("latency")
+    windowed_counts = [
+        w.histograms.get("latency", {"count": 0})["count"] for w in windows
+    ]
+    assert sum(windowed_counts) == hist.count == sum(map(len, chunks))
+    assert windowed_counts == [len(chunk) for chunk in chunks]
+    windowed_sums = [
+        w.histograms.get("latency", {"sum": 0.0})["sum"] for w in windows
+    ]
+    assert sum(windowed_sums) == float(
+        np.sum([v for chunk in chunks for v in chunk], dtype=float)
+    ) or abs(
+        sum(windowed_sums) - sum(v for chunk in chunks for v in chunk)
+    ) < 1e-6 * max(1.0, hist.total)
+    counter_deltas = [w.counters.get("observations", 0) for w in windows]
+    assert sum(counter_deltas) == sum(map(len, chunks))
+
+
+@given(values_strategy)
+@settings(max_examples=100, deadline=None)
+def test_single_window_stats_match_batch_exactly(values):
+    telemetry = Telemetry()
+    clock = FakeClock()
+    store = TimeSeriesStore(telemetry, interval=1.0, keep=4, clock=clock)
+    for value in values:
+        telemetry.observe("latency", value)
+    clock.t = 1.0
+    window = store.sample()
+    stats = window.histograms["latency"]
+    assert stats["count"] == len(values)
+    assert abs(stats["sum"] - sum(values)) <= 1e-9 * max(1.0, sum(values))
+    assert abs(stats["mean"] - np.mean(values)) <= 1e-9 * max(
+        1.0, abs(float(np.mean(values)))
+    )
+    # The three shipped percentiles obey the same bucket-agreement bar.
+    for q, key in ((0.5, "p50"), (0.95, "p95"), (0.99, "p99")):
+        oracle = float(np.quantile(values, q, method="inverted_cdf"))
+        oracle_bucket = min(
+            bisect_left(DEFAULT_BUCKETS, oracle), len(DEFAULT_BUCKETS) - 1
+        )
+        estimate_bucket = min(
+            bisect_left(DEFAULT_BUCKETS, stats[key]), len(DEFAULT_BUCKETS) - 1
+        )
+        assert estimate_bucket == oracle_bucket

@@ -211,7 +211,7 @@ class TestHealthCommand:
         report = json.loads(capsys.readouterr().out)
         assert report["schema"] == "repro.obs.slo/1"
         assert report["healthy"] is True
-        assert report["total"] == report["ok"] == 8
+        assert report["total"] == report["ok"] == 10
         names = {result["spec"]["name"] for result in report["results"]}
         assert "plan_accuracy" in names and "answer_accuracy" in names
 

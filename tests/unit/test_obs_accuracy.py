@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.obs import AccuracyMonitor, EventLog, PlanAccuracyAuditor, Telemetry
 from repro.obs.events import (
     PLANNER_CALIBRATED,
@@ -12,9 +14,20 @@ from repro.obs.events import (
 from repro.planner.planner import Decision
 
 
-def decision(kind="public_range", backend="rtree", route="scalar", seconds=1e-4):
+def decision(
+    kind="public_range",
+    backend="rtree",
+    route="scalar",
+    seconds=1e-4,
+    pinned=False,
+):
     return Decision(
-        kind=kind, backend=backend, route=route, seconds=seconds, reason="test"
+        kind=kind,
+        backend=backend,
+        route=route,
+        seconds=seconds,
+        reason="test",
+        pinned=pinned,
     )
 
 
@@ -107,6 +120,119 @@ class TestAccuracyMonitor:
         assert json.loads(json.dumps(report)) == report
         assert report["schema"] == "repro.obs.accuracy/1"
         assert report["source"] == "online"
+
+
+class TestPinnedRoutes:
+    """Pinned decisions learn a cost bias instead of raising mispredicts."""
+
+    def test_pinned_observations_never_flag(self):
+        monitor = AccuracyMonitor(threshold=4.0, min_samples=4)
+        emitted = []
+        emit = lambda *args, **attrs: emitted.append((args[0], attrs))
+        for _ in range(10):
+            monitor.observe(decision(seconds=1e-5, pinned=True), 1e-3, emit=emit)
+        assert monitor.mispredicts == 0
+        assert PLANNER_MISPREDICT not in [kind for kind, _ in emitted]
+        assert monitor.poll_recalibration() is None  # no drift either
+
+    def test_bias_learned_from_median_ratio(self):
+        monitor = AccuracyMonitor(min_samples=4)
+        emitted = []
+        emit = lambda *args, **attrs: emitted.append((args[0], attrs))
+        for _ in range(4):
+            monitor.observe(decision(seconds=1e-4, pinned=True), 1e-3, emit=emit)
+        assert monitor.pinned_bias("public_range", "rtree", "scalar") == (
+            pytest.approx(10.0)
+        )
+        assert monitor.pinned_recalibrations == 1
+        kinds = [kind for kind, _ in emitted]
+        assert kinds == [PLANNER_CALIBRATED]
+        attrs = emitted[0][1]
+        assert attrs["scope"] == "pinned"
+        assert attrs["bias"] == pytest.approx(10.0)
+
+    def test_bias_update_converges_and_goes_quiet(self):
+        monitor = AccuracyMonitor(min_samples=4)
+        base = 1e-4
+        for _ in range(4):
+            monitor.observe(decision(seconds=base, pinned=True), 1e-3)
+        bias = monitor.pinned_bias("public_range", "rtree", "scalar")
+        # The planner now predicts base * bias; measured ratios sit at
+        # 1.0 and the band (1.5x) keeps the bias untouched.
+        for _ in range(10):
+            monitor.observe(
+                decision(seconds=base * bias, pinned=True), 1e-3
+            )
+        assert monitor.pinned_bias("public_range", "rtree", "scalar") == bias
+        assert monitor.pinned_recalibrations == 1
+
+    def test_in_band_pinned_group_learns_no_bias(self):
+        monitor = AccuracyMonitor(min_samples=4)
+        for _ in range(10):
+            monitor.observe(decision(seconds=1e-4, pinned=True), 1.2e-4)
+        assert monitor.pinned_bias("public_range", "rtree", "scalar") == 1.0
+        assert monitor.pinned_recalibrations == 0
+
+    def test_report_carries_pinned_groups(self):
+        monitor = AccuracyMonitor(min_samples=4)
+        for _ in range(6):
+            monitor.observe(
+                decision(kind="private_nn", seconds=1e-5, pinned=True), 1e-3
+            )
+        report = monitor.report()
+        group = report["pinned_groups"]["private_nn/rtree/scalar"]
+        assert group["bias"] > 1.0
+        assert report["pinned_recalibrations"] == 1
+        assert json.loads(json.dumps(report)) == report
+
+    def test_reset_clears_pinned_state(self):
+        monitor = AccuracyMonitor(min_samples=2)
+        for _ in range(4):
+            monitor.observe(decision(seconds=1e-5, pinned=True), 1e-3)
+        assert monitor.pinned_recalibrations >= 1
+        monitor.reset()
+        assert monitor.pinned_bias("public_range", "rtree", "scalar") == 1.0
+        assert monitor.pinned_recalibrations == 0
+        assert monitor.report()["pinned_groups"] == {}
+
+    def test_planner_applies_bias_to_pinned_decisions(self):
+        from repro.cloaking.pyramid_cloak import PyramidCloaker
+        from repro.core.profiles import PrivacyProfile
+        from repro.core.system import PrivacySystem
+        from repro.geometry.point import Point
+        from repro.geometry.rect import Rect
+        from repro.mobility.users import MobileUser
+        from repro.queries.spec import NNSpec
+
+        bounds = Rect(0, 0, 100, 100)
+        system = PrivacySystem(bounds, PyramidCloaker(bounds, height=5))
+        for i in range(30):
+            system.add_user(
+                MobileUser(
+                    i,
+                    Point((13 * i) % 100, (29 * i) % 100),
+                    PrivacyProfile.always(k=3),
+                )
+            )
+        for j in range(10):
+            system.add_poi(("poi", j), Point((17 * j) % 100, (41 * j) % 100))
+        system.publish_all()
+
+        planner = system.planner
+        spec = NNSpec(flavor="private", user=0)
+        before = planner.decide(spec)
+        assert before.pinned
+        # Ten observations, each 10x the (possibly biased) prediction.
+        for _ in range(10):
+            current = planner.decide(spec)
+            planner.accuracy.observe(current, current.seconds * 10.0)
+        after = planner.decide(spec)
+        bias = planner.accuracy.pinned_bias(
+            after.kind, after.backend, after.route
+        )
+        assert bias > 1.0
+        assert after.seconds == pytest.approx(before.seconds * bias)
+        assert planner.accuracy.mispredicts == 0
 
 
 class TestPlanAccuracyAuditor:

@@ -1,0 +1,224 @@
+"""Unit tests for the HTTP telemetry endpoint (repro.obs.serve)."""
+
+import json
+import random
+
+import pytest
+
+from repro import MobileUser, PrivacyProfile, PrivacySystem, PyramidCloaker
+from repro.geometry import Point, Rect
+from repro.obs.serve import (
+    ENDPOINT_PATHS,
+    TelemetryEndpoint,
+    scrape,
+    smoke,
+    validate_exposition,
+)
+from repro.obs.slo import EXIT_SLO_VIOLATION, SLOMonitor, SLOSpec
+
+BOUNDS = Rect(0, 0, 100, 100)
+
+
+def build_system(users=25, pois=10, seed=0):
+    system = PrivacySystem(BOUNDS, PyramidCloaker(BOUNDS, height=5))
+    rng = random.Random(seed)
+    for j in range(pois):
+        system.add_poi(f"poi-{j}", Point(rng.uniform(0, 100), rng.uniform(0, 100)))
+    for i in range(users):
+        system.add_user(
+            MobileUser(
+                f"u{i}",
+                Point(rng.uniform(0, 100), rng.uniform(0, 100)),
+                PrivacyProfile.always(k=4),
+            )
+        )
+    system.publish_all()
+    return system
+
+
+class TestValidateExposition:
+    def test_real_exposition_is_valid(self):
+        from repro.obs.export import to_prometheus
+
+        system = build_system()
+        assert validate_exposition(to_prometheus(system.telemetry())) == []
+
+    def test_flags_malformed_sample(self):
+        assert validate_exposition("not a metric line at all!!\n")
+
+    def test_flags_non_numeric_value(self):
+        problems = validate_exposition("repro_thing_total NaNsense\n")
+        assert problems
+
+    def test_flags_unbalanced_quotes(self):
+        problems = validate_exposition('repro_x{label="oops} 1\n')
+        assert any("quote" in p or "malformed" in p for p in problems)
+
+    def test_flags_missing_trailing_newline(self):
+        assert validate_exposition("repro_x 1") == [
+            "exposition must end with a newline"
+        ]
+
+    def test_accepts_help_and_type_comments(self):
+        text = "# HELP repro_x something\n# TYPE repro_x counter\nrepro_x 1\n"
+        assert validate_exposition(text) == []
+
+
+class TestRouting:
+    def test_metrics_route(self):
+        endpoint = TelemetryEndpoint(build_system())
+        status, content_type, body = endpoint.respond("/metrics")
+        assert status == 200
+        assert content_type.startswith("text/plain")
+        assert validate_exposition(body) == []
+
+    def test_health_route_healthy(self):
+        endpoint = TelemetryEndpoint(build_system())
+        status, content_type, body = endpoint.respond("/health")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["healthy"] is True
+
+    def test_health_route_503_on_violation(self):
+        system = build_system()
+        # An impossible objective: any attainment evidence violates it.
+        monitor = SLOMonitor(
+            [
+                SLOSpec(
+                    name="impossible",
+                    kind="attainment_rate",
+                    target=2.0,
+                    description="cannot hold",
+                )
+            ]
+        )
+        endpoint = TelemetryEndpoint(system, slo_monitor=monitor)
+        status, _, body = endpoint.respond("/health")
+        payload = json.loads(body)
+        assert status == 503
+        assert payload["healthy"] is False
+        assert payload["exit_code"] == EXIT_SLO_VIOLATION
+
+    def test_risk_route(self):
+        endpoint = TelemetryEndpoint(build_system())
+        status, _, body = endpoint.respond("/risk")
+        assert status == 200
+        assert json.loads(body)["schema"] == "repro.obs.risk/1"
+
+    def test_timeseries_route_samples_when_due(self):
+        system = build_system()
+        system.enable_monitoring(interval=0.0)  # every scrape cuts a window
+        endpoint = TelemetryEndpoint(system)
+        status, _, body = endpoint.respond("/timeseries")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["schema"] == "repro.obs.timeseries/1"
+        assert payload["windows_cut"] >= 1
+
+    def test_index_and_404(self):
+        endpoint = TelemetryEndpoint(build_system())
+        status, _, body = endpoint.respond("/")
+        assert status == 200
+        assert json.loads(body)["paths"] == list(ENDPOINT_PATHS)
+        status, _, body = endpoint.respond("/nope")
+        assert status == 404
+
+    def test_query_string_and_trailing_slash_ignored(self):
+        endpoint = TelemetryEndpoint(build_system())
+        assert endpoint.respond("/risk/?pretty=1")[0] == 200
+
+    def test_ctor_enables_monitoring(self):
+        system = build_system()
+        assert system.risk is None
+        TelemetryEndpoint(system)
+        assert system.risk is not None and system.timeseries is not None
+
+
+class TestLiveSocket:
+    def test_serves_over_real_socket(self):
+        endpoint = TelemetryEndpoint(build_system())
+        host, port = endpoint.start(port=0)
+        try:
+            status, body = scrape(host, port, "/metrics")
+            assert status == 200
+            assert validate_exposition(body) == []
+            status, body = scrape(host, port, "/health")
+            assert status == 200
+        finally:
+            endpoint.shutdown()
+        assert not endpoint.running
+
+    def test_double_start_refused_shutdown_idempotent(self):
+        endpoint = TelemetryEndpoint(build_system())
+        endpoint.start(port=0)
+        with pytest.raises(RuntimeError):
+            endpoint.start(port=0)
+        endpoint.shutdown()
+        endpoint.shutdown()  # idempotent
+
+    def test_smoke_passes_end_to_end(self):
+        result = smoke(build_system())
+        assert result["ok"], result["problems"]
+        assert set(result["checks"]) == set(ENDPOINT_PATHS)
+
+
+class TestCLI:
+    def test_serve_metrics_smoke_flag(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "serve-metrics",
+                "--smoke",
+                "--users",
+                "30",
+                "--queries",
+                "3",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+
+    def test_serve_metrics_bounded_loop(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "serve-metrics",
+                "--users",
+                "30",
+                "--queries",
+                "2",
+                "--iterations",
+                "1",
+                "--interval",
+                "0.05",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving telemetry on http://" in out
+
+    def test_top_bounded_frames(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "top",
+                "--iterations",
+                "2",
+                "--interval",
+                "0.05",
+                "--users",
+                "30",
+                "--queries",
+                "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "time-series" in out
+        assert "privacy risk" in out
+        assert "SLO health" in out
+        assert "-- top tick 2 --" in out

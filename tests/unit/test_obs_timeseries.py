@@ -1,0 +1,196 @@
+"""Unit tests for the windowed time-series store (repro.obs.timeseries)."""
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    TimeSeriesStore,
+    window_quantile,
+)
+
+
+class FakeClock:
+    def __init__(self, t: float = 0.0) -> None:
+        self.t = t
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+def make_store(interval=1.0, keep=10):
+    telemetry = Telemetry()
+    clock = FakeClock()
+    store = TimeSeriesStore(
+        telemetry, interval=interval, keep=keep, clock=clock
+    )
+    return telemetry, clock, store
+
+
+class TestWindowCutting:
+    def test_counter_deltas_not_cumulative_values(self):
+        telemetry, clock, store = make_store()
+        telemetry.count("requests", 5)
+        clock.advance(1.0)
+        first = store.sample()
+        assert first.counters["requests"] == 5
+        telemetry.count("requests", 3)
+        clock.advance(1.0)
+        second = store.sample()
+        assert second.counters["requests"] == 3
+        assert second.index == 1
+
+    def test_zero_delta_counters_omitted(self):
+        telemetry, clock, store = make_store()
+        telemetry.count("touched", 1)
+        clock.advance(1.0)
+        store.sample()
+        telemetry.count("other", 2)
+        clock.advance(1.0)
+        window = store.sample()
+        assert "touched" not in window.counters
+        assert window.counters["other"] == 2
+
+    def test_rates_divide_by_measured_elapsed(self):
+        telemetry, clock, store = make_store()
+        telemetry.count("requests", 10)
+        clock.advance(4.0)  # overdue window: rates stay honest
+        window = store.sample()
+        assert window.rates["requests"] == pytest.approx(2.5)
+        assert window.elapsed == pytest.approx(4.0)
+
+    def test_gauges_are_instantaneous_values(self):
+        telemetry, clock, store = make_store()
+        telemetry.set_gauge("population", 7.0)
+        clock.advance(1.0)
+        store.sample()
+        telemetry.set_gauge("population", 3.0)
+        clock.advance(1.0)
+        window = store.sample()
+        assert window.gauges["population"] == 3.0
+
+    def test_histogram_window_stats(self):
+        telemetry, clock, store = make_store()
+        for value in (1.0, 1.0, 100.0):
+            telemetry.observe("latency", value)
+        clock.advance(1.0)
+        window = store.sample()
+        stats = window.histograms["latency"]
+        assert stats["count"] == 3
+        assert stats["sum"] == pytest.approx(102.0)
+        assert stats["mean"] == pytest.approx(34.0)
+        # p50 must land in the bucket holding 1.0, p99 in 100.0's bucket.
+        assert stats["p50"] <= 1.0
+        assert 64.0 < stats["p99"] <= 128.0
+
+    def test_quiet_histograms_omitted(self):
+        telemetry, clock, store = make_store()
+        telemetry.observe("latency", 1.0)
+        clock.advance(1.0)
+        store.sample()
+        clock.advance(1.0)
+        window = store.sample()
+        assert "latency" not in window.histograms
+
+    def test_event_deltas_and_seq_range(self):
+        telemetry, clock, store = make_store()
+        telemetry.emit("user.added", user="u1", x=0.0, y=0.0)
+        telemetry.emit("user.added", user="u2", x=1.0, y=1.0)
+        telemetry.emit("clock.advanced", t=1.0, dt=1.0)
+        clock.advance(1.0)
+        window = store.sample()
+        assert window.events == {"user.added": 2, "clock.advanced": 1}
+        assert window.seq_start == 0
+        assert window.seq_end == 3
+
+
+class TestSamplingCadence:
+    def test_maybe_sample_before_due_is_noop(self):
+        _, clock, store = make_store(interval=1.0)
+        clock.advance(0.5)
+        assert store.maybe_sample() is None
+        assert len(store) == 0
+
+    def test_maybe_sample_cuts_once_due(self):
+        _, clock, store = make_store(interval=1.0)
+        clock.advance(1.0)
+        window = store.maybe_sample()
+        assert window is not None
+        assert len(store) == 1
+        # Freshly reset: the next call is again before due.
+        assert store.maybe_sample() is None
+
+    def test_ring_is_bounded(self):
+        _, clock, store = make_store(keep=3)
+        for _ in range(7):
+            clock.advance(1.0)
+            store.sample()
+        assert len(store) == 3
+        assert store.windows_cut == 7
+        assert [w.index for w in store.windows()] == [4, 5, 6]
+
+    def test_on_sample_hooks_fire(self):
+        _, clock, store = make_store()
+        seen = []
+        store.on_sample.append(seen.append)
+        clock.advance(1.0)
+        window = store.sample()
+        assert seen == [window]
+
+    def test_rejects_bad_configuration(self):
+        telemetry = Telemetry()
+        with pytest.raises(ValueError):
+            TimeSeriesStore(telemetry, interval=-1.0)
+        with pytest.raises(ValueError):
+            TimeSeriesStore(telemetry, keep=0)
+
+
+class TestExport:
+    def test_snapshot_schema_and_roundtrip(self):
+        import json
+
+        telemetry, clock, store = make_store()
+        telemetry.count("requests", 2)
+        telemetry.observe("latency", 3.0)
+        clock.advance(1.0)
+        store.sample()
+        snapshot = store.snapshot()
+        assert snapshot["schema"] == TIMESERIES_SCHEMA
+        assert snapshot["windows_cut"] == 1
+        assert len(snapshot["windows"]) == 1
+        json.dumps(snapshot)  # JSON-safe as-is
+
+    def test_render_smoke(self):
+        telemetry, clock, store = make_store()
+        assert "no windows" in store.render()
+        telemetry.count("requests", 2)
+        telemetry.observe("latency", 3.0)
+        telemetry.emit("user.added", user="u", x=0.0, y=0.0)
+        clock.advance(1.0)
+        store.sample()
+        text = store.render()
+        assert "window #0" in text
+        assert "latency" in text
+
+
+class TestWindowQuantile:
+    def test_empty_window_is_zero(self):
+        assert window_quantile((1.0, 2.0), [0, 0, 0], 0.95) == 0.0
+
+    def test_single_bucket_interpolates_from_lower_bound(self):
+        bounds = (1.0, 2.0, 4.0)
+        # all 4 samples in the (2.0, 4.0] bucket
+        deltas = [0, 0, 4, 0]
+        assert 2.0 < window_quantile(bounds, deltas, 0.5) <= 4.0
+
+    def test_overflow_bucket_reports_last_bound(self):
+        bounds = (1.0, 2.0)
+        deltas = [0, 0, 3]
+        assert window_quantile(bounds, deltas, 0.99) == 2.0
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            window_quantile((1.0,), [1, 0], 1.5)
